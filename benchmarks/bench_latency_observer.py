@@ -1,0 +1,102 @@
+"""T-LAT: end-to-end latency observers (S5).
+
+Regenerates: a bound sweep for the RefSpeed -> Cruise1 flow of the
+cruise-control model.  Checked shape: verdicts are monotone in the bound
+(once guaranteed, stays guaranteed) and a crossover exists inside the
+sweep; at a violated bound the raised scenario ends with an unmatched
+flow_start.
+"""
+
+import pytest
+
+from repro.aadl.gallery import cruise_control
+from repro.aadl.properties import ms
+from repro.analysis import FlowSpec, Verdict, check_latency
+
+from conftest import print_table
+
+SOURCE = "CruiseControl.hci.refspeed"
+DESTINATION = "CruiseControl.ccl.cruise1"
+BOUNDS = (10, 20, 30, 40, 50, 60)
+
+
+def test_latency_bound_sweep(benchmark):
+    instance = cruise_control()
+
+    def sweep():
+        rows = []
+        for bound in BOUNDS:
+            result = check_latency(
+                instance,
+                [FlowSpec(SOURCE, DESTINATION, ms(bound))],
+                max_states=500_000,
+            )
+            rows.append((bound, result.verdict))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    verdicts = [v is Verdict.SCHEDULABLE for _, v in rows]
+    # Monotone with a crossover inside the sweep.
+    assert not verdicts[0]
+    assert verdicts[-1]
+    first_pass = verdicts.index(True)
+    assert all(verdicts[first_pass:])
+    print_table(
+        f"T-LAT {SOURCE} -> {DESTINATION}",
+        ["bound (ms)", "verdict"],
+        [[b, v.value] for b, v in rows],
+    )
+
+
+def test_violation_scenario_shape(benchmark):
+    instance = cruise_control()
+
+    def run():
+        return check_latency(
+            instance,
+            [FlowSpec(SOURCE, DESTINATION, ms(10))],
+            max_states=500_000,
+        )
+
+    result = benchmark(run)
+    assert result.verdict is Verdict.UNSCHEDULABLE
+    kinds = [e.kind for e in result.scenario.events]
+    assert "flow_start" in kinds
+    last_start = max(i for i, k in enumerate(kinds) if k == "flow_start")
+    assert "flow_end" not in kinds[last_start + 1 :]
+
+
+def test_multiple_flows_cost(benchmark):
+    """Observers are cheap: adding a second flow grows the state space
+    sublinearly (the observers mostly idle)."""
+    instance = cruise_control()
+
+    def run():
+        one = check_latency(
+            instance,
+            [FlowSpec(SOURCE, DESTINATION, ms(60))],
+            max_states=500_000,
+        )
+        two = check_latency(
+            instance,
+            [
+                FlowSpec(SOURCE, DESTINATION, ms(60)),
+                FlowSpec(
+                    "CruiseControl.ccl.cruise1",
+                    "CruiseControl.ccl.cruise2",
+                    ms(110),
+                ),
+            ],
+            max_states=500_000,
+        )
+        return one, two
+
+    one, two = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert one.verdict is Verdict.SCHEDULABLE
+    assert two.verdict is Verdict.SCHEDULABLE
+    assert two.num_states < 4 * one.num_states
+    print_table(
+        "T-LAT observer cost",
+        ["flows", "states"],
+        [[1, one.num_states], [2, two.num_states]],
+    )

@@ -1,0 +1,112 @@
+"""T-POLICY: scheduling-policy encodings across a utilization sweep (S5).
+
+Regenerates the acceptance-rate curves of RM vs EDF (both verdicts from
+the ACSR exploration).  Checked shape: EDF's acceptance rate dominates
+RM's at every utilization level; both are 100% at low utilization; EDF
+stays at 100% up to U = 1.0 (optimality) while RM falls off between the
+Liu-Layland bound (~0.83 for n=2..3) and 1.0.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Verdict, analyze_model
+from repro.aadl.properties import SchedulingProtocol
+from repro.workloads import integer_task_set, task_set_to_system
+
+from conftest import print_table
+
+SEED = 1639421  # the paper's IEEE article number
+SETS_PER_LEVEL = 8
+LEVELS = (0.6, 0.8, 0.9, 1.0)
+
+
+def acceptance(tasks_list, scheduling):
+    accepted = 0
+    for tasks in tasks_list:
+        instance = task_set_to_system(tasks, scheduling=scheduling)
+        result = analyze_model(instance, max_states=500_000)
+        assert result.verdict is not Verdict.UNKNOWN
+        accepted += result.verdict is Verdict.SCHEDULABLE
+    return accepted
+
+
+def test_policy_acceptance_curves(benchmark):
+    from repro.sched import PeriodicTask, TaskSet
+
+    rng = np.random.default_rng(SEED)
+    by_level = {
+        level: [
+            integer_task_set(3, level, periods=(4, 6, 12), rng=rng)
+            for _ in range(SETS_PER_LEVEL)
+        ]
+        for level in LEVELS
+    }
+    # Random integer sets cluster below their target utilization (C is
+    # clamped); pin the U = 1.0 bucket with exactly-full non-harmonic
+    # sets, where the RM/EDF separation lives.
+    by_level[1.0] = [
+        TaskSet([PeriodicTask("a", 2, 4), PeriodicTask("b", 3, 6)]),
+        TaskSet([PeriodicTask("a", 1, 4), PeriodicTask("b", 3, 6),
+                 PeriodicTask("c", 3, 12)]),
+        TaskSet([PeriodicTask("a", 2, 4), PeriodicTask("b", 4, 8)]),
+        TaskSet([PeriodicTask("a", 3, 6), PeriodicTask("b", 6, 12)]),
+    ]
+
+    def run():
+        rows = []
+        for level, tasks_list in by_level.items():
+            # Realized utilizations deviate from the target (integer C);
+            # keep only sets that stayed at or below 1.0 so EDF optimality
+            # is the expected shape.
+            feasible = [t for t in tasks_list if t.utilization <= 1.0]
+            rm = acceptance(feasible, SchedulingProtocol.RATE_MONOTONIC)
+            edf = acceptance(
+                feasible, SchedulingProtocol.EARLIEST_DEADLINE_FIRST
+            )
+            rows.append((level, len(feasible), rm, edf))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for _, total, rm, edf in rows:
+        assert edf >= rm, "EDF must dominate RM"
+        assert edf == total, "EDF schedules every U <= 1 set (optimality)"
+    # RM falls off somewhere in the sweep (the separation exists).
+    assert any(rm < total for _, total, rm, _ in rows)
+    print_table(
+        "T-POLICY acceptance by utilization (ACSR verdicts)",
+        ["target U", "sets (U<=1)", "RM accepts", "EDF accepts"],
+        rows,
+    )
+
+
+def test_pinned_separation_case(benchmark):
+    """The canonical (2,4),(3,6) case: RM no, EDF & LLF yes."""
+    from repro.sched import PeriodicTask, TaskSet
+
+    tasks = TaskSet([PeriodicTask("a", 2, 4), PeriodicTask("b", 3, 6)])
+
+    def run():
+        verdicts = {}
+        for policy in (
+            SchedulingProtocol.RATE_MONOTONIC,
+            SchedulingProtocol.DEADLINE_MONOTONIC,
+            SchedulingProtocol.EARLIEST_DEADLINE_FIRST,
+            SchedulingProtocol.LEAST_LAXITY_FIRST,
+        ):
+            result = analyze_model(
+                task_set_to_system(tasks, scheduling=policy)
+            )
+            verdicts[policy.value] = result.verdict
+        return verdicts
+
+    verdicts = benchmark(run)
+    assert verdicts["RMS"] is Verdict.UNSCHEDULABLE
+    assert verdicts["DMS"] is Verdict.UNSCHEDULABLE
+    assert verdicts["EDF"] is Verdict.SCHEDULABLE
+    assert verdicts["LLF"] is Verdict.SCHEDULABLE
+    print_table(
+        "T-POLICY pinned separation case (C,T)=(2,4),(3,6), U=1.0",
+        ["policy", "verdict"],
+        [[k, v.value] for k, v in verdicts.items()],
+    )

@@ -1,0 +1,110 @@
+"""T-SCALE: state-space growth (S4.1 precision trade-off, S7 future work).
+
+Two sweeps:
+
+* states/time vs thread count on one processor -- exploration cost grows
+  with model size (the scalability limit S7 wants to attack);
+* states vs quantum size on the cruise-control model -- 'precision of
+  the timing analysis can be improved by making scheduling quanta
+  smaller, which tends to increase the size of the state space.'
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.aadl.gallery import cruise_control
+from repro.aadl.properties import ms
+from repro.analysis import Verdict, analyze_model
+from repro.workloads import integer_task_set, task_set_to_system
+
+from conftest import print_table
+
+SEED = 5506  # SAE AS5506
+
+
+def test_states_vs_thread_count(benchmark):
+    rng = np.random.default_rng(SEED)
+
+    def sweep():
+        rows = []
+        for n in (1, 2, 3, 4):
+            tasks = integer_task_set(
+                n, 0.12 * n, periods=(4, 8), rng=rng, name_prefix=f"n{n}t"
+            )
+            instance = task_set_to_system(tasks)
+            t0 = time.perf_counter()
+            result = analyze_model(
+                instance, max_states=2_000_000, stop_at_first_deadlock=False
+            )
+            elapsed = time.perf_counter() - t0
+            assert result.verdict is not Verdict.UNKNOWN
+            rows.append((n, result.num_states, f"{elapsed * 1000:.1f}"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    sizes = [states for _, states, _ in rows]
+    assert sizes == sorted(sizes)
+    print_table(
+        "T-SCALE states vs thread count (U = 0.12/thread)",
+        ["threads", "states", "ms"],
+        rows,
+    )
+
+
+def test_states_vs_quantum(benchmark):
+    instance = cruise_control()
+
+    def sweep():
+        rows = []
+        for quantum in (10, 5, 2, 1):
+            t0 = time.perf_counter()
+            result = analyze_model(
+                instance,
+                quantum=ms(quantum),
+                max_states=2_000_000,
+                stop_at_first_deadlock=False,
+            )
+            elapsed = time.perf_counter() - t0
+            assert result.verdict is Verdict.SCHEDULABLE
+            rows.append(
+                (f"{quantum} ms", result.num_states, f"{elapsed * 1000:.1f}")
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    sizes = [states for _, states, _ in rows]
+    # Tendency, not strict monotonicity: finest >> coarsest.
+    assert sizes[-1] > sizes[0]
+    print_table(
+        "T-SCALE cruise control states vs quantum",
+        ["quantum", "states", "ms"],
+        rows,
+    )
+
+
+def test_memoization_effectiveness(benchmark):
+    """The step cache is the engine's hot path: re-exploring a system is
+    dramatically cheaper than the first pass."""
+    from repro.translate import translate
+    from repro.versa import Explorer
+
+    translation = translate(cruise_control())
+
+    def first_and_second():
+        t0 = time.perf_counter()
+        Explorer(translation.system, max_states=1_000_000).run()
+        cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        Explorer(translation.system, max_states=1_000_000).run()
+        warm = time.perf_counter() - t0
+        return cold, warm
+
+    cold, warm = benchmark.pedantic(first_and_second, rounds=1, iterations=1)
+    assert warm < cold
+    print_table(
+        "T-SCALE transition-memo effectiveness (same system twice)",
+        ["cold ms", "warm ms", "speedup"],
+        [[f"{cold*1000:.1f}", f"{warm*1000:.1f}", f"{cold/warm:.1f}x"]],
+    )

@@ -1,0 +1,114 @@
+"""T-SCHED: the S5 theorem, cross-validated.
+
+'The resulting ACSR model is deadlock-free if and only if every task
+meets its deadline.'  On the classical regime this means the exhaustive
+analysis must agree exactly with response-time analysis (fixed priority)
+and with the processor-demand criterion (EDF).  This bench draws random
+UUniFast task sets across a utilization sweep and measures the agreement
+rate (must be 100%) plus the cost gap between exhaustive exploration and
+the closed-form tests.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import Verdict, analyze_model
+from repro.aadl.properties import SchedulingProtocol
+from repro.sched import edf_schedulable, rta_schedulable
+from repro.workloads import integer_task_set, task_set_to_system
+
+from conftest import print_table
+
+SEED = 20060429  # the paper's publication date
+N_SETS = 12
+UTILIZATIONS = (0.5, 0.8, 1.0)
+
+
+def draw_sets():
+    rng = np.random.default_rng(SEED)
+    drawn = []
+    for target in UTILIZATIONS:
+        for _ in range(N_SETS // len(UTILIZATIONS)):
+            drawn.append(
+                integer_task_set(3, target, periods=(4, 6, 8), rng=rng)
+            )
+    return drawn
+
+
+def test_rm_agreement(benchmark):
+    sets = draw_sets()
+
+    def run():
+        rows = []
+        agree = 0
+        for tasks in sets:
+            instance = task_set_to_system(
+                tasks, scheduling=SchedulingProtocol.RATE_MONOTONIC
+            )
+            t0 = time.perf_counter()
+            oracle = rta_schedulable(tasks, ordering="rate")
+            rta_ms = (time.perf_counter() - t0) * 1000
+            t0 = time.perf_counter()
+            result = analyze_model(instance, max_states=500_000)
+            acsr_ms = (time.perf_counter() - t0) * 1000
+            assert result.verdict is not Verdict.UNKNOWN
+            match = result.schedulable == oracle
+            agree += match
+            rows.append(
+                [
+                    f"U={tasks.utilization:.2f}",
+                    "yes" if oracle else "no",
+                    result.verdict.value,
+                    f"{rta_ms:.2f}",
+                    f"{acsr_ms:.1f}",
+                    "OK" if match else "MISMATCH",
+                ]
+            )
+        return rows, agree
+
+    rows, agree = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert agree == len(rows), "ACSR and RTA verdicts must agree exactly"
+    print_table(
+        "T-SCHED RM: ACSR exploration vs exact RTA "
+        f"(agreement {agree}/{len(rows)})",
+        ["set", "RTA", "ACSR", "RTA ms", "ACSR ms", "agree"],
+        rows,
+    )
+
+
+def test_edf_agreement(benchmark):
+    sets = draw_sets()
+
+    def run():
+        rows = []
+        agree = 0
+        for tasks in sets:
+            instance = task_set_to_system(
+                tasks,
+                scheduling=SchedulingProtocol.EARLIEST_DEADLINE_FIRST,
+            )
+            oracle = edf_schedulable(tasks)
+            result = analyze_model(instance, max_states=500_000)
+            assert result.verdict is not Verdict.UNKNOWN
+            match = result.schedulable == oracle
+            agree += match
+            rows.append(
+                [
+                    f"U={tasks.utilization:.2f}",
+                    "yes" if oracle else "no",
+                    result.verdict.value,
+                    "OK" if match else "MISMATCH",
+                ]
+            )
+        return rows, agree
+
+    rows, agree = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert agree == len(rows), "ACSR and demand verdicts must agree exactly"
+    print_table(
+        "T-SCHED EDF: ACSR exploration vs demand criterion "
+        f"(agreement {agree}/{len(rows)})",
+        ["set", "demand", "ACSR", "agree"],
+        rows,
+    )

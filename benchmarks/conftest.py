@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench module regenerates one artifact of the paper (figure or
+checkable claim; see DESIGN.md S3) and asserts its *shape* -- who wins,
+by roughly what factor, where crossovers fall -- while pytest-benchmark
+records the timing.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Printed tables summarize the regenerated series; EXPERIMENTS.md records
+the measured values next to the paper's claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Render a small result table to stdout (shown with -s)."""
+    widths = [
+        max(len(str(h)), *(len(str(row[i])) for row in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print()
+    print(f"== {title} ==")
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print(
+            "  "
+            + "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )

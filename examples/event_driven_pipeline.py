@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Event-driven threads, queues, and overflow protocols (paper S4.3-4.4).
+
+This is the regime the paper motivates: "systems with complex patterns of
+interaction between components, which in AADL go beyond the scope of more
+traditional schedulability analysis algorithms."  A periodic producer
+raises events consumed by a sporadic thread whose minimum separation is
+longer than the producer's period, so the connection queue fills up:
+
+* with the Drop protocols, excess events are silently discarded and the
+  system stays schedulable;
+* with the Error protocol, the queue's error state deadlocks the model
+  and the raised scenario reports the overflowing connection.
+
+A second section dispatches an aperiodic worker from a *device* -- the
+environment modeled as a nondeterministic event source -- which no
+classical task-set test can express.
+
+Run:  python examples/event_driven_pipeline.py
+"""
+
+from repro.aadl import instantiate, parse_model
+from repro.aadl.gallery import sporadic_consumer
+from repro.aadl.properties import OverflowHandlingProtocol
+from repro.analysis import analyze_model
+
+DEVICE_DRIVEN = """
+processor CPU
+  properties
+    Scheduling_Protocol => DMS;
+end CPU;
+
+device Radar
+  features
+    echo: out event port;
+end Radar;
+
+thread Tracker
+  features
+    echo: in event port { Queue_Size => 2; };
+  properties
+    Dispatch_Protocol => Sporadic;
+    Period => 4 ms;
+    Compute_Execution_Time => 2 ms .. 2 ms;
+    Compute_Deadline => 4 ms;
+end Tracker;
+
+thread Logger
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 8 ms;
+    Compute_Execution_Time => 1 ms .. 1 ms;
+    Compute_Deadline => 8 ms;
+end Logger;
+
+system Surveillance end Surveillance;
+
+system implementation Surveillance.impl
+  subcomponents
+    radar: device Radar;
+    tracker: thread Tracker;
+    logger: thread Logger;
+    cpu: processor CPU;
+  connections
+    c1: port radar.echo -> tracker.echo;
+  properties
+    Actual_Processor_Binding => reference(cpu) applies to tracker;
+    Actual_Processor_Binding => reference(cpu) applies to logger;
+end Surveillance.impl;
+"""
+
+
+def main() -> None:
+    print("=== queue overflow protocols (S4.4) ===")
+    for overflow in (
+        OverflowHandlingProtocol.DROP_NEWEST,
+        OverflowHandlingProtocol.ERROR,
+    ):
+        instance = sporadic_consumer(
+            queue_size=1,
+            overflow=overflow,
+            producer_period=2,
+            min_separation=8,
+        )
+        result = analyze_model(instance)
+        print(f"\nOverflow_Handling_Protocol => {overflow.value}:")
+        print(f"  verdict: {result.verdict.value} "
+              f"({result.num_states} states)")
+        if result.scenario is not None and result.scenario.overflows:
+            print("  overflowing connection(s):")
+            for conn in result.scenario.overflows:
+                print(f"    {conn}")
+
+    print()
+    print("=== device-driven sporadic dispatch ===")
+    model = parse_model(DEVICE_DRIVEN)
+    instance = instantiate(model, "Surveillance.impl")
+    result = analyze_model(instance)
+    print(
+        "Radar device modeled as a nondeterministic event source; the\n"
+        "exploration covers EVERY arrival pattern respecting the queue:\n"
+    )
+    print(result.format())
+
+
+if __name__ == "__main__":
+    main()

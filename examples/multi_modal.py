@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Multi-modal systems: per-mode schedulability analysis (paper S2).
+
+AADL systems can reconfigure at runtime: "a failure in one of the
+components can cause a switch to a recovery mode, in which the failed
+component is inactive and its connections are re-routed."  The paper
+models modes but omits them from the translation; this library analyzes
+each system operation mode as its own completely-bound system
+(`analyze_all_modes`), so a mode that only becomes overloaded under
+reconfiguration is caught before deployment.
+
+The model: a flight-data system with a `nominal` mode (primary filter +
+logger) and a `degraded` mode in which a heavier backup filter replaces
+the primary and the logger keeps running.  The backup's demand makes the
+degraded mode unschedulable -- detected mode-by-mode.
+
+Run:  python examples/multi_modal.py
+"""
+
+from repro.aadl import parse_model
+from repro.analysis import analyze_all_modes
+
+MODEL = """
+processor CPU
+  properties
+    Scheduling_Protocol => RMS;
+end CPU;
+
+thread PrimaryFilter
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 8 ms;
+    Compute_Execution_Time => 2 ms .. 2 ms;
+    Compute_Deadline => 8 ms;
+end PrimaryFilter;
+
+thread BackupFilter
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 8 ms;
+    Compute_Execution_Time => 6 ms .. 6 ms;
+    Compute_Deadline => 8 ms;
+end BackupFilter;
+
+thread Logger
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 16 ms;
+    Compute_Execution_Time => 5 ms .. 5 ms;
+    Compute_Deadline => 16 ms;
+end Logger;
+
+thread Watchdog
+  features
+    fail: out event port;
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 16 ms;
+    Compute_Execution_Time => 1 ms .. 1 ms;
+    Compute_Deadline => 16 ms;
+end Watchdog;
+
+system FlightData end FlightData;
+
+system implementation FlightData.impl
+  subcomponents
+    primary: thread PrimaryFilter in modes (nominal);
+    backup: thread BackupFilter in modes (degraded);
+    logger: thread Logger;
+    watchdog: thread Watchdog;
+    cpu: processor CPU;
+  modes
+    nominal: initial mode;
+    degraded: mode;
+    m1: nominal -[watchdog.fail]-> degraded;
+  properties
+    Actual_Processor_Binding => reference(cpu) applies to primary;
+    Actual_Processor_Binding => reference(cpu) applies to backup;
+    Actual_Processor_Binding => reference(cpu) applies to logger;
+    Actual_Processor_Binding => reference(cpu) applies to watchdog;
+end FlightData.impl;
+"""
+
+
+def main() -> None:
+    model = parse_model(MODEL)
+    result = analyze_all_modes(model, "FlightData.impl")
+    print(result.format())
+    print()
+    print(
+        "nominal mode:  primary (2/8) + logger (5/16) + watchdog (1/16) "
+        "= U 0.625\n"
+        "degraded mode: backup (6/8) + logger (5/16) + watchdog (1/16) "
+        "= U 1.125\n"
+        "The degraded configuration is infeasible; the per-mode analysis\n"
+        "pins the miss on the logger starved by the backup filter."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: build a two-thread AADL system and analyze schedulability.
+
+Builds a single-processor rate-monotonic system programmatically, runs the
+full paper pipeline (translate to ACSR, explore the prioritized state
+space, raise any deadlock back to AADL terms), and prints the verdict --
+then repeats with an overloaded variant to show a failing scenario with
+its timeline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.aadl.builder import SystemBuilder
+from repro.aadl.properties import DispatchProtocol, SchedulingProtocol, ms
+from repro.analysis import analyze_model
+
+
+def build_system(fast_wcet: int, slow_wcet: int):
+    """One processor, two periodic threads, RM scheduling."""
+    builder = SystemBuilder("Quickstart")
+    cpu = builder.processor(
+        "cpu", scheduling=SchedulingProtocol.RATE_MONOTONIC
+    )
+    builder.thread(
+        "fast",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(4),
+        compute_time=(ms(fast_wcet), ms(fast_wcet)),
+        deadline=ms(4),
+        processor=cpu,
+    )
+    builder.thread(
+        "slow",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(8),
+        compute_time=(ms(slow_wcet), ms(slow_wcet)),
+        deadline=ms(8),
+        processor=cpu,
+    )
+    return builder.instantiate()
+
+
+def main() -> None:
+    print("=== schedulable system (U = 1/4 + 2/8 = 0.5) ===")
+    result = analyze_model(build_system(fast_wcet=1, slow_wcet=2))
+    print(result.format())
+
+    print()
+    print("=== overloaded system (U = 3/4 + 3/8 = 1.125) ===")
+    result = analyze_model(build_system(fast_wcet=3, slow_wcet=3))
+    print(result.format())
+    print()
+    print(
+        "The timeline shows the fast thread (priority 2 under RM) "
+        "monopolizing the cpu;\nthe slow thread accumulates only "
+        "preempted quanta and its dispatcher blocks at\nits deadline -- "
+        "the deadlock VERSA-style exploration detects."
+    )
+
+
+if __name__ == "__main__":
+    main()

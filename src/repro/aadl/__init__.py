@@ -1,0 +1,97 @@
+"""AADL substrate: object model, textual parser, instantiation.
+
+This package implements the slice of AADL (SAE AS5506, Nov 2004) that the
+paper's translation consumes:
+
+* component categories: system, process, thread, processor, bus, memory,
+  device, data;
+* features: data / event / event-data ports, data and bus access;
+* syntactic connections plus resolution into *semantic* connections
+  (ultimate source -> ultimate destination through the component
+  hierarchy, paper S2);
+* modes and mode transitions (modeled; translation handles the
+  single-mode case, as the paper's presentation does);
+* the standard properties the translation requires (paper S4.1):
+  ``Dispatch_Protocol``, ``Period``, ``Compute_Execution_Time``,
+  ``Compute_Deadline``/``Deadline``, ``Scheduling_Protocol``,
+  ``Priority``, ``Queue_Size``, ``Overflow_Handling_Protocol``,
+  ``Urgency``, ``Actual_Processor_Binding``, ``Actual_Connection_Binding``;
+* instantiation of a declarative model into a component-instance tree with
+  resolved bindings, plus the legality checks of S4.1.
+
+Models can be built three ways: parsing textual AADL
+(:func:`parse_model`), the fluent :class:`~repro.aadl.builder.SystemBuilder`,
+or directly through the object model.
+"""
+
+from repro.aadl.properties import (
+    DispatchProtocol,
+    OverflowHandlingProtocol,
+    PropertyAssociation,
+    SchedulingProtocol,
+    TimeRange,
+    TimeValue,
+    ms,
+    us,
+)
+from repro.aadl.features import (
+    AccessFeature,
+    Feature,
+    Port,
+    PortDirection,
+    PortKind,
+)
+from repro.aadl.components import (
+    ComponentCategory,
+    ComponentImplementation,
+    ComponentType,
+    DeclarativeModel,
+    Subcomponent,
+)
+from repro.aadl.connections import Connection, ConnectionRef
+from repro.aadl.modes import Mode, ModeTransition
+from repro.aadl.instance import (
+    ComponentInstance,
+    ConnectionInstance,
+    FeatureInstance,
+    SystemInstance,
+    instantiate,
+)
+from repro.aadl.validation import check_translation_assumptions
+from repro.aadl.parser import parse_model
+from repro.aadl.printer import format_model
+from repro.aadl.builder import SystemBuilder
+
+__all__ = [
+    "AccessFeature",
+    "ComponentCategory",
+    "ComponentImplementation",
+    "ComponentInstance",
+    "ComponentType",
+    "Connection",
+    "ConnectionInstance",
+    "ConnectionRef",
+    "DeclarativeModel",
+    "DispatchProtocol",
+    "Feature",
+    "FeatureInstance",
+    "Mode",
+    "ModeTransition",
+    "OverflowHandlingProtocol",
+    "Port",
+    "PortDirection",
+    "PortKind",
+    "PropertyAssociation",
+    "SchedulingProtocol",
+    "Subcomponent",
+    "SystemBuilder",
+    "SystemInstance",
+    "TimeRange",
+    "TimeValue",
+    "check_translation_assumptions",
+    "format_model",
+    "instantiate",
+    "ms",
+    "parse_model",
+    "us",
+]

@@ -1,0 +1,316 @@
+"""Fluent programmatic construction of bound AADL systems.
+
+The :class:`SystemBuilder` covers the common flat shape -- threads,
+processors and buses directly under one system, sibling connections,
+bindings -- without writing textual AADL::
+
+    b = SystemBuilder("Example")
+    cpu = b.processor("cpu", scheduling=SchedulingProtocol.RATE_MONOTONIC)
+    t1 = b.thread("sensor", dispatch=DispatchProtocol.PERIODIC,
+                  period=ms(20), compute_time=(ms(2), ms(4)),
+                  deadline=ms(20), processor=cpu)
+    t1.out_data_port("speed")
+    t2 = b.thread("ctrl", ...); t2.in_data_port("speed")
+    b.connect(t1, "speed", t2, "speed")
+    instance = b.instantiate()
+
+Hierarchical models (like the paper's Figure 1) are better written in
+textual AADL -- see :mod:`repro.aadl.gallery`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import AadlError
+from repro.aadl.components import (
+    ComponentCategory,
+    ComponentImplementation,
+    ComponentType,
+    DeclarativeModel,
+    Subcomponent,
+)
+from repro.aadl.connections import Connection, ConnectionRef
+from repro.aadl.features import Port, PortDirection, PortKind
+from repro.aadl.instance import SystemInstance, instantiate
+from repro.aadl.properties import (
+    ACTUAL_CONNECTION_BINDING,
+    ACTUAL_PROCESSOR_BINDING,
+    COMPUTE_DEADLINE,
+    COMPUTE_EXECUTION_TIME,
+    DISPATCH_OFFSET,
+    DISPATCH_PROTOCOL,
+    OVERFLOW_HANDLING_PROTOCOL,
+    PERIOD,
+    PRIORITY,
+    QUEUE_SIZE,
+    SCHEDULING_PROTOCOL,
+    URGENCY,
+    DispatchProtocol,
+    OverflowHandlingProtocol,
+    ReferenceValue,
+    SchedulingProtocol,
+    TimeRange,
+    TimeValue,
+)
+from repro.aadl.validation import check_translation_assumptions
+
+TimeLike = Union[TimeValue, int]
+
+
+def _as_time(value: TimeLike, what: str) -> TimeValue:
+    if isinstance(value, TimeValue):
+        return value
+    if isinstance(value, int) and not isinstance(value, bool):
+        return TimeValue(value, "ms")
+    raise AadlError(f"{what} must be a TimeValue or int (ms), got {value!r}")
+
+
+class ProcessorHandle:
+    """Builder-side handle for a processor subcomponent."""
+
+    def __init__(self, builder: "SystemBuilder", name: str) -> None:
+        self.builder = builder
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"ProcessorHandle({self.name!r})"
+
+
+class BusHandle:
+    """Builder-side handle for a bus subcomponent."""
+
+    def __init__(self, builder: "SystemBuilder", name: str) -> None:
+        self.builder = builder
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"BusHandle({self.name!r})"
+
+
+class ThreadHandle:
+    """Builder-side handle for a thread: add ports, then connect."""
+
+    def __init__(
+        self, builder: "SystemBuilder", name: str, ctype: ComponentType
+    ) -> None:
+        self.builder = builder
+        self.name = name
+        self.ctype = ctype
+
+    def _port(
+        self,
+        name: str,
+        direction: PortDirection,
+        kind: PortKind,
+        queue_size: Optional[int] = None,
+        overflow: Optional[OverflowHandlingProtocol] = None,
+    ) -> "ThreadHandle":
+        port = Port(name, direction, kind)
+        if queue_size is not None:
+            port.add_property(QUEUE_SIZE, queue_size)
+        if overflow is not None:
+            port.add_property(OVERFLOW_HANDLING_PROTOCOL, overflow)
+        self.ctype.add_feature(port)
+        return self
+
+    def out_data_port(self, name: str) -> "ThreadHandle":
+        return self._port(name, PortDirection.OUT, PortKind.DATA)
+
+    def in_data_port(self, name: str) -> "ThreadHandle":
+        return self._port(name, PortDirection.IN, PortKind.DATA)
+
+    def out_event_port(self, name: str) -> "ThreadHandle":
+        return self._port(name, PortDirection.OUT, PortKind.EVENT)
+
+    def in_event_port(
+        self,
+        name: str,
+        *,
+        queue_size: Optional[int] = None,
+        overflow: Optional[OverflowHandlingProtocol] = None,
+    ) -> "ThreadHandle":
+        return self._port(
+            name, PortDirection.IN, PortKind.EVENT, queue_size, overflow
+        )
+
+    def out_event_data_port(self, name: str) -> "ThreadHandle":
+        return self._port(name, PortDirection.OUT, PortKind.EVENT_DATA)
+
+    def in_event_data_port(
+        self,
+        name: str,
+        *,
+        queue_size: Optional[int] = None,
+        overflow: Optional[OverflowHandlingProtocol] = None,
+    ) -> "ThreadHandle":
+        return self._port(
+            name, PortDirection.IN, PortKind.EVENT_DATA, queue_size, overflow
+        )
+
+    def requires_data_access(
+        self, name: str, classifier: Optional[str] = None
+    ) -> "ThreadHandle":
+        """Shared-data access: threads naming the same ``classifier``
+        contend for one resource (Figure 5's R set)."""
+        from repro.aadl.features import (
+            AccessCategory,
+            AccessFeature,
+            AccessKind,
+        )
+
+        self.ctype.add_feature(
+            AccessFeature(
+                name, AccessKind.REQUIRES, AccessCategory.DATA, classifier
+            )
+        )
+        return self
+
+    def __repr__(self) -> str:
+        return f"ThreadHandle({self.name!r})"
+
+
+class SystemBuilder:
+    """Accumulates a flat bound system and instantiates it."""
+
+    def __init__(self, name: str = "Example") -> None:
+        self.name = name
+        self.model = DeclarativeModel()
+        self._system_type = ComponentType(name, ComponentCategory.SYSTEM)
+        self.model.add_type(self._system_type)
+        self._impl = ComponentImplementation(f"{name}.impl")
+        self._threads: Dict[str, ThreadHandle] = {}
+        self._processors: Dict[str, ProcessorHandle] = {}
+        self._buses: Dict[str, BusHandle] = {}
+        self._conn_count = 0
+        self._impl_registered = False
+
+    # -- components -------------------------------------------------------
+
+    def processor(
+        self,
+        name: str,
+        *,
+        scheduling: Union[SchedulingProtocol, str] = (
+            SchedulingProtocol.RATE_MONOTONIC
+        ),
+    ) -> ProcessorHandle:
+        """Add a processor with the given scheduling protocol."""
+        if isinstance(scheduling, str):
+            scheduling = SchedulingProtocol.parse(scheduling)
+        ctype = ComponentType(f"{name}_cpu", ComponentCategory.PROCESSOR)
+        ctype.add_property(SCHEDULING_PROTOCOL, scheduling)
+        self.model.add_type(ctype)
+        self._impl.add_subcomponent(
+            Subcomponent(name, ComponentCategory.PROCESSOR, ctype.name)
+        )
+        handle = ProcessorHandle(self, name)
+        self._processors[name] = handle
+        return handle
+
+    def bus(self, name: str) -> BusHandle:
+        """Add a bus component."""
+        ctype = ComponentType(f"{name}_bus", ComponentCategory.BUS)
+        self.model.add_type(ctype)
+        self._impl.add_subcomponent(
+            Subcomponent(name, ComponentCategory.BUS, ctype.name)
+        )
+        handle = BusHandle(self, name)
+        self._buses[name] = handle
+        return handle
+
+    def thread(
+        self,
+        name: str,
+        *,
+        dispatch: Union[DispatchProtocol, str],
+        compute_time: Union[Tuple[TimeLike, TimeLike], TimeLike],
+        deadline: TimeLike,
+        period: Optional[TimeLike] = None,
+        processor: Optional[ProcessorHandle] = None,
+        priority: Optional[int] = None,
+        offset: Optional[TimeLike] = None,
+    ) -> ThreadHandle:
+        """Add a thread with its timing properties and binding."""
+        if isinstance(dispatch, str):
+            dispatch = DispatchProtocol.parse(dispatch)
+        ctype = ComponentType(f"{name}_thr", ComponentCategory.THREAD)
+        ctype.add_property(DISPATCH_PROTOCOL, dispatch)
+        if isinstance(compute_time, tuple):
+            low, high = compute_time
+            ctype.add_property(
+                COMPUTE_EXECUTION_TIME,
+                TimeRange(
+                    _as_time(low, "compute_time low"),
+                    _as_time(high, "compute_time high"),
+                ),
+            )
+        else:
+            time = _as_time(compute_time, "compute_time")
+            ctype.add_property(COMPUTE_EXECUTION_TIME, TimeRange(time, time))
+        ctype.add_property(COMPUTE_DEADLINE, _as_time(deadline, "deadline"))
+        if period is not None:
+            ctype.add_property(PERIOD, _as_time(period, "period"))
+        if offset is not None:
+            ctype.add_property(DISPATCH_OFFSET, _as_time(offset, "offset"))
+        if priority is not None:
+            ctype.add_property(PRIORITY, priority)
+        self.model.add_type(ctype)
+        self._impl.add_subcomponent(
+            Subcomponent(name, ComponentCategory.THREAD, ctype.name)
+        )
+        if processor is not None:
+            self._impl.add_property(
+                ACTUAL_PROCESSOR_BINDING,
+                ReferenceValue((processor.name,)),
+                applies_to=(name,),
+            )
+        handle = ThreadHandle(self, name, ctype)
+        self._threads[name] = handle
+        return handle
+
+    # -- connections --------------------------------------------------------
+
+    def connect(
+        self,
+        source: ThreadHandle,
+        source_port: str,
+        destination: ThreadHandle,
+        destination_port: str,
+        *,
+        bus: Optional[BusHandle] = None,
+        urgency: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> Connection:
+        """Connect two sibling thread ports, optionally bound to a bus."""
+        self._conn_count += 1
+        conn = Connection(
+            name or f"conn{self._conn_count}",
+            ConnectionRef(source_port, source.name),
+            ConnectionRef(destination_port, destination.name),
+        )
+        if bus is not None:
+            conn.add_property(
+                ACTUAL_CONNECTION_BINDING, ReferenceValue((bus.name,))
+            )
+        if urgency is not None:
+            conn.add_property(URGENCY, urgency)
+        self._impl.add_connection(conn)
+        return conn
+
+    # -- output ---------------------------------------------------------------
+
+    def declarative(self) -> DeclarativeModel:
+        """The underlying declarative model (registers the root impl)."""
+        if not self._impl_registered:
+            self.model.add_implementation(self._impl)
+            self._impl_registered = True
+        return self.model
+
+    def instantiate(self, *, validate: bool = True) -> SystemInstance:
+        """Instantiate the system; by default also run the S4.1 checks."""
+        model = self.declarative()
+        instance = instantiate(model, f"{self.name}.impl")
+        if validate:
+            check_translation_assumptions(instance)
+        return instance

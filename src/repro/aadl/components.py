@@ -1,0 +1,269 @@
+"""Component types, implementations and the declarative model (paper S2).
+
+AADL separates a component's externally visible *type* (category, features,
+properties) from its *implementation* (subcomponents, connections, modes).
+A :class:`DeclarativeModel` is a flat namespace of both -- the stand-in for
+an OSATE workspace -- from which :func:`repro.aadl.instance.instantiate`
+builds a component-instance tree.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import AadlError, AadlNameError
+from repro.aadl.features import Feature
+from repro.aadl.properties import PropertyHolder
+
+
+class ComponentCategory(enum.Enum):
+    """The component categories of the AADL core language that the paper's
+    translation touches."""
+
+    SYSTEM = "system"
+    PROCESS = "process"
+    THREAD = "thread"
+    THREAD_GROUP = "thread group"
+    PROCESSOR = "processor"
+    BUS = "bus"
+    MEMORY = "memory"
+    DEVICE = "device"
+    DATA = "data"
+
+    @classmethod
+    def parse(cls, text: str) -> "ComponentCategory":
+        for member in cls:
+            if member.value == text.lower():
+                return member
+        raise AadlError(f"unknown component category {text!r}")
+
+    @property
+    def is_execution_platform(self) -> bool:
+        return self in (
+            ComponentCategory.PROCESSOR,
+            ComponentCategory.BUS,
+            ComponentCategory.MEMORY,
+            ComponentCategory.DEVICE,
+        )
+
+    @property
+    def is_application(self) -> bool:
+        return self in (
+            ComponentCategory.SYSTEM,
+            ComponentCategory.PROCESS,
+            ComponentCategory.THREAD,
+            ComponentCategory.THREAD_GROUP,
+            ComponentCategory.DATA,
+        )
+
+    @property
+    def can_be_ultimate_endpoint(self) -> bool:
+        """Ultimate sources/destinations of semantic connections are thread
+        or device components (paper S2)."""
+        return self in (ComponentCategory.THREAD, ComponentCategory.DEVICE)
+
+
+class ComponentType(PropertyHolder):
+    """A component type: category, features and type-level properties."""
+
+    def __init__(self, name: str, category: ComponentCategory) -> None:
+        super().__init__()
+        if not isinstance(name, str) or not name:
+            raise AadlError(f"invalid component type name {name!r}")
+        if "." in name:
+            raise AadlError(
+                f"component type name may not contain '.': {name!r}"
+            )
+        if not isinstance(category, ComponentCategory):
+            raise AadlError(f"invalid category {category!r}")
+        self.name = name
+        self.category = category
+        self.features: Dict[str, Feature] = {}
+
+    def add_feature(self, feature: Feature) -> Feature:
+        key = feature.name.lower()
+        if key in self.features:
+            raise AadlNameError(
+                f"duplicate feature {feature.name!r} in type {self.name}"
+            )
+        self.features[key] = feature
+        return feature
+
+    def feature(self, name: str) -> Feature:
+        try:
+            return self.features[name.lower()]
+        except KeyError:
+            raise AadlNameError(
+                f"type {self.name} has no feature {name!r}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return f"ComponentType({self.name!r}, {self.category.value})"
+
+
+class Subcomponent(PropertyHolder):
+    """A subcomponent declaration inside an implementation."""
+
+    def __init__(
+        self,
+        name: str,
+        category: ComponentCategory,
+        classifier: str,
+        in_modes: Sequence[str] = (),
+    ) -> None:
+        super().__init__()
+        if not isinstance(name, str) or not name:
+            raise AadlError(f"invalid subcomponent name {name!r}")
+        self.name = name
+        self.category = category
+        self.classifier = classifier
+        self.in_modes = tuple(in_modes)
+
+    def __repr__(self) -> str:
+        return (
+            f"Subcomponent({self.name!r}, {self.category.value}, "
+            f"{self.classifier!r})"
+        )
+
+
+class ComponentImplementation(PropertyHolder):
+    """A component implementation: ``TypeName.implName`` with
+    subcomponents, connections and modes."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        if not isinstance(name, str) or name.count(".") != 1:
+            raise AadlError(
+                f"implementation name must be 'Type.impl', got {name!r}"
+            )
+        self.name = name
+        self.type_name, self.impl_name = name.split(".")
+        self.subcomponents: Dict[str, Subcomponent] = {}
+        # Connections and modes are stored in declaration order.
+        from repro.aadl.connections import Connection
+        from repro.aadl.modes import Mode, ModeTransition
+
+        self.connections: List[Connection] = []
+        self.modes: Dict[str, Mode] = {}
+        self.mode_transitions: List[ModeTransition] = []
+
+    def add_subcomponent(self, sub: Subcomponent) -> Subcomponent:
+        key = sub.name.lower()
+        if key in self.subcomponents:
+            raise AadlNameError(
+                f"duplicate subcomponent {sub.name!r} in {self.name}"
+            )
+        self.subcomponents[key] = sub
+        return sub
+
+    def subcomponent(self, name: str) -> Subcomponent:
+        try:
+            return self.subcomponents[name.lower()]
+        except KeyError:
+            raise AadlNameError(
+                f"implementation {self.name} has no subcomponent {name!r}"
+            ) from None
+
+    def add_connection(self, connection) -> None:
+        if any(c.name == connection.name for c in self.connections):
+            raise AadlNameError(
+                f"duplicate connection {connection.name!r} in {self.name}"
+            )
+        self.connections.append(connection)
+
+    def add_mode(self, mode) -> None:
+        key = mode.name.lower()
+        if key in self.modes:
+            raise AadlNameError(
+                f"duplicate mode {mode.name!r} in {self.name}"
+            )
+        self.modes[key] = mode
+
+    def initial_mode(self):
+        initials = [m for m in self.modes.values() if m.initial]
+        if not self.modes:
+            return None
+        if len(initials) != 1:
+            raise AadlError(
+                f"{self.name} must declare exactly one initial mode, "
+                f"found {len(initials)}"
+            )
+        return initials[0]
+
+    def __repr__(self) -> str:
+        return f"ComponentImplementation({self.name!r})"
+
+
+class DeclarativeModel:
+    """A flat namespace of component types and implementations.
+
+    Names are case-insensitive, as in AADL.  The declarative model plays
+    the role of the OSATE workspace: it owns declarations and resolves
+    classifier references.
+    """
+
+    def __init__(self) -> None:
+        self._types: Dict[str, ComponentType] = {}
+        self._impls: Dict[str, ComponentImplementation] = {}
+
+    def add_type(self, ctype: ComponentType) -> ComponentType:
+        key = ctype.name.lower()
+        if key in self._types:
+            raise AadlNameError(f"duplicate component type {ctype.name!r}")
+        self._types[key] = ctype
+        return ctype
+
+    def add_implementation(
+        self, impl: ComponentImplementation
+    ) -> ComponentImplementation:
+        key = impl.name.lower()
+        if key in self._impls:
+            raise AadlNameError(f"duplicate implementation {impl.name!r}")
+        if impl.type_name.lower() not in self._types:
+            raise AadlNameError(
+                f"implementation {impl.name!r} refers to unknown type "
+                f"{impl.type_name!r}"
+            )
+        self._impls[key] = impl
+        return impl
+
+    def type(self, name: str) -> ComponentType:
+        try:
+            return self._types[name.lower()]
+        except KeyError:
+            raise AadlNameError(f"unknown component type {name!r}") from None
+
+    def implementation(self, name: str) -> ComponentImplementation:
+        try:
+            return self._impls[name.lower()]
+        except KeyError:
+            raise AadlNameError(f"unknown implementation {name!r}") from None
+
+    def has_type(self, name: str) -> bool:
+        return name.lower() in self._types
+
+    def has_implementation(self, name: str) -> bool:
+        return name.lower() in self._impls
+
+    def types(self) -> List[ComponentType]:
+        return list(self._types.values())
+
+    def implementations(self) -> List[ComponentImplementation]:
+        return list(self._impls.values())
+
+    def resolve(self, classifier: str):
+        """Resolve a classifier reference to ``(type, impl-or-None)``."""
+        if "." in classifier:
+            impl = self.implementation(classifier)
+            return self.type(impl.type_name), impl
+        return self.type(classifier), None
+
+    def type_of_impl(self, impl: ComponentImplementation) -> ComponentType:
+        return self.type(impl.type_name)
+
+    def __repr__(self) -> str:
+        return (
+            f"DeclarativeModel(types={len(self._types)}, "
+            f"implementations={len(self._impls)})"
+        )

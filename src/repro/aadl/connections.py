@@ -1,0 +1,100 @@
+"""Syntactic connections between features (paper S2, "Connections").
+
+A syntactic connection links two feature references inside one component
+implementation.  Each endpoint is a :class:`ConnectionRef`:
+
+* ``("port",)`` -- a feature of the enclosing component itself;
+* ``("sub", "port")`` -- a feature of a direct subcomponent.
+
+Semantic connections -- ultimate source to ultimate destination through
+the hierarchy -- are resolved during instantiation
+(:mod:`repro.aadl.instance`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import AadlError
+from repro.aadl.properties import PropertyHolder
+
+
+class ConnectionRef:
+    """A reference to a feature, relative to the enclosing implementation."""
+
+    __slots__ = ("subcomponent", "feature")
+
+    def __init__(self, feature: str, subcomponent: Optional[str] = None) -> None:
+        if not isinstance(feature, str) or not feature:
+            raise AadlError(f"invalid feature reference {feature!r}")
+        if subcomponent is not None and (
+            not isinstance(subcomponent, str) or not subcomponent
+        ):
+            raise AadlError(f"invalid subcomponent reference {subcomponent!r}")
+        self.subcomponent = subcomponent
+        self.feature = feature
+
+    @classmethod
+    def parse(cls, text: str) -> "ConnectionRef":
+        """Parse ``sub.port`` or ``port``."""
+        parts = text.split(".")
+        if len(parts) == 1:
+            return cls(parts[0])
+        if len(parts) == 2:
+            return cls(parts[1], parts[0])
+        raise AadlError(f"connection endpoint too deep: {text!r}")
+
+    @property
+    def is_self(self) -> bool:
+        """True when the endpoint is a feature of the enclosing component."""
+        return self.subcomponent is None
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConnectionRef)
+            and self.subcomponent == other.subcomponent
+            and self.feature == other.feature
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.subcomponent, self.feature))
+
+    def __repr__(self) -> str:
+        return f"ConnectionRef({str(self)!r})"
+
+    def __str__(self) -> str:
+        if self.subcomponent is None:
+            return self.feature
+        return f"{self.subcomponent}.{self.feature}"
+
+
+class ConnectionKind(enum.Enum):
+    PORT = "port"
+    ACCESS = "access"
+
+
+class Connection(PropertyHolder):
+    """A named syntactic connection inside one implementation."""
+
+    def __init__(
+        self,
+        name: str,
+        source: ConnectionRef,
+        destination: ConnectionRef,
+        kind: ConnectionKind = ConnectionKind.PORT,
+        in_modes: Sequence[str] = (),
+    ) -> None:
+        super().__init__()
+        if not isinstance(name, str) or not name:
+            raise AadlError(f"invalid connection name {name!r}")
+        self.name = name
+        self.source = source
+        self.destination = destination
+        self.kind = kind
+        self.in_modes = tuple(in_modes)
+
+    def __repr__(self) -> str:
+        return (
+            f"Connection({self.name!r}, {self.source} -> {self.destination})"
+        )

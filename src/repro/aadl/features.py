@@ -1,0 +1,119 @@
+"""Component features: ports and access features (paper S2).
+
+Features are the externally visible interaction points of a component
+type.  The translation cares about:
+
+* **data ports** -- unqueued state variables; a data connection delivers a
+  value, never dispatches;
+* **event ports** -- queued signals; an event connection can dispatch a
+  sporadic/aperiodic thread;
+* **event data ports** -- queued messages, dispatching like event ports;
+* **access features** -- required/provided access to shared data or buses.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import AadlError
+from repro.aadl.properties import PropertyHolder
+
+
+class PortDirection(enum.Enum):
+    IN = "in"
+    OUT = "out"
+    IN_OUT = "in out"
+
+    @property
+    def accepts_incoming(self) -> bool:
+        return self in (PortDirection.IN, PortDirection.IN_OUT)
+
+    @property
+    def produces_outgoing(self) -> bool:
+        return self in (PortDirection.OUT, PortDirection.IN_OUT)
+
+
+class PortKind(enum.Enum):
+    DATA = "data"
+    EVENT = "event"
+    EVENT_DATA = "event data"
+
+    @property
+    def is_queued(self) -> bool:
+        """Event and event-data ports queue arrivals; data ports do not."""
+        return self is not PortKind.DATA
+
+    @property
+    def can_dispatch(self) -> bool:
+        """Arrival on this kind of port can dispatch a non-periodic thread."""
+        return self.is_queued
+
+
+class Feature(PropertyHolder):
+    """Base class of component features."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        if not isinstance(name, str) or not name:
+            raise AadlError(f"invalid feature name {name!r}")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Port(Feature):
+    """A data, event, or event-data port."""
+
+    def __init__(
+        self, name: str, direction: PortDirection, kind: PortKind
+    ) -> None:
+        super().__init__(name)
+        if not isinstance(direction, PortDirection):
+            raise AadlError(f"invalid port direction {direction!r}")
+        if not isinstance(kind, PortKind):
+            raise AadlError(f"invalid port kind {kind!r}")
+        self.direction = direction
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return (
+            f"Port({self.name!r}, {self.direction.value}, {self.kind.value})"
+        )
+
+
+class AccessKind(enum.Enum):
+    REQUIRES = "requires"
+    PROVIDES = "provides"
+
+
+class AccessCategory(enum.Enum):
+    DATA = "data"
+    BUS = "bus"
+
+
+class AccessFeature(Feature):
+    """Required or provided access to a shared data component or a bus."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: AccessKind,
+        category: AccessCategory,
+        classifier: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        if not isinstance(kind, AccessKind):
+            raise AadlError(f"invalid access kind {kind!r}")
+        if not isinstance(category, AccessCategory):
+            raise AadlError(f"invalid access category {category!r}")
+        self.kind = kind
+        self.category = category
+        self.classifier = classifier
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessFeature({self.name!r}, {self.kind.value}, "
+            f"{self.category.value})"
+        )

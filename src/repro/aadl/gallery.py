@@ -1,0 +1,381 @@
+"""Canned AADL models, including the paper's Figure 1 cruise control.
+
+The cruise-control system is written in textual AADL (exercising the
+parser and hierarchical semantic-connection resolution); the smaller
+models use :class:`~repro.aadl.builder.SystemBuilder`.
+
+The paper gives the cruise-control architecture but not its timing
+properties; the numbers below are chosen to be schedulable under RMS with
+a comfortable margin (utilization 0.7 and 0.6 on the two processors) and
+to quantize exactly with a 10 ms quantum.  ``cruise_control_overloaded``
+inflates Cruise1's execution time so the CCL processor misses deadlines.
+"""
+
+from __future__ import annotations
+
+from repro.aadl.builder import SystemBuilder
+from repro.aadl.instance import SystemInstance, instantiate
+from repro.aadl.parser import parse_model
+from repro.aadl.properties import (
+    DispatchProtocol,
+    OverflowHandlingProtocol,
+    SchedulingProtocol,
+    ms,
+)
+
+# Figure 1: two processors joined by a bus; the HCI subsystem (four
+# threads) is bound to one, CruiseControlLaws (two threads) to the other.
+# Data connections only -- per S4.1 the translation yields 6 thread
+# processes + 6 dispatchers and no queue processes.  DriverModeLogic and
+# RefSpeed have outgoing data connections mapped to the bus (S4.2).
+_CRUISE_CONTROL_TEMPLATE = """
+processor CPU
+  properties
+    Scheduling_Protocol => RMS;
+end CPU;
+
+bus Network
+end Network;
+
+thread ButtonPanel
+  features
+    buttons: out data port;
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 50 ms;
+    Compute_Execution_Time => 10 ms .. 10 ms;
+    Compute_Deadline => 50 ms;
+end ButtonPanel;
+
+thread DriverModeLogic
+  features
+    buttons: in data port;
+    mode: out data port;
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 50 ms;
+    Compute_Execution_Time => 10 ms .. 10 ms;
+    Compute_Deadline => 50 ms;
+end DriverModeLogic;
+
+thread RefSpeed
+  features
+    speed: out data port;
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 50 ms;
+    Compute_Execution_Time => 10 ms .. 10 ms;
+    Compute_Deadline => 50 ms;
+end RefSpeed;
+
+thread InstrumentPanel
+  features
+    display: in data port;
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 100 ms;
+    Compute_Execution_Time => 10 ms .. 10 ms;
+    Compute_Deadline => 100 ms;
+end InstrumentPanel;
+
+thread Cruise1
+  features
+    mode: in data port;
+    speed: in data port;
+    law: out data port;
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 50 ms;
+    Compute_Execution_Time => @C1@ ms .. @C1@ ms;
+    Compute_Deadline => 50 ms;
+end Cruise1;
+
+thread Cruise2
+  features
+    law: in data port;
+    display: out data port;
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 100 ms;
+    Compute_Execution_Time => @C2@ ms .. @C2@ ms;
+    Compute_Deadline => 100 ms;
+end Cruise2;
+
+system HCI
+  features
+    mode_out: out data port;
+    speed_out: out data port;
+    display_in: in data port;
+end HCI;
+
+system implementation HCI.impl
+  subcomponents
+    buttonpanel: thread ButtonPanel;
+    drivermodelogic: thread DriverModeLogic;
+    refspeed: thread RefSpeed;
+    instrumentpanel: thread InstrumentPanel;
+  connections
+    hc1: port buttonpanel.buttons -> drivermodelogic.buttons;
+    hc2: port drivermodelogic.mode -> mode_out;
+    hc3: port refspeed.speed -> speed_out;
+    hc4: port display_in -> instrumentpanel.display;
+end HCI.impl;
+
+system CruiseControlLaws
+  features
+    mode_in: in data port;
+    speed_in: in data port;
+    display_out: out data port;
+end CruiseControlLaws;
+
+system implementation CruiseControlLaws.impl
+  subcomponents
+    cruise1: thread Cruise1;
+    cruise2: thread Cruise2;
+  connections
+    cc1: port mode_in -> cruise1.mode;
+    cc2: port speed_in -> cruise1.speed;
+    cc3: port cruise1.law -> cruise2.law;
+    cc4: port cruise2.display -> display_out;
+end CruiseControlLaws.impl;
+
+system CruiseControl
+end CruiseControl;
+
+system implementation CruiseControl.impl
+  subcomponents
+    hci: system HCI.impl;
+    ccl: system CruiseControlLaws.impl;
+    hci_processor: processor CPU;
+    ccl_processor: processor CPU;
+    net: bus Network;
+  connections
+    sc1: port hci.mode_out -> ccl.mode_in
+         { Actual_Connection_Binding => reference(net); };
+    sc2: port hci.speed_out -> ccl.speed_in
+         { Actual_Connection_Binding => reference(net); };
+    sc3: port ccl.display_out -> hci.display_in;
+  properties
+    Actual_Processor_Binding => reference(hci_processor)
+        applies to hci.buttonpanel;
+    Actual_Processor_Binding => reference(hci_processor)
+        applies to hci.drivermodelogic;
+    Actual_Processor_Binding => reference(hci_processor)
+        applies to hci.refspeed;
+    Actual_Processor_Binding => reference(hci_processor)
+        applies to hci.instrumentpanel;
+    Actual_Processor_Binding => reference(ccl_processor)
+        applies to ccl.cruise1;
+    Actual_Processor_Binding => reference(ccl_processor)
+        applies to ccl.cruise2;
+end CruiseControl.impl;
+"""
+
+
+def cruise_control_text(*, overloaded: bool = False) -> str:
+    """Textual AADL for the Figure 1 cruise-control system."""
+    if overloaded:
+        # Cruise1 alone saturates the CCL processor: U = 40/50 + 30/100.
+        c1, c2 = 40, 30
+    else:
+        c1, c2 = 20, 20
+    return _CRUISE_CONTROL_TEMPLATE.replace("@C1@", str(c1)).replace(
+        "@C2@", str(c2)
+    )
+
+
+def cruise_control(*, overloaded: bool = False) -> SystemInstance:
+    """Instantiated Figure 1 model (schedulable unless ``overloaded``)."""
+    model = parse_model(cruise_control_text(overloaded=overloaded))
+    return instantiate(model, "CruiseControl.impl")
+
+
+def two_periodic_threads(
+    *,
+    schedulable: bool = True,
+    scheduling: SchedulingProtocol = SchedulingProtocol.RATE_MONOTONIC,
+) -> SystemInstance:
+    """Minimal two-thread single-processor model.
+
+    Schedulable variant: C1=1/T1=4, C2=2/T2=8 (U = 0.5).
+    Unschedulable variant: C1=3/T1=4, C2=3/T2=8 (U = 1.125).
+    Times are in ms with a natural 1 ms quantum.
+    """
+    b = SystemBuilder("TwoThreads")
+    cpu = b.processor("cpu", scheduling=scheduling)
+    if schedulable:
+        c1, c2 = 1, 2
+    else:
+        c1, c2 = 3, 3
+    b.thread(
+        "fast",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(4),
+        compute_time=(ms(c1), ms(c1)),
+        deadline=ms(4),
+        processor=cpu,
+        priority=2,
+    )
+    b.thread(
+        "slow",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(8),
+        compute_time=(ms(c2), ms(c2)),
+        deadline=ms(8),
+        processor=cpu,
+        priority=1,
+    )
+    return b.instantiate()
+
+
+def sporadic_consumer(
+    *,
+    queue_size: int = 2,
+    overflow: OverflowHandlingProtocol = OverflowHandlingProtocol.DROP_NEWEST,
+    producer_period: int = 4,
+    min_separation: int = 6,
+) -> SystemInstance:
+    """A periodic producer raising events consumed by a sporadic thread.
+
+    The producer's period being shorter than the consumer's minimum
+    separation makes the queue fill up, exercising the overflow protocols
+    of S4.4.
+    """
+    b = SystemBuilder("SporadicChain")
+    cpu = b.processor("cpu", scheduling=SchedulingProtocol.DEADLINE_MONOTONIC)
+    producer = b.thread(
+        "producer",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(producer_period),
+        compute_time=(ms(1), ms(1)),
+        deadline=ms(producer_period),
+        processor=cpu,
+    )
+    producer.out_event_port("tick")
+    consumer = b.thread(
+        "consumer",
+        dispatch=DispatchProtocol.SPORADIC,
+        period=ms(min_separation),
+        compute_time=(ms(1), ms(1)),
+        deadline=ms(min_separation),
+        processor=cpu,
+    )
+    consumer.in_event_port("trigger", queue_size=queue_size, overflow=overflow)
+    b.connect(producer, "tick", consumer, "trigger")
+    return b.instantiate()
+
+
+def aperiodic_worker(*, deadline: int = 5, period: int = 8) -> SystemInstance:
+    """A periodic driver dispatching an aperiodic worker through an event
+    connection (Figure 6b scenario)."""
+    b = SystemBuilder("AperiodicChain")
+    cpu = b.processor("cpu", scheduling=SchedulingProtocol.DEADLINE_MONOTONIC)
+    driver = b.thread(
+        "driver",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(period),
+        compute_time=(ms(1), ms(1)),
+        deadline=ms(period),
+        processor=cpu,
+    )
+    driver.out_event_port("go")
+    worker = b.thread(
+        "worker",
+        dispatch=DispatchProtocol.APERIODIC,
+        compute_time=(ms(2), ms(2)),
+        deadline=ms(deadline),
+        processor=cpu,
+    )
+    worker.in_event_port("go", queue_size=1)
+    b.connect(driver, "go", worker, "go")
+    return b.instantiate()
+
+
+def shared_bus_pair() -> SystemInstance:
+    """Two single-thread processors whose outgoing connections share one
+    bus -- cross-processor resource contention (paper S3, Figure 3
+    scenario at system scale)."""
+    b = SystemBuilder("SharedBus")
+    cpu1 = b.processor("cpu1", scheduling=SchedulingProtocol.RATE_MONOTONIC)
+    cpu2 = b.processor("cpu2", scheduling=SchedulingProtocol.RATE_MONOTONIC)
+    net = b.bus("net")
+    sender1 = b.thread(
+        "sender1",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(4),
+        compute_time=(ms(2), ms(2)),
+        deadline=ms(4),
+        processor=cpu1,
+    )
+    sender1.out_data_port("out1")
+    sender2 = b.thread(
+        "sender2",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(4),
+        compute_time=(ms(2), ms(2)),
+        deadline=ms(4),
+        processor=cpu2,
+    )
+    sender2.out_data_port("out2")
+    sink = b.thread(
+        "sink",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(8),
+        compute_time=(ms(1), ms(1)),
+        deadline=ms(8),
+        processor=cpu1,
+    )
+    sink.in_data_port("in1")
+    sink.in_data_port("in2")
+    b.connect(sender1, "out1", sink, "in1", bus=net)
+    b.connect(sender2, "out2", sink, "in2", bus=net)
+    return b.instantiate()
+
+
+def priority_inversion_trio() -> SystemInstance:
+    """The classic unbounded-priority-inversion scenario.
+
+    High (priority 3, tight deadline) and Low (priority 1) share a data
+    component; Medium (priority 2) shares nothing.  Once Low has started
+    executing it holds the shared resource for the rest of its job, so
+    when Medium preempts Low while High is waiting for the resource,
+    High's deadline expires -- unless the translation applies the
+    priority-ceiling boost
+    (``TranslationOptions(use_priority_ceiling=True)``), under which Low
+    runs at High's priority while holding the resource and finishes
+    before High's dispatch needs it.
+    """
+    b = SystemBuilder("Inversion")
+    cpu = b.processor(
+        "cpu", scheduling=SchedulingProtocol.HIGHEST_PRIORITY_FIRST
+    )
+    high = b.thread(
+        "high",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(4),
+        compute_time=(ms(1), ms(1)),
+        deadline=ms(3),
+        processor=cpu,
+        priority=3,
+    )
+    high.requires_data_access("d", classifier="SharedState")
+    b.thread(
+        "medium",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(12),
+        compute_time=(ms(4), ms(4)),
+        deadline=ms(12),
+        processor=cpu,
+        priority=2,
+    )
+    low = b.thread(
+        "low",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(12),
+        compute_time=(ms(2), ms(2)),
+        deadline=ms(12),
+        processor=cpu,
+        priority=1,
+    )
+    low.requires_data_access("d", classifier="SharedState")
+    return b.instantiate()

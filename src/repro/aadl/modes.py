@@ -1,0 +1,56 @@
+"""Modes and mode transitions (paper S2, "Modes").
+
+AADL components can be multi-modal: the set of active subcomponents and
+connections changes when a mode transition fires in response to an event.
+The paper's translation presentation omits modes ("quite involved"); we
+model them in the AADL layer -- subcomponents and connections carry
+``in_modes`` lists, and implementations carry a mode automaton -- and the
+translator restricts itself to the subcomponents/connections active in the
+initial system operation mode, rejecting models whose schedulability would
+depend on mode switching (see ``repro.aadl.validation``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import AadlError
+
+
+class Mode:
+    """A named mode of a component implementation."""
+
+    __slots__ = ("name", "initial")
+
+    def __init__(self, name: str, initial: bool = False) -> None:
+        if not isinstance(name, str) or not name:
+            raise AadlError(f"invalid mode name {name!r}")
+        self.name = name
+        self.initial = initial
+
+    def __repr__(self) -> str:
+        marker = ", initial" if self.initial else ""
+        return f"Mode({self.name!r}{marker})"
+
+
+class ModeTransition:
+    """``source -[trigger]-> target`` where the trigger is an event-port
+    reference (``sub.port`` or ``port``)."""
+
+    __slots__ = ("source", "trigger", "target")
+
+    def __init__(self, source: str, trigger: str, target: str) -> None:
+        for value, what in ((source, "source"), (target, "target")):
+            if not isinstance(value, str) or not value:
+                raise AadlError(f"invalid mode transition {what} {value!r}")
+        if not isinstance(trigger, str) or not trigger:
+            raise AadlError(f"invalid mode transition trigger {trigger!r}")
+        self.source = source
+        self.trigger = trigger
+        self.target = target
+
+    def __repr__(self) -> str:
+        return (
+            f"ModeTransition({self.source!r} -[{self.trigger}]-> "
+            f"{self.target!r})"
+        )

@@ -1,0 +1,145 @@
+"""Pretty-printer for the AADL object model (round-trips with the parser)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.aadl.components import (
+    ComponentImplementation,
+    ComponentType,
+    DeclarativeModel,
+)
+from repro.aadl.connections import ConnectionKind
+from repro.aadl.features import AccessFeature, Port, PortDirection, PortKind
+from repro.aadl.properties import (
+    DispatchProtocol,
+    OverflowHandlingProtocol,
+    PropertyAssociation,
+    ReferenceValue,
+    SchedulingProtocol,
+    TimeRange,
+    TimeValue,
+)
+
+
+def format_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, TimeValue):
+        return str(value)
+    if isinstance(value, TimeRange):
+        return str(value)
+    if isinstance(value, ReferenceValue):
+        return str(value)
+    if isinstance(
+        value, (DispatchProtocol, SchedulingProtocol, OverflowHandlingProtocol)
+    ):
+        return value.value
+    if isinstance(value, tuple):
+        return "(" + ", ".join(format_value(v) for v in value) + ")"
+    if isinstance(value, str):
+        return f'"{value}"'
+    raise TypeError(f"cannot format property value {value!r}")
+
+
+def _format_assoc(assoc: PropertyAssociation) -> str:
+    applies = (
+        " applies to " + ".".join(assoc.applies_to) if assoc.applies_to else ""
+    )
+    name = "::".join(part.capitalize() for part in assoc.name.split("::"))
+    return f"{name} => {format_value(assoc.value)}{applies};"
+
+
+def _format_property_block(holder) -> str:
+    if not holder.properties:
+        return ""
+    inner = " ".join(_format_assoc(a) for a in holder.properties)
+    return " { " + inner + " }"
+
+
+def format_type(ctype: ComponentType) -> str:
+    lines: List[str] = [f"{ctype.category.value} {ctype.name}"]
+    if ctype.features:
+        lines.append("  features")
+        for feature in ctype.features.values():
+            if isinstance(feature, Port):
+                direction = feature.direction.value
+                kind = feature.kind.value
+                block = _format_property_block(feature)
+                lines.append(
+                    f"    {feature.name}: {direction} {kind} port{block};"
+                )
+            elif isinstance(feature, AccessFeature):
+                classifier = (
+                    f" {feature.classifier}" if feature.classifier else ""
+                )
+                lines.append(
+                    f"    {feature.name}: {feature.kind.value} "
+                    f"{feature.category.value} access{classifier};"
+                )
+    if ctype.properties:
+        lines.append("  properties")
+        for assoc in ctype.properties:
+            lines.append(f"    {_format_assoc(assoc)}")
+    lines.append(f"end {ctype.name};")
+    return "\n".join(lines)
+
+
+def format_implementation(impl: ComponentImplementation, category) -> str:
+    lines: List[str] = [f"{category.value} implementation {impl.name}"]
+    if impl.subcomponents:
+        lines.append("  subcomponents")
+        for sub in impl.subcomponents.values():
+            block = _format_property_block(sub)
+            modes = (
+                " in modes (" + ", ".join(sub.in_modes) + ")"
+                if sub.in_modes
+                else ""
+            )
+            lines.append(
+                f"    {sub.name}: {sub.category.value} "
+                f"{sub.classifier}{block}{modes};"
+            )
+    if impl.connections:
+        lines.append("  connections")
+        for conn in impl.connections:
+            kind = "port" if conn.kind is ConnectionKind.PORT else "data access"
+            block = _format_property_block(conn)
+            modes = (
+                " in modes (" + ", ".join(conn.in_modes) + ")"
+                if conn.in_modes
+                else ""
+            )
+            lines.append(
+                f"    {conn.name}: {kind} {conn.source} -> "
+                f"{conn.destination}{block}{modes};"
+            )
+    if impl.modes or impl.mode_transitions:
+        lines.append("  modes")
+        for mode in impl.modes.values():
+            marker = "initial mode" if mode.initial else "mode"
+            lines.append(f"    {mode.name}: {marker};")
+        for idx, trans in enumerate(impl.mode_transitions):
+            lines.append(
+                f"    mt{idx}: {trans.source} -[{trans.trigger}]-> "
+                f"{trans.target};"
+            )
+    if impl.properties:
+        lines.append("  properties")
+        for assoc in impl.properties:
+            lines.append(f"    {_format_assoc(assoc)}")
+    lines.append(f"end {impl.name};")
+    return "\n".join(lines)
+
+
+def format_model(model: DeclarativeModel) -> str:
+    """Print a declarative model as parseable textual AADL."""
+    parts: List[str] = []
+    for ctype in model.types():
+        parts.append(format_type(ctype))
+    for impl in model.implementations():
+        category = model.type(impl.type_name).category
+        parts.append(format_implementation(impl, category))
+    return "\n\n".join(parts) + "\n"

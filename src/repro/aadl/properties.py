@@ -1,0 +1,333 @@
+"""AADL property values and the standard property names used by the paper.
+
+AADL properties describe timing, dispatching and binding characteristics of
+components.  We model the value kinds the translation needs: integers,
+time values with units, time ranges, enumerations, references to model
+elements, strings and lists.
+
+Time values keep their declared unit and convert exactly to picoseconds
+internally, so quantization (``repro.translate.quantum``) can reason about
+divisibility without floating-point error.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import AadlPropertyError
+
+# Exact factors to picoseconds.
+_UNIT_PS = {
+    "ps": 1,
+    "ns": 10**3,
+    "us": 10**6,
+    "ms": 10**9,
+    "sec": 10**12,
+    "min": 60 * 10**12,
+    "hr": 3600 * 10**12,
+}
+
+
+class TimeValue:
+    """A duration with an AADL time unit (exact integer arithmetic)."""
+
+    __slots__ = ("value", "unit")
+
+    def __init__(self, value: int, unit: str = "ms") -> None:
+        if unit not in _UNIT_PS:
+            raise AadlPropertyError(
+                f"unknown time unit {unit!r}; expected one of "
+                + ", ".join(_UNIT_PS)
+            )
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise AadlPropertyError(
+                f"time value must be a non-negative int, got {value!r}"
+            )
+        self.value = value
+        self.unit = unit
+
+    @property
+    def picoseconds(self) -> int:
+        return self.value * _UNIT_PS[self.unit]
+
+    def to_ms(self) -> float:
+        return self.picoseconds / _UNIT_PS["ms"]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TimeValue)
+            and self.picoseconds == other.picoseconds
+        )
+
+    def __lt__(self, other: "TimeValue") -> bool:
+        return self.picoseconds < other.picoseconds
+
+    def __le__(self, other: "TimeValue") -> bool:
+        return self.picoseconds <= other.picoseconds
+
+    def __hash__(self) -> int:
+        return hash(self.picoseconds)
+
+    def __repr__(self) -> str:
+        return f"TimeValue({self.value}, {self.unit!r})"
+
+    def __str__(self) -> str:
+        return f"{self.value} {self.unit}"
+
+
+def ms(value: int) -> TimeValue:
+    """Millisecond literal."""
+    return TimeValue(value, "ms")
+
+
+def us(value: int) -> TimeValue:
+    """Microsecond literal."""
+    return TimeValue(value, "us")
+
+
+class TimeRange:
+    """A ``low .. high`` range of time values (e.g. execution times)."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: TimeValue, high: TimeValue) -> None:
+        if low.picoseconds > high.picoseconds:
+            raise AadlPropertyError(
+                f"empty time range {low} .. {high}"
+            )
+        self.low = low
+        self.high = high
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TimeRange)
+            and self.low == other.low
+            and self.high == other.high
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.low, self.high))
+
+    def __repr__(self) -> str:
+        return f"TimeRange({self.low!r}, {self.high!r})"
+
+    def __str__(self) -> str:
+        return f"{self.low} .. {self.high}"
+
+
+class DispatchProtocol(enum.Enum):
+    """Thread dispatch protocols (paper S2: periodic, aperiodic, sporadic,
+    background)."""
+
+    PERIODIC = "Periodic"
+    APERIODIC = "Aperiodic"
+    SPORADIC = "Sporadic"
+    BACKGROUND = "Background"
+
+    @classmethod
+    def parse(cls, text: str) -> "DispatchProtocol":
+        for member in cls:
+            if member.value.lower() == text.lower():
+                return member
+        raise AadlPropertyError(f"unknown Dispatch_Protocol {text!r}")
+
+
+class SchedulingProtocol(enum.Enum):
+    """Processor scheduling protocols supported by the priority encodings
+    of paper S5."""
+
+    RATE_MONOTONIC = "RMS"
+    DEADLINE_MONOTONIC = "DMS"
+    EARLIEST_DEADLINE_FIRST = "EDF"
+    LEAST_LAXITY_FIRST = "LLF"
+    HIGHEST_PRIORITY_FIRST = "HPF"
+
+    @classmethod
+    def parse(cls, text: str) -> "SchedulingProtocol":
+        aliases = {
+            "rms": cls.RATE_MONOTONIC,
+            "rate_monotonic": cls.RATE_MONOTONIC,
+            "rate_monotonic_protocol": cls.RATE_MONOTONIC,
+            "dms": cls.DEADLINE_MONOTONIC,
+            "deadline_monotonic": cls.DEADLINE_MONOTONIC,
+            "deadline_monotonic_protocol": cls.DEADLINE_MONOTONIC,
+            "edf": cls.EARLIEST_DEADLINE_FIRST,
+            "earliest_deadline_first": cls.EARLIEST_DEADLINE_FIRST,
+            "llf": cls.LEAST_LAXITY_FIRST,
+            "least_laxity_first": cls.LEAST_LAXITY_FIRST,
+            "hpf": cls.HIGHEST_PRIORITY_FIRST,
+            "highest_priority_first": cls.HIGHEST_PRIORITY_FIRST,
+            "fixed_priority": cls.HIGHEST_PRIORITY_FIRST,
+        }
+        try:
+            return aliases[text.lower()]
+        except KeyError:
+            raise AadlPropertyError(
+                f"unknown Scheduling_Protocol {text!r}"
+            ) from None
+
+    @property
+    def is_fixed_priority(self) -> bool:
+        """True when the protocol assigns one static priority per thread."""
+        return self in (
+            SchedulingProtocol.RATE_MONOTONIC,
+            SchedulingProtocol.DEADLINE_MONOTONIC,
+            SchedulingProtocol.HIGHEST_PRIORITY_FIRST,
+        )
+
+
+class OverflowHandlingProtocol(enum.Enum):
+    """Event-port queue overflow behaviour (paper S4.4)."""
+
+    DROP_NEWEST = "DropNewest"
+    DROP_OLDEST = "DropOldest"
+    ERROR = "Error"
+
+    @classmethod
+    def parse(cls, text: str) -> "OverflowHandlingProtocol":
+        for member in cls:
+            if member.value.lower() == text.lower():
+                return member
+        raise AadlPropertyError(
+            f"unknown Overflow_Handling_Protocol {text!r}"
+        )
+
+    @property
+    def drops(self) -> bool:
+        """True when overflowing events are discarded silently.
+
+        With the counter abstraction of S4.4 (event attributes are not
+        modeled), DropNewest and DropOldest are indistinguishable.
+        """
+        return self is not OverflowHandlingProtocol.ERROR
+
+
+class ReferenceValue:
+    """A ``reference(a.b.c)`` property value naming a model element."""
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: Sequence[str]) -> None:
+        path = tuple(path)
+        if not path or not all(isinstance(p, str) and p for p in path):
+            raise AadlPropertyError(f"invalid reference path {path!r}")
+        self.path = path
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ReferenceValue) and self.path == other.path
+
+    def __hash__(self) -> int:
+        return hash(self.path)
+
+    def __repr__(self) -> str:
+        return f"ReferenceValue({self.path!r})"
+
+    def __str__(self) -> str:
+        return "reference(" + ".".join(self.path) + ")"
+
+
+PropertyValue = Union[
+    int,
+    str,
+    bool,
+    TimeValue,
+    TimeRange,
+    DispatchProtocol,
+    SchedulingProtocol,
+    OverflowHandlingProtocol,
+    ReferenceValue,
+    Tuple["PropertyValue", ...],
+]
+
+
+class PropertyAssociation:
+    """``Name => value [applies to subpath]``.
+
+    ``applies_to`` is a dotted path (tuple of names) relative to the
+    element holding the association; an empty tuple means the association
+    applies to the holder itself.
+    """
+
+    __slots__ = ("name", "value", "applies_to")
+
+    def __init__(
+        self,
+        name: str,
+        value: PropertyValue,
+        applies_to: Sequence[str] = (),
+    ) -> None:
+        if not isinstance(name, str) or not name:
+            raise AadlPropertyError(f"invalid property name {name!r}")
+        self.name = _canonical_name(name)
+        self.value = value
+        self.applies_to = tuple(applies_to)
+
+    def __repr__(self) -> str:
+        applies = f", applies_to={self.applies_to!r}" if self.applies_to else ""
+        return f"PropertyAssociation({self.name!r}, {self.value!r}{applies})"
+
+
+def _canonical_name(name: str) -> str:
+    """Property names are case-insensitive; the property-set prefix
+    (``SEI::Priority``) is preserved but normalized."""
+    return "::".join(part.lower() for part in name.split("::"))
+
+
+# Canonical names of the properties used by the translation (paper S4.1).
+DISPATCH_PROTOCOL = "dispatch_protocol"
+DISPATCH_OFFSET = "dispatch_offset"
+PERIOD = "period"
+COMPUTE_EXECUTION_TIME = "compute_execution_time"
+COMPUTE_DEADLINE = "compute_deadline"
+DEADLINE = "deadline"
+PRIORITY = "priority"
+SCHEDULING_PROTOCOL = "scheduling_protocol"
+QUEUE_SIZE = "queue_size"
+OVERFLOW_HANDLING_PROTOCOL = "overflow_handling_protocol"
+URGENCY = "urgency"
+ACTUAL_PROCESSOR_BINDING = "actual_processor_binding"
+ACTUAL_CONNECTION_BINDING = "actual_connection_binding"
+LATENCY = "latency"
+
+
+class PropertyHolder:
+    """Mixin: an ordered list of property associations with lookup.
+
+    Lookup returns the *last* matching association (later associations
+    override earlier ones, mirroring AADL's declaration-order overriding
+    within one holder)."""
+
+    def __init__(self) -> None:
+        self.properties: List[PropertyAssociation] = []
+
+    def add_property(
+        self,
+        name: str,
+        value: PropertyValue,
+        applies_to: Sequence[str] = (),
+    ) -> None:
+        self.properties.append(PropertyAssociation(name, value, applies_to))
+
+    def own_property(
+        self, name: str, default: Optional[PropertyValue] = None
+    ) -> Optional[PropertyValue]:
+        """Value of a property declared directly on this holder (no
+        ``applies to`` clause)."""
+        canonical = _canonical_name(name)
+        result = default
+        for assoc in self.properties:
+            if assoc.name == canonical and not assoc.applies_to:
+                result = assoc.value
+        return result
+
+    def contained_properties(
+        self, name: str
+    ) -> List[PropertyAssociation]:
+        """Associations for ``name`` with a non-empty ``applies to`` path."""
+        canonical = _canonical_name(name)
+        return [
+            assoc
+            for assoc in self.properties
+            if assoc.name == canonical and assoc.applies_to
+        ]

@@ -1,0 +1,144 @@
+"""Legality checks: the translation assumptions of paper S4.1.
+
+The translation applies to *completely instantiated and bound* systems:
+
+1. at least one thread and one processor; every thread bound to a
+   processor;
+2. every non-periodic thread (aperiodic, sporadic, background) has an
+   incoming connection on each ``in event`` / ``in event data`` port;
+3. every thread declares ``Dispatch_Protocol``,
+   ``Compute_Execution_Time`` and ``Compute_Deadline`` (we accept
+   ``Deadline`` as a stand-in, and additionally require ``Period`` for
+   periodic and sporadic threads -- the period/minimum-separation of
+   Figure 6);
+4. every processor with bound threads declares ``Scheduling_Protocol``;
+5. under HPF scheduling, every bound thread declares ``Priority``.
+
+``check_translation_assumptions`` raises :class:`AadlLegalityError` with
+all violations collected, so a modeler sees every problem at once.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import AadlLegalityError
+from repro.aadl.components import ComponentCategory
+from repro.aadl.features import PortKind
+from repro.aadl.instance import SystemInstance
+from repro.aadl.properties import (
+    COMPUTE_DEADLINE,
+    COMPUTE_EXECUTION_TIME,
+    DEADLINE,
+    DISPATCH_PROTOCOL,
+    PERIOD,
+    PRIORITY,
+    SCHEDULING_PROTOCOL,
+    DispatchProtocol,
+    SchedulingProtocol,
+)
+
+
+def check_translation_assumptions(instance: SystemInstance) -> None:
+    """Raise :class:`AadlLegalityError` listing every violated assumption."""
+    problems = collect_violations(instance)
+    if problems:
+        raise AadlLegalityError(
+            "model violates translation assumptions:\n  - "
+            + "\n  - ".join(problems)
+        )
+
+
+def collect_violations(instance: SystemInstance) -> List[str]:
+    """All violations of the paper S4.1 assumptions, as messages."""
+    problems: List[str] = []
+    threads = instance.threads()
+    processors = instance.processors()
+
+    if not threads:
+        problems.append("system contains no thread components")
+    if not processors:
+        problems.append("system contains no processor components")
+
+    for thread in threads:
+        name = thread.qualified_name
+        if thread.bound_processor is None:
+            problems.append(f"thread {name} is not bound to a processor")
+
+        protocol = thread.property(DISPATCH_PROTOCOL)
+        if protocol is None:
+            problems.append(f"thread {name} lacks Dispatch_Protocol")
+        elif not isinstance(protocol, DispatchProtocol):
+            problems.append(
+                f"thread {name}: Dispatch_Protocol has non-enum value "
+                f"{protocol!r}"
+            )
+
+        if thread.property(COMPUTE_EXECUTION_TIME) is None:
+            problems.append(f"thread {name} lacks Compute_Execution_Time")
+        if (
+            thread.property(COMPUTE_DEADLINE) is None
+            and thread.property(DEADLINE) is None
+        ):
+            problems.append(
+                f"thread {name} lacks Compute_Deadline (or Deadline)"
+            )
+        if isinstance(protocol, DispatchProtocol) and protocol in (
+            DispatchProtocol.PERIODIC,
+            DispatchProtocol.SPORADIC,
+        ):
+            if thread.property(PERIOD) is None:
+                problems.append(
+                    f"{protocol.value.lower()} thread {name} lacks Period"
+                )
+
+        if isinstance(protocol, DispatchProtocol) and protocol in (
+            DispatchProtocol.APERIODIC,
+            DispatchProtocol.SPORADIC,
+        ):
+            for feature in thread.features.values():
+                if not feature.is_port:
+                    continue
+                port = feature.feature
+                if (
+                    port.direction.accepts_incoming
+                    and port.kind.can_dispatch
+                ):
+                    incoming = [
+                        conn
+                        for conn in instance.connections
+                        if conn.destination is feature
+                    ]
+                    if not incoming:
+                        problems.append(
+                            f"non-periodic thread {name}: in "
+                            f"{port.kind.value} port {port.name} has no "
+                            f"incoming connection"
+                        )
+
+    for processor in processors:
+        bound = [t for t in threads if t.bound_processor is processor]
+        if not bound:
+            continue
+        protocol = processor.property(SCHEDULING_PROTOCOL)
+        if protocol is None:
+            problems.append(
+                f"processor {processor.qualified_name} has bound threads "
+                f"but lacks Scheduling_Protocol"
+            )
+            continue
+        if not isinstance(protocol, SchedulingProtocol):
+            problems.append(
+                f"processor {processor.qualified_name}: Scheduling_Protocol "
+                f"has non-enum value {protocol!r}"
+            )
+            continue
+        if protocol is SchedulingProtocol.HIGHEST_PRIORITY_FIRST:
+            for thread in bound:
+                if thread.property_int(PRIORITY) is None:
+                    problems.append(
+                        f"thread {thread.qualified_name} bound to HPF "
+                        f"processor lacks Priority"
+                    )
+
+    return problems

@@ -1,0 +1,144 @@
+"""ACSR: Algebra of Communicating Shared Resources.
+
+A discrete-time, resource-aware process algebra (Lee, Bremond-Gregoire &
+Gerber 1994).  This subpackage implements the full term language used by the
+paper -- timed actions over prioritized resources, instantaneous prioritized
+events with CCS-style synchronization, choice, n-ary parallel composition
+with the Par3 resource-disjointness rule, event restriction, resource
+closure, temporal scopes (exception / timeout / interrupt exits) and
+parameterized recursive process definitions -- together with both the
+unprioritized and the prioritized operational semantics.
+
+Typical usage::
+
+    from repro.acsr import (ProcessEnv, action, send, recv, idle, nil,
+                            proc, var)
+
+    env = ProcessEnv()
+    env.define("Simple", (),
+               action([("cpu", 1)]) >>
+               action([("cpu", 1), ("bus", 1)]) >>
+               send("done", 1) >> proc("Simple"))
+    system = env.close(proc("Simple"))
+    for label, successor in system.prioritized_steps():
+        ...
+"""
+
+from repro.acsr.resources import Action, EMPTY_ACTION, make_action
+from repro.acsr.events import (
+    EventLabel,
+    IN,
+    OUT,
+    TAU,
+    event_label,
+    tau_label,
+)
+from repro.acsr.expressions import (
+    BinOp,
+    BoolExpr,
+    Cmp,
+    Const,
+    Expr,
+    Param,
+    const,
+    var,
+)
+from repro.acsr.terms import (
+    ActionPrefix,
+    Choice,
+    Close,
+    EventPrefix,
+    Guard,
+    Hide,
+    Nil,
+    Parallel,
+    ProcRef,
+    Restrict,
+    Scope,
+    Term,
+    INFINITY,
+    NIL,
+    action,
+    choice,
+    close,
+    guard,
+    hide,
+    idle,
+    nil,
+    parallel,
+    proc,
+    recv,
+    restrict,
+    scope,
+    send,
+    tau,
+)
+from repro.acsr.definitions import ProcessDef, ProcessEnv, ClosedSystem
+from repro.acsr.semantics import transitions
+from repro.acsr.priority import (
+    preempts,
+    prioritized,
+    prioritized_transitions,
+)
+from repro.acsr.printer import format_term, format_label, format_env
+from repro.acsr.parser import parse_term, parse_env
+
+__all__ = [
+    "Action",
+    "ActionPrefix",
+    "BinOp",
+    "BoolExpr",
+    "Choice",
+    "Close",
+    "ClosedSystem",
+    "Cmp",
+    "Const",
+    "EMPTY_ACTION",
+    "EventLabel",
+    "EventPrefix",
+    "Expr",
+    "Guard",
+    "Hide",
+    "IN",
+    "INFINITY",
+    "NIL",
+    "Nil",
+    "OUT",
+    "Parallel",
+    "Param",
+    "ProcRef",
+    "ProcessDef",
+    "ProcessEnv",
+    "Restrict",
+    "Scope",
+    "TAU",
+    "Term",
+    "action",
+    "choice",
+    "close",
+    "const",
+    "event_label",
+    "format_env",
+    "format_label",
+    "format_term",
+    "guard",
+    "hide",
+    "idle",
+    "make_action",
+    "nil",
+    "parallel",
+    "parse_env",
+    "parse_term",
+    "preempts",
+    "prioritized",
+    "prioritized_transitions",
+    "proc",
+    "recv",
+    "restrict",
+    "scope",
+    "send",
+    "tau",
+    "tau_label",
+    "transitions",
+    "var",
+]

@@ -1,0 +1,249 @@
+"""Parameterized process definitions and closed systems.
+
+A :class:`ProcessEnv` holds named, parameterized process definitions
+(``Name(p1,...,pk) = body``) and memoizes their unfolding.  A
+:class:`ClosedSystem` pairs an environment with a closed root term and is
+the unit of analysis consumed by :mod:`repro.versa`: it exposes the
+(memoized) unprioritized and prioritized transition relations.
+
+Finite-stateness: as in the paper (S3, "Parameterized processes"), the
+translation only produces definitions whose parameters are bounded by
+guards, so the set of reachable ``ProcRef`` instantiations -- and hence
+the state space -- is finite.  The environment does not verify boundedness
+statically; the explorer enforces a state budget instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import AcsrDefinitionError
+from repro.acsr.expressions import Expr
+from repro.acsr.terms import ProcRef, Term
+
+
+class ProcessDef:
+    """A named process definition ``name(params) = body``.
+
+    ``body`` is an open term whose free parameters must be a subset of
+    ``params``.
+    """
+
+    __slots__ = ("name", "params", "body")
+
+    def __init__(self, name: str, params: Sequence[str], body: Term) -> None:
+        if not isinstance(name, str) or not name:
+            raise AcsrDefinitionError(f"invalid process name {name!r}")
+        params = tuple(params)
+        if len(set(params)) != len(params):
+            raise AcsrDefinitionError(
+                f"duplicate parameter names in definition of {name}"
+            )
+        if not isinstance(body, Term):
+            raise AcsrDefinitionError(
+                f"body of {name} must be a Term, got {body!r}"
+            )
+        unbound = body.free_params() - set(params)
+        if unbound:
+            raise AcsrDefinitionError(
+                f"definition of {name} mentions unbound parameters: "
+                + ", ".join(sorted(unbound))
+            )
+        self.name = name
+        self.params = params
+        self.body = body
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+    def unfold(self, args: Tuple[int, ...]) -> Term:
+        """Instantiate the body with concrete arguments."""
+        if len(args) != len(self.params):
+            raise AcsrDefinitionError(
+                f"{self.name} expects {len(self.params)} argument(s), "
+                f"got {len(args)}"
+            )
+        env = dict(zip(self.params, args))
+        return self.body.instantiate(env)
+
+    def __repr__(self) -> str:
+        return f"ProcessDef({self.name!r}, params={self.params!r})"
+
+
+class ProcessEnv:
+    """A mutable collection of process definitions with memoized unfolding."""
+
+    def __init__(self) -> None:
+        self._defs: Dict[str, ProcessDef] = {}
+        self._unfold_cache: Dict[ProcRef, Term] = {}
+
+    def define(
+        self,
+        name: str,
+        params: Sequence[str],
+        body: Term,
+        *,
+        allow_redefine: bool = False,
+    ) -> ProcessDef:
+        """Add a definition; redefinition is an error unless opted into."""
+        if name in self._defs and not allow_redefine:
+            raise AcsrDefinitionError(f"process {name!r} is already defined")
+        definition = ProcessDef(name, params, body)
+        self._defs[name] = definition
+        if allow_redefine:
+            # Conservatively drop memoized unfoldings of the old body and
+            # every memoized transition set (they may mention the old
+            # definition through unfolded subterms).
+            self._unfold_cache = {
+                ref: term
+                for ref, term in self._unfold_cache.items()
+                if ref.name != name
+            }
+            self._trans_memo = {}
+        return definition
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._defs
+
+    def __getitem__(self, name: str) -> ProcessDef:
+        try:
+            return self._defs[name]
+        except KeyError:
+            raise AcsrDefinitionError(f"unknown process {name!r}") from None
+
+    def __iter__(self) -> Iterator[ProcessDef]:
+        return iter(self._defs.values())
+
+    def __len__(self) -> int:
+        return len(self._defs)
+
+    def names(self) -> List[str]:
+        return list(self._defs)
+
+    def unfold(self, ref: ProcRef) -> Term:
+        """Instantiated body for a closed process reference (memoized)."""
+        cached = self._unfold_cache.get(ref)
+        if cached is not None:
+            return cached
+        for arg in ref.args:
+            if isinstance(arg, Expr):
+                raise AcsrDefinitionError(
+                    f"cannot unfold open reference {ref!r}"
+                )
+        term = self[ref.name].unfold(ref.args)  # type: ignore[arg-type]
+        self._unfold_cache[ref] = term
+        return term
+
+    def validate(self) -> None:
+        """Check that every reference in every body resolves with the right
+        arity (cheap static sanity pass)."""
+        for definition in self:
+            for ref_name, arity in _collect_refs(definition.body):
+                if ref_name not in self._defs:
+                    raise AcsrDefinitionError(
+                        f"{definition.name} references unknown process "
+                        f"{ref_name!r}"
+                    )
+                expected = self._defs[ref_name].arity
+                if arity != expected:
+                    raise AcsrDefinitionError(
+                        f"{definition.name} calls {ref_name} with {arity} "
+                        f"argument(s); definition has {expected}"
+                    )
+
+    def close(self, root: Term, *, validate: bool = True) -> "ClosedSystem":
+        """Pair the environment with a closed root term for analysis."""
+        return ClosedSystem(self, root, validate=validate)
+
+
+def _collect_refs(term: Term) -> List[Tuple[str, int]]:
+    from repro.acsr.terms import (
+        ActionPrefix,
+        Choice,
+        Close,
+        EventPrefix,
+        Guard,
+        Hide,
+        Parallel,
+        Restrict,
+        Scope,
+    )
+
+    refs: List[Tuple[str, int]] = []
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ProcRef):
+            refs.append((node.name, len(node.args)))
+        elif isinstance(node, (ActionPrefix, EventPrefix)):
+            stack.append(node.continuation)
+        elif isinstance(node, (Choice, Parallel)):
+            stack.extend(node.children)
+        elif isinstance(node, (Restrict, Close, Hide)):
+            stack.append(node.body)
+        elif isinstance(node, Guard):
+            stack.append(node.body)
+        elif isinstance(node, Scope):
+            stack.extend((node.body, node.success, node.timeout, node.interrupt))
+    return refs
+
+
+class ClosedSystem:
+    """A closed ACSR term together with its definition environment.
+
+    This is the object handed to the VERSA-style explorer.  Transition
+    computation is memoized per term, which matters: during exploration the
+    same subterm configurations recur constantly, and the memo table turns
+    the semantics into an amortized table lookup (profiling-first guidance
+    from the HPC notes: this *is* the measured hot path).
+    """
+
+    def __init__(
+        self, env: ProcessEnv, root: Term, *, validate: bool = True
+    ) -> None:
+        if not isinstance(root, Term):
+            raise AcsrDefinitionError(f"system root must be a Term, got {root!r}")
+        if validate:
+            if not root.is_closed():
+                raise AcsrDefinitionError(
+                    "system root must be a closed term; free parameters: "
+                    + ", ".join(sorted(root.free_params()))
+                )
+            env.validate()
+        self.env = env
+        self.root = root
+        self._step_cache: Dict[Term, Tuple] = {}
+        self._prio_cache: Dict[Term, Tuple] = {}
+
+    def steps(self, term: Optional[Term] = None) -> Tuple:
+        """Unprioritized transitions ``(label, successor)`` of ``term``."""
+        from repro.acsr.semantics import transitions
+
+        if term is None:
+            term = self.root
+        cached = self._step_cache.get(term)
+        if cached is None:
+            cached = transitions(term, self.env)
+            self._step_cache[term] = cached
+        return cached
+
+    def prioritized_steps(self, term: Optional[Term] = None) -> Tuple:
+        """Prioritized transitions of ``term`` (preempted steps removed)."""
+        from repro.acsr.priority import prioritized
+
+        if term is None:
+            term = self.root
+        cached = self._prio_cache.get(term)
+        if cached is None:
+            cached = prioritized(self.steps(term))
+            self._prio_cache[term] = cached
+        return cached
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Sizes of the memo tables (diagnostics)."""
+        return {
+            "step_cache": len(self._step_cache),
+            "prio_cache": len(self._prio_cache),
+            "unfold_cache": len(self.env._unfold_cache),
+        }

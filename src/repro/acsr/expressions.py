@@ -1,0 +1,354 @@
+"""Integer and boolean expressions over process parameters.
+
+ACSR process definitions may be *parameterized* (paper S3, "Parameterized
+processes"): dynamic parameters such as the accumulated execution time ``e``
+and the elapsed time ``t`` of Figure 5 are ordinary integers threaded
+through recursion.  Inside a definition body, priorities, reference
+arguments and guards may mention the parameters symbolically; everything is
+evaluated to a constant when the definition is unfolded, which keeps the
+operational semantics first-order and the state space finite.
+
+The expression language is deliberately tiny: integer constants, parameter
+references, ``+ - * // % min max``, comparisons, and boolean combinators.
+Expressions are immutable and support operator overloading so translation
+code reads naturally::
+
+    e, t = var("e"), var("t")
+    guard_expr = (e < cmax - 1) & (t < deadline)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Mapping, Tuple, Union
+
+from repro.errors import AcsrEvaluationError
+
+_INT_OPS: Dict[str, Callable[[int, int], int]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": lambda a, b: _checked_div(a, b),
+    "%": lambda a, b: _checked_mod(a, b),
+    "min": min,
+    "max": max,
+}
+
+_CMP_OPS: Dict[str, Callable[[int, int], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    ">=": lambda a, b: a >= b,
+    ">": lambda a, b: a > b,
+}
+
+_BOOL_OPS: Dict[str, Callable[[bool, bool], bool]] = {
+    "and": lambda a, b: a and b,
+    "or": lambda a, b: a or b,
+}
+
+
+def _checked_div(a: int, b: int) -> int:
+    if b == 0:
+        raise AcsrEvaluationError("division by zero in priority expression")
+    return a // b
+
+
+def _checked_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise AcsrEvaluationError("modulo by zero in priority expression")
+    return a % b
+
+
+class Expr:
+    """Base class for integer-valued expressions."""
+
+    __slots__ = ()
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+    def free_params(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    # -- operator sugar ------------------------------------------------
+
+    def __add__(self, other: "ExprLike") -> "Expr":
+        return BinOp("+", self, as_expr(other))
+
+    def __radd__(self, other: "ExprLike") -> "Expr":
+        return BinOp("+", as_expr(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "Expr":
+        return BinOp("-", self, as_expr(other))
+
+    def __rsub__(self, other: "ExprLike") -> "Expr":
+        return BinOp("-", as_expr(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "Expr":
+        return BinOp("*", self, as_expr(other))
+
+    def __rmul__(self, other: "ExprLike") -> "Expr":
+        return BinOp("*", as_expr(other), self)
+
+    def __floordiv__(self, other: "ExprLike") -> "Expr":
+        return BinOp("//", self, as_expr(other))
+
+    def __mod__(self, other: "ExprLike") -> "Expr":
+        return BinOp("%", self, as_expr(other))
+
+    def __lt__(self, other: "ExprLike") -> "BoolExpr":
+        return Cmp("<", self, as_expr(other))
+
+    def __le__(self, other: "ExprLike") -> "BoolExpr":
+        return Cmp("<=", self, as_expr(other))
+
+    def __gt__(self, other: "ExprLike") -> "BoolExpr":
+        return Cmp(">", self, as_expr(other))
+
+    def __ge__(self, other: "ExprLike") -> "BoolExpr":
+        return Cmp(">=", self, as_expr(other))
+
+    # NOTE: __eq__/__ne__ keep normal identity semantics so expressions can
+    # live in sets and dicts; use .eq()/.ne() to build comparison nodes.
+
+    def eq(self, other: "ExprLike") -> "BoolExpr":
+        """Build the comparison node ``self == other``."""
+        return Cmp("==", self, as_expr(other))
+
+    def ne(self, other: "ExprLike") -> "BoolExpr":
+        """Build the comparison node ``self != other``."""
+        return Cmp("!=", self, as_expr(other))
+
+
+ExprLike = Union[Expr, int, str]
+
+
+class Const(Expr):
+    """Integer literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise AcsrEvaluationError(f"Const requires an int, got {value!r}")
+        self.value = value
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    def free_params(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return f"Const({self.value})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class Param(Expr):
+    """Reference to a process parameter by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise AcsrEvaluationError(f"invalid parameter name {name!r}")
+        self.name = name
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise AcsrEvaluationError(
+                f"unbound parameter {self.name!r}; bound: "
+                + ", ".join(sorted(env)) if env else
+                f"unbound parameter {self.name!r}; no parameters in scope"
+            ) from None
+
+    def free_params(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def __repr__(self) -> str:
+        return f"Param({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class BinOp(Expr):
+    """Binary integer operator."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _INT_OPS:
+            raise AcsrEvaluationError(f"unknown integer operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return _INT_OPS[self.op](self.left.evaluate(env), self.right.evaluate(env))
+
+    def free_params(self) -> FrozenSet[str]:
+        return self.left.free_params() | self.right.free_params()
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op!r}, {self.left!r}, {self.right!r})"
+
+    def __str__(self) -> str:
+        if self.op in ("min", "max"):
+            return f"{self.op}({self.left}, {self.right})"
+        return f"({self.left} {self.op} {self.right})"
+
+
+class BoolExpr:
+    """Base class for boolean guard expressions."""
+
+    __slots__ = ()
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        raise NotImplementedError
+
+    def free_params(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return BoolOp("and", self, other)
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return BoolOp("or", self, other)
+
+    def __invert__(self) -> "BoolExpr":
+        return Not(self)
+
+
+class Cmp(BoolExpr):
+    """Comparison of two integer expressions."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _CMP_OPS:
+            raise AcsrEvaluationError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return _CMP_OPS[self.op](
+            self.left.evaluate(env), self.right.evaluate(env)
+        )
+
+    def free_params(self) -> FrozenSet[str]:
+        return self.left.free_params() | self.right.free_params()
+
+    def __repr__(self) -> str:
+        return f"Cmp({self.op!r}, {self.left!r}, {self.right!r})"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+class BoolOp(BoolExpr):
+    """Conjunction or disjunction of guards."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: BoolExpr, right: BoolExpr) -> None:
+        if op not in _BOOL_OPS:
+            raise AcsrEvaluationError(f"unknown boolean operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return _BOOL_OPS[self.op](
+            self.left.evaluate(env), self.right.evaluate(env)
+        )
+
+    def free_params(self) -> FrozenSet[str]:
+        return self.left.free_params() | self.right.free_params()
+
+    def __repr__(self) -> str:
+        return f"BoolOp({self.op!r}, {self.left!r}, {self.right!r})"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+class Not(BoolExpr):
+    """Guard negation."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: BoolExpr) -> None:
+        self.inner = inner
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return not self.inner.evaluate(env)
+
+    def free_params(self) -> FrozenSet[str]:
+        return self.inner.free_params()
+
+    def __repr__(self) -> str:
+        return f"Not({self.inner!r})"
+
+    def __str__(self) -> str:
+        return f"(not {self.inner})"
+
+
+class TrueExpr(BoolExpr):
+    """The always-true guard."""
+
+    __slots__ = ()
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return True
+
+    def free_params(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "TrueExpr()"
+
+    def __str__(self) -> str:
+        return "true"
+
+
+TRUE = TrueExpr()
+
+
+def const(value: int) -> Const:
+    """Integer literal expression."""
+    return Const(value)
+
+
+def var(name: str) -> Param:
+    """Parameter reference expression."""
+    return Param(name)
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce ``int`` to :class:`Const` and ``str`` to :class:`Param`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        raise AcsrEvaluationError("booleans are not integer expressions")
+    if isinstance(value, int):
+        return Const(value)
+    if isinstance(value, str):
+        return Param(value)
+    raise AcsrEvaluationError(f"cannot coerce {value!r} to an expression")
+
+
+def minimum(left: ExprLike, right: ExprLike) -> Expr:
+    """``min`` of two expressions."""
+    return BinOp("min", as_expr(left), as_expr(right))
+
+
+def maximum(left: ExprLike, right: ExprLike) -> Expr:
+    """``max`` of two expressions."""
+    return BinOp("max", as_expr(left), as_expr(right))

@@ -1,0 +1,493 @@
+"""Parser for the VERSA-like concrete ACSR syntax.
+
+Grammar (see :mod:`repro.acsr.printer` for the emitted form)::
+
+    file       := (procdef | sysdecl)*
+    procdef    := "process" IDENT [ "(" IDENT ("," IDENT)* ")" ] "=" term ";"
+    sysdecl    := "system" term ";"
+
+    term       := parterm ( "\\" "{" names "}" )*
+    parterm    := choiceterm ( "||" choiceterm )*
+    choiceterm := prefix ( "+" prefix )*
+    prefix     := "[" bexpr "]" prefix
+                | actionlit ":" prefix
+                | eventlit "." prefix
+                | atom
+    atom       := "NIL" | scope | closeop | IDENT [ "(" exprs ")" ]
+                | "(" term ")"
+    actionlit  := "{" [ "(" IDENT "," expr ")" ("," ...)* ] "}" | "idle"
+    eventlit   := "(" IDENT ("!"|"?") "," expr ")"
+                | "(" "tau" [ "@" IDENT ] "," expr ")"
+    scope      := "scope" "(" term ";" ("inf"|expr)
+                  [";" "except" IDENT "->" term]
+                  [";" "timeout" "->" term]
+                  [";" "interrupt" "->" term] ")"
+    closeop    := "close" "(" term "," "{" names "}" ")"
+
+Expressions use the usual precedence (``or < and < not < comparison <
+additive < multiplicative``); ``min(a,b)``/``max(a,b)`` are builtin.
+Comments run from ``--`` or ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import AcsrSyntaxError
+from repro.acsr.expressions import (
+    BinOp,
+    BoolExpr,
+    BoolOp,
+    Cmp,
+    Const,
+    Expr,
+    Not,
+    Param,
+    TrueExpr,
+)
+from repro.acsr.events import IN, OUT, EventLabel
+from repro.acsr.resources import Action
+from repro.acsr.terms import (
+    ActionPrefix,
+    EventPrefix,
+    Guard,
+    NIL,
+    ProcRef,
+    Term,
+    choice,
+    close,
+    hide,
+    parallel,
+    restrict,
+    scope,
+)
+from repro.acsr.definitions import ProcessEnv
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|--[^\n]*|\#[^\n]*)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_$]*)
+  | (?P<op>\|\||//|->|<=|>=|==|!=|[-=;:.+(){},\[\]\\!?@<>*%])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "process",
+    "system",
+    "NIL",
+    "idle",
+    "tau",
+    "scope",
+    "except",
+    "timeout",
+    "interrupt",
+    "inf",
+    "close",
+    "hide",
+    "min",
+    "max",
+    "not",
+    "and",
+    "or",
+    "true",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"_Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            col = pos - line_start + 1
+            raise AcsrSyntaxError(
+                f"unexpected character {text[pos]!r}", line, col
+            )
+        if match.lastgroup != "ws":
+            col = match.start() - line_start + 1
+            tokens.append(
+                _Token(match.lastgroup, match.group(), line, col)  # type: ignore[arg-type]
+            )
+        newlines = match.group().count("\n")
+        if newlines:
+            line += newlines
+            line_start = match.start() + match.group().rfind("\n") + 1
+        pos = match.end()
+    tokens.append(_Token("eof", "", line, pos - line_start + 1))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token utilities -------------------------------------------------
+
+    def peek(self, offset: int = 0) -> _Token:
+        idx = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.peek()
+        if token.text != text:
+            raise AcsrSyntaxError(
+                f"expected {text!r}, found {token.text or '<eof>'!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind != "ident":
+            raise AcsrSyntaxError(
+                f"expected identifier, found {token.text or '<eof>'!r}",
+                token.line,
+                token.column,
+            )
+        self.advance()
+        return token.text
+
+    def at(self, text: str) -> bool:
+        return self.peek().text == text
+
+    def accept(self, text: str) -> bool:
+        if self.at(text):
+            self.advance()
+            return True
+        return False
+
+    def error(self, message: str) -> AcsrSyntaxError:
+        token = self.peek()
+        return AcsrSyntaxError(message, token.line, token.column)
+
+    # -- file level --------------------------------------------------------
+
+    def parse_file(self) -> Tuple[ProcessEnv, Optional[Term]]:
+        env = ProcessEnv()
+        root: Optional[Term] = None
+        while self.peek().kind != "eof":
+            if self.accept("process"):
+                name = self.expect_ident()
+                params: List[str] = []
+                if self.accept("("):
+                    if not self.at(")"):
+                        params.append(self.expect_ident())
+                        while self.accept(","):
+                            params.append(self.expect_ident())
+                    self.expect(")")
+                self.expect("=")
+                body = self.parse_term()
+                self.expect(";")
+                env.define(name, params, body)
+            elif self.accept("system"):
+                if root is not None:
+                    raise self.error("duplicate system declaration")
+                root = self.parse_term()
+                self.expect(";")
+            else:
+                raise self.error(
+                    f"expected 'process' or 'system', found {self.peek().text!r}"
+                )
+        return env, root
+
+    # -- terms ---------------------------------------------------------------
+
+    def parse_term(self) -> Term:
+        term = self.parse_parterm()
+        while self.accept("\\"):
+            self.expect("{")
+            names = [self.expect_ident()]
+            while self.accept(","):
+                names.append(self.expect_ident())
+            self.expect("}")
+            term = restrict(term, names)
+        return term
+
+    def parse_parterm(self) -> Term:
+        parts = [self.parse_choiceterm()]
+        while self.accept("||"):
+            parts.append(self.parse_choiceterm())
+        return parallel(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_choiceterm(self) -> Term:
+        parts = [self.parse_prefix()]
+        while self.accept("+"):
+            parts.append(self.parse_prefix())
+        return choice(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_prefix(self) -> Term:
+        token = self.peek()
+        if token.text == "[":
+            self.advance()
+            condition = self.parse_bexpr()
+            self.expect("]")
+            body = self.parse_prefix()
+            return Guard(condition, body)
+        if token.text == "{" or token.text == "idle":
+            act = self.parse_actionlit()
+            self.expect(":")
+            return ActionPrefix(act, self.parse_prefix())
+        if token.text == "(" and self._looks_like_event():
+            label = self.parse_eventlit()
+            self.expect(".")
+            return EventPrefix(label, self.parse_prefix())
+        return self.parse_atom()
+
+    def _looks_like_event(self) -> bool:
+        # Called with peek() == "(".  Event literals are "(name!" /
+        # "(name?" / "(tau," / "(tau@".
+        first = self.peek(1)
+        second = self.peek(2)
+        if first.kind != "ident":
+            return False
+        if first.text == "tau" and second.text in (",", "@"):
+            return True
+        return second.text in ("!", "?")
+
+    def parse_actionlit(self) -> Action:
+        if self.accept("idle"):
+            return Action(())
+        self.expect("{")
+        pairs: List[Tuple[str, object]] = []
+        if not self.at("}"):
+            pairs.append(self._parse_resource_pair())
+            while self.accept(","):
+                pairs.append(self._parse_resource_pair())
+        self.expect("}")
+        return Action(pairs)
+
+    def _parse_resource_pair(self) -> Tuple[str, object]:
+        self.expect("(")
+        resource = self.expect_ident()
+        self.expect(",")
+        priority = self._expr_or_int(self.parse_arith())
+        self.expect(")")
+        return resource, priority
+
+    def parse_eventlit(self) -> EventLabel:
+        self.expect("(")
+        name = self.expect_ident()
+        if name == "tau":
+            via = None
+            if self.accept("@"):
+                via = self.expect_ident()
+            self.expect(",")
+            priority = self._expr_or_int(self.parse_arith())
+            self.expect(")")
+            return EventLabel("tau", "", priority, via)
+        if self.accept("!"):
+            direction = OUT
+        elif self.accept("?"):
+            direction = IN
+        else:
+            raise self.error("expected '!' or '?' in event literal")
+        self.expect(",")
+        priority = self._expr_or_int(self.parse_arith())
+        self.expect(")")
+        return EventLabel(name, direction, priority)
+
+    @staticmethod
+    def _expr_or_int(expr: Expr) -> object:
+        return expr.value if isinstance(expr, Const) else expr
+
+    def parse_atom(self) -> Term:
+        token = self.peek()
+        if self.accept("NIL"):
+            return NIL
+        if self.accept("scope"):
+            return self.parse_scope()
+        if token.text in ("close", "hide"):
+            self.advance()
+            make = close if token.text == "close" else hide
+            self.expect("(")
+            body = self.parse_term()
+            self.expect(",")
+            self.expect("{")
+            names = [self.expect_ident()]
+            while self.accept(","):
+                names.append(self.expect_ident())
+            self.expect("}")
+            self.expect(")")
+            return make(body, names)
+        if token.kind == "ident" and token.text not in _KEYWORDS:
+            name = self.advance().text
+            args: List[object] = []
+            if self.accept("("):
+                if not self.at(")"):
+                    args.append(self._expr_or_int(self.parse_arith()))
+                    while self.accept(","):
+                        args.append(self._expr_or_int(self.parse_arith()))
+                self.expect(")")
+            return ProcRef(name, tuple(args))
+        if self.accept("("):
+            term = self.parse_term()
+            self.expect(")")
+            return term
+        raise self.error(f"unexpected token {token.text or '<eof>'!r} in term")
+
+    def parse_scope(self) -> Term:
+        self.expect("(")
+        body = self.parse_term()
+        self.expect(";")
+        if self.accept("inf"):
+            bound: Optional[int] = None
+        else:
+            expr = self.parse_arith()
+            if not isinstance(expr, Const):
+                raise self.error("scope bound must be a constant")
+            bound = expr.value
+        exception = None
+        success: Term = NIL
+        timeout: Term = NIL
+        interrupt: Term = NIL
+        while self.accept(";"):
+            if self.accept("except"):
+                exception = self.expect_ident()
+                self.expect("->")
+                success = self.parse_term()
+            elif self.accept("timeout"):
+                self.expect("->")
+                timeout = self.parse_term()
+            elif self.accept("interrupt"):
+                self.expect("->")
+                interrupt = self.parse_term()
+            else:
+                raise self.error(
+                    "expected 'except', 'timeout' or 'interrupt' in scope"
+                )
+        self.expect(")")
+        return scope(
+            body,
+            bound=bound,
+            exception=exception,
+            success=success,
+            timeout=timeout,
+            interrupt=interrupt,
+        )
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_bexpr(self) -> BoolExpr:
+        left = self.parse_bterm()
+        while self.accept("or"):
+            left = BoolOp("or", left, self.parse_bterm())
+        return left
+
+    def parse_bterm(self) -> BoolExpr:
+        left = self.parse_bfactor()
+        while self.accept("and"):
+            left = BoolOp("and", left, self.parse_bfactor())
+        return left
+
+    def parse_bfactor(self) -> BoolExpr:
+        if self.accept("not"):
+            return Not(self.parse_bfactor())
+        if self.accept("true"):
+            return TrueExpr()
+        # Try a comparison first; fall back to a parenthesized boolean.
+        saved = self.index
+        try:
+            left = self.parse_arith()
+            op_token = self.peek()
+            if op_token.text in ("<", "<=", "==", "!=", ">=", ">"):
+                self.advance()
+                right = self.parse_arith()
+                return Cmp(op_token.text, left, right)
+            raise self.error("expected comparison operator")
+        except AcsrSyntaxError:
+            self.index = saved
+        if self.accept("("):
+            inner = self.parse_bexpr()
+            self.expect(")")
+            return inner
+        raise self.error("expected boolean expression")
+
+    def parse_arith(self) -> Expr:
+        left = self.parse_mul()
+        while True:
+            if self.accept("+"):
+                left = BinOp("+", left, self.parse_mul())
+            elif self.accept("-"):
+                left = BinOp("-", left, self.parse_mul())
+            else:
+                return left
+
+    def parse_mul(self) -> Expr:
+        left = self.parse_unary()
+        while True:
+            if self.accept("*"):
+                left = BinOp("*", left, self.parse_unary())
+            elif self.accept("//"):
+                left = BinOp("//", left, self.parse_unary())
+            elif self.accept("%"):
+                left = BinOp("%", left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "int":
+            self.advance()
+            return Const(int(token.text))
+        if token.text in ("min", "max"):
+            op = self.advance().text
+            self.expect("(")
+            left = self.parse_arith()
+            self.expect(",")
+            right = self.parse_arith()
+            self.expect(")")
+            return BinOp(op, left, right)
+        if token.kind == "ident" and token.text not in _KEYWORDS:
+            self.advance()
+            return Param(token.text)
+        if self.accept("("):
+            inner = self.parse_arith()
+            self.expect(")")
+            return inner
+        raise self.error(
+            f"unexpected token {token.text or '<eof>'!r} in expression"
+        )
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single (possibly open) ACSR term."""
+    parser = _Parser(text)
+    term = parser.parse_term()
+    token = parser.peek()
+    if token.kind != "eof":
+        raise AcsrSyntaxError(
+            f"trailing input after term: {token.text!r}", token.line, token.column
+        )
+    return term
+
+
+def parse_env(text: str) -> Tuple[ProcessEnv, Optional[Term]]:
+    """Parse a file of ``process`` definitions and an optional ``system``
+    declaration; returns ``(env, root)``."""
+    return _Parser(text).parse_file()

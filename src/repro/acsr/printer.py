@@ -1,0 +1,132 @@
+"""Pretty-printer for ACSR terms, labels and environments.
+
+The concrete syntax mirrors VERSA's textual notation:
+
+* timed actions: ``{(cpu,2),(bus,1)}``; the idling step prints as ``idle``;
+* events: ``(done!,1)``, ``(go?,p)``, ``(tau,2)``; internal steps produced
+  by synchronization print their origin: ``(tau@done,2)``;
+* prefixes: ``A : P`` and ``(e!,1) . P``;
+* choice ``+``, parallel ``||``, restriction ``\\ {a, b}``, closure
+  ``close(P, {r})``, guards ``[x < 3] P``;
+* scopes: ``scope(P; 10; except done -> Q; timeout -> R; interrupt -> S)``
+  with absent clauses omitted and an infinite bound written ``inf``.
+
+The output of :func:`format_env` parses back with
+:func:`repro.acsr.parser.parse_env` (round-trip tested).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.acsr.events import EventLabel
+from repro.acsr.resources import Action
+from repro.acsr.terms import (
+    ActionPrefix,
+    Choice,
+    Close,
+    EventPrefix,
+    Guard,
+    Hide,
+    Nil,
+    Parallel,
+    ProcRef,
+    Restrict,
+    Scope,
+    Term,
+)
+
+# Precedence levels (higher binds tighter).
+_PREC_RESTRICT = 1
+_PREC_PAR = 2
+_PREC_CHOICE = 3
+_PREC_PREFIX = 4
+_PREC_ATOM = 5
+
+
+def format_action(action: Action) -> str:
+    """Concrete syntax of a timed action."""
+    if action.is_idle:
+        return "idle"
+    inner = ",".join(f"({res},{pri})" for res, pri in action.pairs)
+    return "{" + inner + "}"
+
+
+def format_label(label: object) -> str:
+    """Concrete syntax of a transition label (action or event)."""
+    if isinstance(label, Action):
+        return format_action(label)
+    if isinstance(label, EventLabel):
+        return str(label)
+    raise TypeError(f"not a transition label: {label!r}")
+
+
+def format_term(term: Term) -> str:
+    """Concrete syntax of a term with minimal parenthesization."""
+    return _fmt(term, 0)
+
+
+def _paren(text: str, prec: int, parent: int) -> str:
+    return f"({text})" if prec < parent else text
+
+
+def _fmt(term: Term, parent: int) -> str:
+    if isinstance(term, Nil):
+        return "NIL"
+    if isinstance(term, ProcRef):
+        if not term.args:
+            return term.name
+        args = ", ".join(str(arg) for arg in term.args)
+        return f"{term.name}({args})"
+    if isinstance(term, ActionPrefix):
+        text = f"{format_action(term.action)} : {_fmt(term.continuation, _PREC_PREFIX)}"
+        return _paren(text, _PREC_PREFIX, parent)
+    if isinstance(term, EventPrefix):
+        text = f"{term.label} . {_fmt(term.continuation, _PREC_PREFIX)}"
+        return _paren(text, _PREC_PREFIX, parent)
+    if isinstance(term, Choice):
+        text = " + ".join(_fmt(child, _PREC_CHOICE + 1) for child in term.children)
+        return _paren(text, _PREC_CHOICE, parent)
+    if isinstance(term, Parallel):
+        text = " || ".join(_fmt(child, _PREC_PAR + 1) for child in term.children)
+        return _paren(text, _PREC_PAR, parent)
+    if isinstance(term, Restrict):
+        names = ", ".join(sorted(term.names))
+        text = f"{_fmt(term.body, _PREC_RESTRICT + 1)} \\ {{{names}}}"
+        return _paren(text, _PREC_RESTRICT, parent)
+    if isinstance(term, Close):
+        resources = ", ".join(sorted(term.resources))
+        return f"close({_fmt(term.body, 0)}, {{{resources}}})"
+    if isinstance(term, Hide):
+        resources = ", ".join(sorted(term.resources))
+        return f"hide({_fmt(term.body, 0)}, {{{resources}}})"
+    if isinstance(term, Guard):
+        text = f"[{term.condition}] {_fmt(term.body, _PREC_PREFIX)}"
+        return _paren(text, _PREC_PREFIX, parent)
+    if isinstance(term, Scope):
+        parts: List[str] = [_fmt(term.body, 0)]
+        parts.append("inf" if term.bound is None else str(term.bound))
+        if term.exception is not None:
+            parts.append(f"except {term.exception} -> {_fmt(term.success, 0)}")
+        if not isinstance(term.timeout, Nil):
+            parts.append(f"timeout -> {_fmt(term.timeout, 0)}")
+        if not isinstance(term.interrupt, Nil):
+            parts.append(f"interrupt -> {_fmt(term.interrupt, 0)}")
+        return "scope(" + "; ".join(parts) + ")"
+    raise TypeError(f"unknown term kind {type(term).__name__}")
+
+
+def format_env(env, root: Term = None) -> str:
+    """Print an environment (and optional system root) as a parseable
+    ACSR source file."""
+    lines: List[str] = []
+    for definition in env:
+        params = (
+            "(" + ", ".join(definition.params) + ")" if definition.params else ""
+        )
+        lines.append(
+            f"process {definition.name}{params} = {format_term(definition.body)};"
+        )
+    if root is not None:
+        lines.append(f"system {format_term(root)};")
+    return "\n".join(lines) + "\n"

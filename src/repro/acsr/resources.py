@@ -1,0 +1,234 @@
+"""Timed actions over prioritized resources.
+
+A *timed action* (paper S3, "computation step") is a finite set of pairs
+``(resource, priority)`` describing which serially-reusable resources the
+step consumes during one time quantum and at what access priority.  The
+empty action is the *idling* step: it consumes no resources but still lets
+one quantum of time pass.
+
+Actions are immutable, interned, and totally ordered so that they can be
+used as dictionary keys, members of canonicalized n-ary operators, and
+labels in the explored transition system.
+
+Priorities are non-negative integers.  In *open* terms (bodies of
+parameterized process definitions) a priority may instead be an
+:class:`repro.acsr.expressions.Expr`; such actions are instantiated to
+ground actions when the enclosing definition is unfolded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple, Union
+
+from repro.errors import AcsrSemanticsError
+from repro.acsr.expressions import Expr, as_expr
+
+Priority = Union[int, Expr]
+
+_ACTION_INTERN: Dict[Tuple[Tuple[str, object], ...], "Action"] = {}
+
+
+class Action:
+    """An immutable timed action: a map from resource names to priorities.
+
+    Ground actions (all priorities are ``int``) participate in the
+    operational semantics; open actions (some priority is an expression)
+    occur only inside definition bodies.
+    """
+
+    __slots__ = ("_pairs", "_resources", "_hash", "_ground")
+
+    def __new__(cls, pairs: Iterable[Tuple[str, Priority]]) -> "Action":
+        normalized: Dict[str, Priority] = {}
+        for resource, priority in pairs:
+            if not isinstance(resource, str) or not resource:
+                raise AcsrSemanticsError(
+                    f"resource name must be a non-empty string, got {resource!r}"
+                )
+            if resource in normalized:
+                raise AcsrSemanticsError(
+                    f"duplicate resource {resource!r} in timed action"
+                )
+            if isinstance(priority, bool) or (
+                isinstance(priority, int) and priority < 0
+            ):
+                raise AcsrSemanticsError(
+                    f"priority for {resource!r} must be a non-negative int "
+                    f"or expression, got {priority!r}"
+                )
+            if not isinstance(priority, (int, Expr)):
+                raise AcsrSemanticsError(
+                    f"priority for {resource!r} must be int or Expr, "
+                    f"got {type(priority).__name__}"
+                )
+            normalized[resource] = priority
+        key = tuple(sorted(normalized.items(), key=lambda kv: kv[0]))
+        cached = _ACTION_INTERN.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self._pairs = key
+        self._resources = frozenset(normalized)
+        self._hash = hash(key)
+        self._ground = all(isinstance(p, int) for _, p in key)
+        _ACTION_INTERN[key] = self
+        return self
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def pairs(self) -> Tuple[Tuple[str, Priority], ...]:
+        """Sorted ``(resource, priority)`` pairs."""
+        return self._pairs
+
+    @property
+    def resources(self) -> frozenset:
+        """The resource set rho(A) of the action."""
+        return self._resources
+
+    @property
+    def is_ground(self) -> bool:
+        """True when every priority is a concrete integer."""
+        return self._ground
+
+    @property
+    def is_idle(self) -> bool:
+        """True for the empty (idling) action."""
+        return not self._pairs
+
+    def priority_of(self, resource: str) -> int:
+        """Priority of ``resource`` in this action; 0 when unused.
+
+        The 0-for-absent convention is the one used by the ACSR preemption
+        relation (an idling step accesses every resource at priority 0).
+        """
+        for res, pri in self._pairs:
+            if res == resource:
+                if not isinstance(pri, int):
+                    raise AcsrSemanticsError(
+                        f"priority of {resource!r} is symbolic: {pri!r}"
+                    )
+                return pri
+        return 0
+
+    def __iter__(self) -> Iterator[Tuple[str, Priority]]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __contains__(self, resource: str) -> bool:
+        return resource in self._resources
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        return self is other or (
+            isinstance(other, Action) and self._pairs == other._pairs
+        )
+
+    def __lt__(self, other: "Action") -> bool:
+        if not isinstance(other, Action):
+            return NotImplemented
+        return self._sort_key() < other._sort_key()
+
+    def _sort_key(self):
+        return tuple(
+            (res, pri if isinstance(pri, int) else -1, repr(pri))
+            for res, pri in self._pairs
+        )
+
+    def __repr__(self) -> str:
+        if not self._pairs:
+            return "Action({})"
+        inner = ", ".join(f"({r!r}, {p!r})" for r, p in self._pairs)
+        return f"Action([{inner}])"
+
+    def __str__(self) -> str:
+        if not self._pairs:
+            return "idle"
+        inner = ",".join(f"({res},{pri})" for res, pri in self._pairs)
+        return "{" + inner + "}"
+
+    # -- algebra -----------------------------------------------------------
+
+    def union(self, other: "Action") -> "Action":
+        """Resource-disjoint union (Par3 rule); raises on overlap."""
+        overlap = self._resources & other._resources
+        if overlap:
+            raise AcsrSemanticsError(
+                "actions share resources and cannot run in parallel: "
+                + ", ".join(sorted(overlap))
+            )
+        return Action(self._pairs + other._pairs)
+
+    def disjoint(self, other: "Action") -> bool:
+        """True when rho(self) and rho(other) do not intersect."""
+        return not (self._resources & other._resources)
+
+    def closed_over(self, resource_set: Iterable[str]) -> "Action":
+        """Action extended with priority-0 claims on unused resources.
+
+        Implements the resource-closure operator ``[P]_I``: the closed
+        process reserves every resource of ``I`` it does not use, so no
+        parallel sibling may touch them.
+        """
+        extra = [
+            (res, 0) for res in resource_set if res not in self._resources
+        ]
+        if not extra:
+            return self
+        return Action(self._pairs + tuple(extra))
+
+    def instantiate(self, env: Mapping[str, int]) -> "Action":
+        """Evaluate symbolic priorities against ``env``, yielding ground action."""
+        if self._ground:
+            return self
+        pairs = []
+        for res, pri in self._pairs:
+            if isinstance(pri, Expr):
+                value = pri.evaluate(env)
+                if value < 0:
+                    raise AcsrSemanticsError(
+                        f"priority expression for {res!r} evaluated to "
+                        f"negative value {value}"
+                    )
+                pairs.append((res, value))
+            else:
+                pairs.append((res, pri))
+        return Action(pairs)
+
+    def free_params(self) -> frozenset:
+        """Parameter names appearing in symbolic priorities."""
+        names: set = set()
+        for _, pri in self._pairs:
+            if isinstance(pri, Expr):
+                names.update(pri.free_params())
+        return frozenset(names)
+
+
+EMPTY_ACTION = Action(())
+
+
+def make_action(
+    pairs: Union[Mapping[str, Priority], Iterable[Tuple[str, Priority]]],
+) -> Action:
+    """Build an :class:`Action` from a mapping or pair iterable.
+
+    Priorities given as expressions are normalized through
+    :func:`repro.acsr.expressions.as_expr` so plain strings naming
+    parameters are accepted::
+
+        make_action({"cpu": 2, "bus": var("p")})
+    """
+    if isinstance(pairs, Mapping):
+        items: Iterable[Tuple[str, Priority]] = pairs.items()
+    else:
+        items = pairs
+    normalized = []
+    for resource, priority in items:
+        if isinstance(priority, str):
+            priority = as_expr(priority)
+        normalized.append((resource, priority))
+    return Action(normalized)

@@ -1,0 +1,352 @@
+"""Unprioritized operational semantics of ACSR.
+
+``transitions(term, env)`` computes the outgoing steps of a *closed* term:
+a tuple of ``(label, successor)`` pairs where ``label`` is either a ground
+:class:`~repro.acsr.resources.Action` (timed step, one quantum) or a ground
+:class:`~repro.acsr.events.EventLabel` (instantaneous step).
+
+Rules implemented (paper S3; Lee, Bremond-Gregoire & Gerber 1994):
+
+* prefixes contribute their single step;
+* choice is the union of the summands' steps;
+* parallel composition interleaves event steps, synchronizes matching
+  send/receive pairs into ``tau@name`` steps with summed priority, and --
+  rule (Par3) -- lets *all* components perform timed steps simultaneously
+  provided their resource sets are pairwise disjoint (time progress is
+  global: a component with no timed step blocks time for the whole
+  composition);
+* restriction deletes unsynchronized steps on restricted names;
+* resource closure extends timed steps with priority-0 claims;
+* temporal scopes route exception/timeout/interrupt exits;
+* process references unfold through the definition environment (with
+  detection of unguarded recursion).
+
+The function is pure; memoization lives in
+:class:`repro.acsr.definitions.ClosedSystem`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.errors import AcsrDefinitionError, AcsrSemanticsError
+from repro.acsr.events import EventLabel
+from repro.acsr.resources import Action
+from repro.acsr.terms import (
+    ActionPrefix,
+    Choice,
+    Close,
+    EventPrefix,
+    Guard,
+    Hide,
+    Nil,
+    Parallel,
+    ProcRef,
+    Restrict,
+    Scope,
+    Term,
+    parallel,
+    scope,
+)
+
+Transition = Tuple[object, Term]  # (Action | EventLabel, successor)
+
+
+def transitions(term: Term, env) -> Tuple[Transition, ...]:
+    """All unprioritized transitions of a closed term."""
+    return _trans(term, env, frozenset())
+
+
+def _trans(
+    term: Term, env, active: FrozenSet[ProcRef]
+) -> Tuple[Transition, ...]:
+    # Subterm memoization: during exploration the same component terms
+    # recur under thousands of parent states, and recomputing their
+    # steps dominated the profile (see DESIGN.md / EXPERIMENTS.md).  A
+    # *completed* computation is independent of the cycle-guard set
+    # ``active`` (the guard only detects unguarded recursion, which
+    # raises instead of returning), so caching finished results by term
+    # is sound.  Terms are interned, making the dict lookup an identity
+    # hash.
+    memo = getattr(env, "_trans_memo", None)
+    if memo is None:
+        memo = env._trans_memo = {}
+    cached = memo.get(term)
+    if cached is not None:
+        return cached
+    result = _trans_uncached(term, env, active)
+    memo[term] = result
+    return result
+
+
+def _trans_uncached(
+    term: Term, env, active: FrozenSet[ProcRef]
+) -> Tuple[Transition, ...]:
+    if isinstance(term, Nil):
+        return ()
+    if isinstance(term, ActionPrefix):
+        if not term.action.is_ground:
+            raise AcsrSemanticsError(
+                f"open action in closed-term semantics: {term.action!r}"
+            )
+        return ((term.action, term.continuation),)
+    if isinstance(term, EventPrefix):
+        if not term.label.is_ground:
+            raise AcsrSemanticsError(
+                f"open event priority in closed-term semantics: {term.label!r}"
+            )
+        return ((term.label, term.continuation),)
+    if isinstance(term, Choice):
+        return _trans_choice(term, env, active)
+    if isinstance(term, Parallel):
+        return _trans_parallel(term, env, active)
+    if isinstance(term, Restrict):
+        return _trans_restrict(term, env, active)
+    if isinstance(term, Close):
+        return _trans_close(term, env, active)
+    if isinstance(term, Hide):
+        return _trans_hide(term, env, active)
+    if isinstance(term, Scope):
+        return _trans_scope(term, env, active)
+    if isinstance(term, ProcRef):
+        if term in active:
+            raise AcsrDefinitionError(
+                f"unguarded recursion through {term.name}"
+                + (f"{term.args}" if term.args else "")
+            )
+        body = env.unfold(term)
+        return _trans(body, env, active | {term})
+    if isinstance(term, Guard):
+        raise AcsrSemanticsError(
+            "guard survived instantiation; semantics requires closed terms"
+        )
+    raise AcsrSemanticsError(f"unknown term kind {type(term).__name__}")
+
+
+def _dedup(pairs: List[Transition]) -> Tuple[Transition, ...]:
+    seen: Dict[Tuple[object, Term], None] = {}
+    for pair in pairs:
+        seen.setdefault(pair, None)
+    return tuple(seen)
+
+
+def _trans_choice(
+    term: Choice, env, active: FrozenSet[ProcRef]
+) -> Tuple[Transition, ...]:
+    result: List[Transition] = []
+    for child in term.children:
+        result.extend(_trans(child, env, active))
+    return _dedup(result)
+
+
+def _with_child(
+    children: Tuple[Term, ...], index: int, successor: Term
+) -> Term:
+    """Parallel composition with one child replaced.
+
+    Fast path for the dominant case (profiling: successor construction
+    was the second-largest cost): the untouched children are already in
+    canonical order, so a non-Parallel successor only needs a binary-
+    search insertion instead of the generic flatten-and-sort.
+    """
+    if isinstance(successor, Parallel):
+        return parallel(
+            *(children[:index] + (successor,) + children[index + 1 :])
+        )
+    rest = list(children[:index]) + list(children[index + 1 :])
+    sid = successor._id
+    lo, hi = 0, len(rest)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if rest[mid]._id < sid:
+            lo = mid + 1
+        else:
+            hi = mid
+    rest.insert(lo, successor)
+    if len(rest) == 1:
+        return rest[0]
+    return Parallel(tuple(rest))
+
+
+def _trans_parallel(
+    term: Parallel, env, active: FrozenSet[ProcRef]
+) -> Tuple[Transition, ...]:
+    children = term.children
+    n = len(children)
+    per_child = [_trans(child, env, active) for child in children]
+
+    result: List[Transition] = []
+
+    # Event interleaving: one component moves, the rest stand still.
+    event_steps: List[List[Tuple[EventLabel, Term]]] = []
+    timed_steps: List[List[Tuple[Action, Term]]] = []
+    for trans in per_child:
+        events = [
+            (label, succ)
+            for label, succ in trans
+            if isinstance(label, EventLabel)
+        ]
+        timed = [
+            (label, succ) for label, succ in trans if isinstance(label, Action)
+        ]
+        event_steps.append(events)
+        timed_steps.append(timed)
+
+    for i in range(n):
+        for label, succ in event_steps[i]:
+            result.append((label, _with_child(children, i, succ)))
+
+    # CCS-style synchronization between any two distinct components.
+    # Events are indexed by (name, direction) so only complementary
+    # pairs are examined (the pairwise label scan was a profile hotspot
+    # on event-heavy states).
+    by_name: List[dict] = []
+    for trans in event_steps:
+        index: dict = {}
+        for label, succ in trans:
+            if not label.is_tau:
+                index.setdefault((label.name, label.direction), []).append(
+                    (label, succ)
+                )
+        by_name.append(index)
+    from repro.acsr.events import IN, OUT
+
+    for i in range(n):
+        if not by_name[i]:
+            continue
+        for j in range(i + 1, n):
+            if not by_name[j]:
+                continue
+            for (name, direction), senders in by_name[i].items():
+                partners = by_name[j].get(
+                    (name, IN if direction == OUT else OUT)
+                )
+                if not partners:
+                    continue
+                for label_i, succ_i in senders:
+                    for label_j, succ_j in partners:
+                        tau = label_i.synchronize(label_j)
+                        rest = list(children)
+                        rest[i] = succ_i
+                        rest[j] = succ_j
+                        result.append((tau, parallel(*rest)))
+
+    # (Par3): simultaneous timed steps with pairwise disjoint resources.
+    # Every component must take a timed step; a component with none blocks
+    # global time progress.
+    if all(timed_steps):
+        combos: List[Tuple[Action, List[Term]]] = [(None, [])]  # type: ignore[list-item]
+        for options in timed_steps:
+            new_combos: List[Tuple[Action, List[Term]]] = []
+            for acc_action, acc_succs in combos:
+                for label, succ in options:
+                    if acc_action is None:
+                        merged = label
+                    elif acc_action.disjoint(label):
+                        merged = acc_action.union(label)
+                    else:
+                        continue
+                    new_combos.append((merged, acc_succs + [succ]))
+            combos = new_combos
+            if not combos:
+                break
+        for merged, succs in combos:
+            result.append((merged, parallel(*succs)))
+
+    return _dedup(result)
+
+
+def _trans_restrict(
+    term: Restrict, env, active: FrozenSet[ProcRef]
+) -> Tuple[Transition, ...]:
+    result: List[Transition] = []
+    for label, succ in _trans(term.body, env, active):
+        if (
+            isinstance(label, EventLabel)
+            and not label.is_tau
+            and label.name in term.names
+        ):
+            continue
+        result.append((label, Restrict(succ, term.names)))
+    return _dedup(result)
+
+
+def _trans_close(
+    term: Close, env, active: FrozenSet[ProcRef]
+) -> Tuple[Transition, ...]:
+    result: List[Transition] = []
+    for label, succ in _trans(term.body, env, active):
+        wrapped = Close(succ, term.resources)
+        if isinstance(label, Action):
+            result.append((label.closed_over(term.resources), wrapped))
+        else:
+            result.append((label, wrapped))
+    return _dedup(result)
+
+
+def _trans_hide(
+    term: Hide, env, active: FrozenSet[ProcRef]
+) -> Tuple[Transition, ...]:
+    result: List[Transition] = []
+    for label, succ in _trans(term.body, env, active):
+        wrapped = Hide(succ, term.resources)
+        if isinstance(label, Action):
+            kept = Action(
+                tuple(
+                    (res, pri)
+                    for res, pri in label.pairs
+                    if res not in term.resources
+                )
+            )
+            result.append((kept, wrapped))
+        else:
+            result.append((label, wrapped))
+    return _dedup(result)
+
+
+def _trans_scope(
+    term: Scope, env, active: FrozenSet[ProcRef]
+) -> Tuple[Transition, ...]:
+    result: List[Transition] = []
+    for label, succ in _trans(term.body, env, active):
+        if isinstance(label, Action):
+            new_bound = None if term.bound is None else term.bound - 1
+            result.append(
+                (
+                    label,
+                    scope(
+                        succ,
+                        bound=new_bound,
+                        exception=term.exception,
+                        success=term.success,
+                        timeout=term.timeout,
+                        interrupt=term.interrupt,
+                    ),
+                )
+            )
+        else:
+            if (
+                term.exception is not None
+                and label.is_output
+                and label.name == term.exception
+            ):
+                # Voluntary exit: the exception event is observable and
+                # control transfers to the success handler.
+                result.append((label, term.success))
+            else:
+                result.append(
+                    (
+                        label,
+                        scope(
+                            succ,
+                            bound=term.bound,
+                            exception=term.exception,
+                            success=term.success,
+                            timeout=term.timeout,
+                            interrupt=term.interrupt,
+                        ),
+                    )
+                )
+    # Involuntary exit: any initial step of the interrupt handler.
+    result.extend(_trans(term.interrupt, env, active))
+    return _dedup(result)

@@ -1,0 +1,282 @@
+"""Raising ACSR traces to AADL-level failing scenarios (paper S5).
+
+"If a deadlock is found, the failing scenario is 'raised' to the level of
+the original AADL model.  Steps of the trace are reinterpreted in terms
+of the actions of the components in the AADL model."
+
+Every internal step carries the name of the event that produced it
+(``tau@dispatch$...``), and every state is a parallel composition of
+named process references; the :class:`~repro.translate.names.NameTable`
+maps both back to AADL elements, so raising is a table lookup, never a
+heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.acsr.events import EventLabel
+from repro.acsr.resources import Action
+from repro.acsr.terms import Hide, Parallel, ProcRef, Restrict, Term
+from repro.translate.translator import TranslationResult
+from repro.versa.traces import Trace
+
+
+class ScenarioEvent:
+    """One AADL-level occurrence along a failing scenario.
+
+    Kinds: ``dispatch``, ``complete``, ``enqueue``, ``dequeue``,
+    ``flow_start``, ``flow_end``, ``deadline_miss``, ``queue_overflow``.
+    """
+
+    __slots__ = ("time", "kind", "element", "detail")
+
+    def __init__(
+        self, time: int, kind: str, element: str, detail: str = ""
+    ) -> None:
+        self.time = time
+        self.kind = kind
+        self.element = element
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"[t={self.time}] {self.kind} {self.element}{detail}"
+
+
+#: Per-thread activity in one quantum.
+RUNNING = "running"
+PREEMPTED = "preempted"
+WAITING = "waiting"
+
+
+class AadlScenario:
+    """A failing (or exemplary) scenario in AADL terms."""
+
+    def __init__(
+        self,
+        events: List[ScenarioEvent],
+        activity: Dict[str, List[str]],
+        duration: int,
+        deadlocked: bool,
+        misses: List[str],
+        overflows: List[str],
+    ) -> None:
+        #: discrete events in time order
+        self.events = events
+        #: thread qualified name -> per-quantum activity row
+        self.activity = activity
+        #: total quanta covered
+        self.duration = duration
+        #: True when the trace ends in a deadlock
+        self.deadlocked = deadlocked
+        #: threads whose deadline expired at the end of the trace
+        self.misses = misses
+        #: connections whose queue overflowed into the error state
+        self.overflows = overflows
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for external tooling (timeline viewers,
+        CI artifacts)."""
+        return {
+            "duration": self.duration,
+            "deadlocked": self.deadlocked,
+            "misses": list(self.misses),
+            "overflows": list(self.overflows),
+            "events": [
+                {
+                    "time": event.time,
+                    "kind": event.kind,
+                    "element": event.element,
+                    "detail": event.detail,
+                }
+                for event in self.events
+            ],
+            "activity": {
+                qual: list(row) for qual, row in self.activity.items()
+            },
+        }
+
+    def format(self) -> str:
+        from repro.analysis.timeline import render_timeline
+
+        lines: List[str] = []
+        for event in self.events:
+            lines.append(f"  {event!r}")
+        if self.activity:
+            lines.append("")
+            lines.append(render_timeline(self))
+        if self.misses:
+            lines.append("")
+            lines.append(
+                "  DEADLINE MISS at t="
+                f"{self.duration}: " + ", ".join(self.misses)
+            )
+        if self.overflows:
+            lines.append(
+                "  QUEUE OVERFLOW (Error protocol): "
+                + ", ".join(self.overflows)
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+    def __repr__(self) -> str:
+        return (
+            f"AadlScenario(duration={self.duration}, "
+            f"events={len(self.events)}, misses={self.misses})"
+        )
+
+
+def _components(term: Term) -> List[ProcRef]:
+    """Process references making up the control state of a system term."""
+    refs: List[ProcRef] = []
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ProcRef):
+            refs.append(node)
+        elif isinstance(node, (Restrict, Hide)):
+            stack.append(node.body)
+        elif isinstance(node, Parallel):
+            stack.extend(node.children)
+        # Mid-handshake components (event-prefix chains) carry no state
+        # parameters of interest; they resolve within the same instant.
+    return refs
+
+
+def _thread_states(
+    term: Term, result: TranslationResult
+) -> Dict[str, Tuple[str, Tuple[int, ...]]]:
+    """thread qual -> (skeleton state kind, args) for one system state."""
+    states: Dict[str, Tuple[str, Tuple[int, ...]]] = {}
+    for ref in _components(term):
+        entry = result.names.lookup(ref.name)
+        if entry is None:
+            continue
+        kind, element = entry
+        if kind in ("await", "compute", "finish"):
+            states[element] = (kind, tuple(ref.args))  # type: ignore[arg-type]
+    return states
+
+
+def _dispatcher_states(
+    term: Term, result: TranslationResult
+) -> Dict[str, Tuple[str, Tuple[int, ...]]]:
+    states: Dict[str, Tuple[str, Tuple[int, ...]]] = {}
+    for ref in _components(term):
+        entry = result.names.lookup(ref.name)
+        if entry is None:
+            continue
+        kind, element = entry
+        if kind in ("dispatcher", "dispatcher_wait", "dispatcher_idle"):
+            states[element] = (kind, tuple(ref.args))  # type: ignore[arg-type]
+    return states
+
+
+def _overflowed_queues(term: Term, result: TranslationResult) -> List[str]:
+    overflows: List[str] = []
+    for ref in _components(term):
+        entry = result.names.lookup(ref.name)
+        if entry is not None and entry[0] == "queue_error":
+            overflows.append(entry[1])
+    return overflows
+
+
+_EVENT_KINDS = {
+    "dispatch": "dispatch",
+    "done": "complete",
+    "enqueue": "enqueue",
+    "dequeue": "dequeue",
+    "obs_start": "flow_start",
+    "obs_end": "flow_end",
+}
+
+
+def raise_trace(
+    result: TranslationResult,
+    trace: Trace,
+    *,
+    deadlocked: bool = True,
+) -> AadlScenario:
+    """Reinterpret an ACSR trace in terms of the source AADL model."""
+    events: List[ScenarioEvent] = []
+    threads = sorted(result.threads)
+    activity: Dict[str, List[str]] = {qual: [] for qual in threads}
+
+    clock = 0
+    previous_states = _thread_states(trace.initial, result)
+    for step in trace:
+        if isinstance(step.label, EventLabel):
+            via = step.label.via
+            if via is not None:
+                entry = result.names.lookup(via)
+                if entry is not None:
+                    kind, element = entry
+                    mapped = _EVENT_KINDS.get(kind)
+                    if mapped is not None:
+                        events.append(
+                            ScenarioEvent(clock, mapped, element)
+                        )
+            previous_states = _thread_states(step.state, result)
+            continue
+
+        assert isinstance(step.label, Action)
+        new_states = _thread_states(step.state, result)
+        for qual in threads:
+            activity[qual].append(
+                _classify(previous_states.get(qual), new_states.get(qual))
+            )
+        previous_states = new_states
+        clock += 1
+
+    final = trace.final_state
+    misses: List[str] = []
+    if deadlocked:
+        dispatchers = _dispatcher_states(final, result)
+        thread_states = _thread_states(final, result)
+        for qual, translation in result.threads.items():
+            disp = dispatchers.get(qual)
+            thr = thread_states.get(qual)
+            if (
+                disp is not None
+                and disp[0] == "dispatcher_wait"
+                and disp[1]
+                and disp[1][0] >= translation.timing.deadline
+                and (thr is None or thr[0] != "await")
+            ):
+                misses.append(qual)
+                events.append(
+                    ScenarioEvent(
+                        clock,
+                        "deadline_miss",
+                        qual,
+                        f"deadline {translation.timing.deadline} quanta",
+                    )
+                )
+    overflows = _overflowed_queues(final, result)
+    for conn in overflows:
+        events.append(ScenarioEvent(clock, "queue_overflow", conn))
+
+    return AadlScenario(
+        events, activity, clock, deadlocked, misses, overflows
+    )
+
+
+def _classify(
+    before: Optional[Tuple[str, Tuple[int, ...]]],
+    after: Optional[Tuple[str, Tuple[int, ...]]],
+) -> str:
+    if before is None or before[0] == "await":
+        return WAITING
+    if before[0] == "finish":
+        return WAITING
+    if before[0] == "compute":
+        if after is None:
+            return WAITING
+        if after[0] == "finish":
+            return RUNNING  # the final compute step
+        if after[0] == "compute" and after[1] and before[1]:
+            return RUNNING if after[1][0] > before[1][0] else PREEMPTED
+    return WAITING

@@ -1,0 +1,151 @@
+"""Top-level schedulability analysis (the paper's three-step plugin, S5).
+
+1. translate the AADL instance to ACSR (Algorithm 1);
+2. explore the prioritized state space looking for deadlocks (VERSA);
+3. raise any deadlock trace back to AADL terms.
+
+The verdict is
+
+* ``SCHEDULABLE`` -- the reachable state space is deadlock-free (every
+  thread meets every deadline in every behaviour);
+* ``UNSCHEDULABLE`` -- a deadlock was found; the result carries the
+  failing scenario;
+* ``UNKNOWN`` -- the exploration budget was exhausted first.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Union
+
+from repro.errors import ExplorationLimitError
+from repro.aadl.components import DeclarativeModel
+from repro.aadl.instance import SystemInstance, instantiate
+from repro.aadl.properties import TimeValue
+from repro.analysis.raising import AadlScenario, raise_trace
+from repro.translate.translator import (
+    TranslationOptions,
+    TranslationResult,
+    translate,
+)
+from repro.versa.explorer import ExplorationResult, Explorer
+
+
+class Verdict(enum.Enum):
+    SCHEDULABLE = "schedulable"
+    UNSCHEDULABLE = "unschedulable"
+    UNKNOWN = "unknown"
+
+
+class AnalysisResult:
+    """Everything the analysis produced."""
+
+    def __init__(
+        self,
+        verdict: Verdict,
+        translation: TranslationResult,
+        exploration: ExplorationResult,
+        scenario: Optional[AadlScenario],
+    ) -> None:
+        self.verdict = verdict
+        self.translation = translation
+        self.exploration = exploration
+        #: failing scenario (UNSCHEDULABLE only)
+        self.scenario = scenario
+
+    @property
+    def schedulable(self) -> Optional[bool]:
+        """True / False, or None when the verdict is UNKNOWN."""
+        if self.verdict is Verdict.SCHEDULABLE:
+            return True
+        if self.verdict is Verdict.UNSCHEDULABLE:
+            return False
+        return None
+
+    @property
+    def num_states(self) -> int:
+        return self.exploration.num_states
+
+    @property
+    def elapsed(self) -> float:
+        return self.exploration.elapsed
+
+    def format(self) -> str:
+        lines = [
+            f"verdict: {self.verdict.value}",
+            f"states explored: {self.exploration.num_states} "
+            f"({self.exploration.elapsed:.3f}s)",
+            f"quantum: {self.translation.quantizer.quantum}",
+        ]
+        if self.scenario is not None:
+            lines.append("failing scenario:")
+            lines.append(self.scenario.format())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"AnalysisResult({self.verdict.value}, "
+            f"states={self.exploration.num_states})"
+        )
+
+
+def analyze_model(
+    model: Union[SystemInstance, DeclarativeModel],
+    *,
+    root_impl: Optional[str] = None,
+    quantum: Optional[TimeValue] = None,
+    options: Optional[TranslationOptions] = None,
+    max_states: int = 1_000_000,
+    max_seconds: Optional[float] = None,
+    stop_at_first_deadlock: bool = True,
+) -> AnalysisResult:
+    """Analyze a bound AADL model for schedulability.
+
+    Accepts either an instantiated system or a declarative model plus
+    ``root_impl``.  ``quantum`` overrides the default exact (GCD)
+    quantization; ``options`` gives full control over the translation.
+    """
+    if isinstance(model, DeclarativeModel):
+        if root_impl is None:
+            raise ValueError(
+                "root_impl is required when passing a declarative model"
+            )
+        instance = instantiate(model, root_impl)
+    else:
+        instance = model
+
+    if options is None:
+        options = TranslationOptions(quantum=quantum)
+    elif quantum is not None:
+        options.quantum = quantum
+
+    translation = translate(instance, options)
+    explorer = Explorer(
+        translation.system,
+        max_states=max_states,
+        max_seconds=max_seconds,
+        on_limit="truncate",
+    )
+    exploration = explorer.run(
+        stop_at_first_deadlock=stop_at_first_deadlock
+    )
+
+    trace = exploration.first_deadlock_trace()
+    if trace is not None:
+        scenario = raise_trace(translation, trace, deadlocked=True)
+        return AnalysisResult(
+            Verdict.UNSCHEDULABLE, translation, exploration, scenario
+        )
+    if exploration.completed or (
+        not stop_at_first_deadlock and exploration.deadlock_free
+        and exploration.completed
+    ):
+        return AnalysisResult(
+            Verdict.SCHEDULABLE, translation, exploration, None
+        )
+    if stop_at_first_deadlock and not exploration.completed:
+        # The search stopped without a deadlock only if a budget hit.
+        return AnalysisResult(
+            Verdict.UNKNOWN, translation, exploration, None
+        )
+    return AnalysisResult(Verdict.SCHEDULABLE, translation, exploration, None)

@@ -1,0 +1,46 @@
+"""Text timeline ("convenient time line form", paper S7) for scenarios."""
+
+from __future__ import annotations
+
+from typing import List
+
+_SYMBOLS = {
+    "running": "#",
+    "preempted": ".",
+    "waiting": " ",
+}
+
+
+def render_timeline(scenario) -> str:
+    """ASCII Gantt chart of an :class:`~repro.analysis.raising.AadlScenario`.
+
+    One row per thread; ``#`` = executing, ``.`` = preempted (dispatched
+    but not holding the cpu), blank = awaiting dispatch.  Dispatch and
+    completion events are marked beneath the chart.
+    """
+    if not scenario.activity:
+        return "  <no timeline>"
+    width = max(len(qual) for qual in scenario.activity)
+    lines: List[str] = []
+    header = " " * (width + 2) + "".join(
+        str(t % 10) for t in range(scenario.duration)
+    )
+    lines.append(header)
+    for qual in sorted(scenario.activity):
+        row = "".join(
+            _SYMBOLS.get(slot, "?") for slot in scenario.activity[qual]
+        )
+        lines.append(f"{qual:<{width}} |{row}|")
+    marks = _event_marks(scenario)
+    if marks:
+        lines.append("")
+        lines.extend(marks)
+    return "\n".join(lines)
+
+
+def _event_marks(scenario) -> List[str]:
+    marks: List[str] = []
+    for event in scenario.events:
+        if event.kind in ("dispatch", "complete", "deadline_miss"):
+            marks.append(f"  t={event.time:<4d} {event.kind:<14s} {event.element}")
+    return marks

@@ -1,0 +1,350 @@
+"""Command-line interface: the OSATE-plugin workflow without Eclipse.
+
+The paper's tool runs as three steps behind a button (S5): translate the
+AADL model to VERSA input, run the deadlock search, raise the failing
+scenario.  The CLI exposes each step plus the baselines::
+
+    repro analyze model.aadl --root Sys.impl        # full pipeline
+    repro analyze model.aadl --root Sys.impl --all-modes
+    repro validate model.aadl --root Sys.impl       # S4.1 checks only
+    repro translate model.aadl --root Sys.impl      # emit ACSR source
+    repro acsr system.acsr                          # explore raw ACSR
+    repro simulate model.aadl --root Sys.impl       # Cheddar-style Gantt
+
+(Equivalently: ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _quantum(args):
+    from repro.aadl.properties import TimeValue
+
+    if args.quantum is None:
+        return None
+    return TimeValue(args.quantum, "us")
+
+
+def _load_instance(args):
+    from repro.aadl import instantiate, parse_model
+
+    model = parse_model(_read(args.file))
+    if args.root is None:
+        candidates = [
+            impl.name
+            for impl in model.implementations()
+            if model.type(impl.type_name).category.value == "system"
+        ]
+        # The root of the hierarchy: a system implementation that no other
+        # implementation instantiates as a subcomponent.
+        used = {
+            sub.classifier.lower()
+            for impl in model.implementations()
+            for sub in impl.subcomponents.values()
+        }
+        roots = [name for name in candidates if name.lower() not in used]
+        if len(roots) != 1:
+            raise ReproError(
+                "--root is required; candidate system implementations: "
+                + (", ".join(roots or candidates) or "<none>")
+            )
+        args.root = roots[0]
+    return model, instantiate(model, args.root)
+
+
+def cmd_analyze(args) -> int:
+    from repro.analysis import Verdict, analyze_model, compare_with_baselines
+    from repro.analysis.modes import analyze_all_modes
+
+    model, instance = _load_instance(args)
+    if args.all_modes:
+        result = analyze_all_modes(
+            model, args.root, quantum=_quantum(args), max_states=args.max_states
+        )
+        print(result.format())
+        return 0 if result.verdict is Verdict.SCHEDULABLE else 1
+    result = analyze_model(
+        instance, quantum=_quantum(args), max_states=args.max_states
+    )
+    print(result.format())
+    if args.response_times and result.verdict is Verdict.SCHEDULABLE:
+        from repro.analysis.response import response_time_report
+
+        print()
+        print(
+            response_time_report(
+                result.translation, max_states=args.max_states
+            )
+        )
+    if args.baselines:
+        print()
+        print("baselines:")
+        for row in compare_with_baselines(instance, max_states=args.max_states):
+            print(f"  {row!r}")
+    return 0 if result.verdict is Verdict.SCHEDULABLE else 1
+
+
+def cmd_validate(args) -> int:
+    from repro.aadl.validation import collect_violations
+
+    _, instance = _load_instance(args)
+    violations = collect_violations(instance)
+    if not violations:
+        print(
+            f"{instance.qualified_name}: satisfies the translation "
+            f"assumptions (S4.1)"
+        )
+        return 0
+    print(f"{instance.qualified_name}: {len(violations)} violation(s):")
+    for violation in violations:
+        print(f"  - {violation}")
+    return 1
+
+
+def cmd_translate(args) -> int:
+    from repro.acsr.printer import format_env
+    from repro.translate import TranslationOptions, translate
+
+    _, instance = _load_instance(args)
+    result = translate(
+        instance, TranslationOptions(quantum=_quantum(args))
+    )
+    source = format_env(result.env, result.root)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        print(
+            f"wrote {len(result.env)} process definitions to {args.output} "
+            f"({result.num_thread_processes} threads, "
+            f"{result.num_dispatchers} dispatchers, "
+            f"{result.num_queue_processes} queues)"
+        )
+    else:
+        print(source, end="")
+    return 0
+
+
+def cmd_acsr(args) -> int:
+    from repro.acsr import parse_env
+    from repro.versa import Explorer
+
+    env, root = parse_env(_read(args.file))
+    if root is None:
+        raise ReproError(f"{args.file}: no 'system' declaration")
+    system = env.close(root)
+    if args.walk:
+        from repro.versa import random_walk
+
+        trace = random_walk(
+            system, max_steps=args.walk, seed=args.seed
+        )
+        print(f"walk of {len(trace)} step(s), {trace.duration} quanta:")
+        print(trace.format(show_states=args.show_states))
+        if len(trace) < args.walk:
+            print("walk ended in a deadlock")
+            return 1
+        return 0
+    explorer = Explorer(
+        system, max_states=args.max_states, on_limit="truncate",
+        store_transitions=bool(args.dot),
+    )
+    result = explorer.run(
+        stop_at_first_deadlock=not args.full and not args.dot
+    )
+    print(
+        f"states: {result.num_states}  transitions: "
+        f"{result.num_transitions}  completed: {result.completed}"
+    )
+    if args.dot:
+        from repro.versa import LTS
+
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(LTS.from_exploration(result).to_dot())
+        print(f"wrote DOT graph to {args.dot}")
+    trace = result.first_deadlock_trace()
+    if trace is None:
+        print("no deadlock found")
+        return 0
+    print(f"deadlock after {trace.duration} time units:")
+    print(trace.format(show_states=args.show_states))
+    return 1
+
+
+def cmd_simulate(args) -> int:
+    from repro.aadl.properties import SCHEDULING_PROTOCOL
+    from repro.sched import extract_task_set, simulate
+    from repro.translate.quantum import TimingQuantizer
+
+    _, instance = _load_instance(args)
+    processors = [
+        p
+        for p in instance.processors()
+        if any(t.bound_processor is p for t in instance.threads())
+    ]
+    quantizer = TimingQuantizer.natural(instance)
+    status = 0
+    for processor in processors:
+        tasks = extract_task_set(instance, processor, quantizer)
+        if len(tasks) == 0:
+            continue
+        result = simulate(tasks, policy=args.policy)
+        print(f"{processor.qualified_name} [{args.policy}] "
+              f"(quantum {quantizer.quantum}):")
+        print(result.gantt([t.name for t in tasks]))
+        if result.misses:
+            status = 1
+            for name, when in result.misses:
+                print(f"  MISS: {name} at t={when}")
+        print()
+    return status
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Schedulability analysis of AADL models via translation to "
+            "the ACSR process algebra (Sokolsky, Lee & Clarke, IPDPS 2006)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, needs_root=True):
+        p.add_argument("file", help="input file")
+        if needs_root:
+            p.add_argument(
+                "--root",
+                help="root system implementation (e.g. Sys.impl); "
+                "inferred when the model has exactly one",
+            )
+        p.add_argument(
+            "--quantum",
+            type=int,
+            default=None,
+            metavar="MICROSECONDS",
+            help="scheduling quantum (default: GCD of all durations)",
+        )
+        p.add_argument(
+            "--max-states",
+            type=int,
+            default=1_000_000,
+            help="state budget for exploration",
+        )
+
+    p_analyze = sub.add_parser(
+        "analyze", help="translate, explore, raise failing scenarios"
+    )
+    common(p_analyze)
+    p_analyze.add_argument(
+        "--all-modes",
+        action="store_true",
+        help="analyze every mode of a multi-modal root separately",
+    )
+    p_analyze.add_argument(
+        "--baselines",
+        action="store_true",
+        help="also run the classical schedulability baselines",
+    )
+    p_analyze.add_argument(
+        "--response-times",
+        action="store_true",
+        help="report observed worst-case response times (schedulable "
+        "models only)",
+    )
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_validate = sub.add_parser(
+        "validate", help="check the paper S4.1 translation assumptions"
+    )
+    common(p_validate)
+    p_validate.set_defaults(func=cmd_validate)
+
+    p_translate = sub.add_parser(
+        "translate", help="emit the ACSR translation (VERSA-like syntax)"
+    )
+    common(p_translate)
+    p_translate.add_argument(
+        "-o", "--output", help="write the ACSR source to a file"
+    )
+    p_translate.set_defaults(func=cmd_translate)
+
+    p_acsr = sub.add_parser(
+        "acsr", help="explore a raw ACSR file (process/system declarations)"
+    )
+    common(p_acsr, needs_root=False)
+    p_acsr.add_argument(
+        "--full",
+        action="store_true",
+        help="explore the full space instead of stopping at the first "
+        "deadlock",
+    )
+    p_acsr.add_argument(
+        "--show-states",
+        action="store_true",
+        help="print the intermediate states of the counterexample",
+    )
+    p_acsr.add_argument(
+        "--walk",
+        type=int,
+        default=0,
+        metavar="STEPS",
+        help="take one random walk instead of exploring exhaustively",
+    )
+    p_acsr.add_argument(
+        "--seed", type=int, default=None, help="random-walk seed"
+    )
+    p_acsr.add_argument(
+        "--dot",
+        metavar="FILE",
+        help="export the explored state space as a Graphviz DOT file",
+    )
+    p_acsr.set_defaults(func=cmd_acsr)
+
+    p_sim = sub.add_parser(
+        "simulate",
+        help="Cheddar-style scheduler simulation (one run per processor)",
+    )
+    common(p_sim)
+    p_sim.add_argument(
+        "--policy",
+        default="rate",
+        choices=["rate", "deadline", "explicit", "edf", "llf"],
+        help="scheduling policy for the simulation",
+    )
+    p_sim.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Classical schedulability baselines.
+
+The paper positions exhaustive ACSR exploration against "more traditional
+schedulability analysis algorithms" (S1) and simulation-based tools like
+Cheddar (S6).  This subpackage implements those comparators:
+
+* :mod:`~repro.sched.taskmodel` -- extraction of a periodic/sporadic task
+  set abstraction from an AADL instance;
+* :mod:`~repro.sched.utilization` -- Liu & Layland and hyperbolic
+  utilization bounds (sufficient tests);
+* :mod:`~repro.sched.rta` -- exact response-time analysis for
+  fixed-priority preemptive scheduling;
+* :mod:`~repro.sched.demand` -- the processor-demand criterion for EDF
+  (exact for synchronous constrained-deadline task sets);
+* :mod:`~repro.sched.simulation` -- a Cheddar-style discrete-time
+  scheduler simulation over the hyperperiod (exact for deterministic
+  synchronous periodic sets; a *single run*, unlike the exhaustive ACSR
+  exploration).
+
+These serve both as benchmark baselines (who wins, where) and as
+cross-validation oracles for the ACSR verdicts.
+"""
+
+from repro.sched.taskmodel import PeriodicTask, TaskSet, extract_task_set
+from repro.sched.utilization import (
+    hyperbolic_bound_test,
+    liu_layland_bound,
+    liu_layland_test,
+    utilization,
+)
+from repro.sched.rta import response_time, rta_schedulable
+from repro.sched.demand import demand_bound_function, edf_schedulable
+from repro.sched.simulation import SimulationResult, simulate
+
+__all__ = [
+    "PeriodicTask",
+    "SimulationResult",
+    "TaskSet",
+    "demand_bound_function",
+    "edf_schedulable",
+    "extract_task_set",
+    "hyperbolic_bound_test",
+    "liu_layland_bound",
+    "liu_layland_test",
+    "response_time",
+    "rta_schedulable",
+    "simulate",
+    "utilization",
+]

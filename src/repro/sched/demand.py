@@ -1,0 +1,55 @@
+"""Processor-demand analysis for EDF (exact for synchronous sets).
+
+Baruah, Rosier & Howell: a synchronous constrained-deadline periodic task
+set is EDF-schedulable iff U <= 1 and for every absolute deadline
+``t`` up to the hyperperiod (bounded further by the standard L* bound)
+
+    dbf(t) = sum_i max(0, floor((t - D_i) / T_i) + 1) * C_i  <=  t.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.errors import SchedError
+from repro.sched.taskmodel import TaskSet
+
+
+def demand_bound_function(tasks: TaskSet, t: int) -> int:
+    """Total execution demand of jobs released and due within [0, t]."""
+    demand = 0
+    for task in tasks:
+        if t >= task.deadline:
+            demand += ((t - task.deadline) // task.period + 1) * task.wcet
+    return demand
+
+
+def _check_points(tasks: TaskSet, horizon: int) -> Iterable[int]:
+    points: Set[int] = set()
+    for task in tasks:
+        deadline = task.deadline
+        while deadline <= horizon:
+            points.add(deadline)
+            deadline += task.period
+    return sorted(points)
+
+
+def edf_schedulable(tasks: TaskSet) -> bool:
+    """Exact EDF verdict for a synchronous constrained-deadline set."""
+    if len(tasks) == 0:
+        raise SchedError("empty task set")
+    total_u = tasks.utilization
+    if total_u > 1.0 + 1e-12:
+        return False
+    horizon = tasks.hyperperiod
+    if total_u < 1.0 - 1e-12:
+        # L* bound: busy periods cannot extend past this point.
+        lstar = sum(
+            (task.period - task.deadline) * task.utilization
+            for task in tasks
+        ) / (1.0 - total_u)
+        horizon = min(horizon, max(1, int(lstar) + 1))
+    for t in _check_points(tasks, horizon):
+        if demand_bound_function(tasks, t) > t:
+            return False
+    return True

@@ -1,0 +1,60 @@
+"""Utilization-bound schedulability tests (sufficient, not necessary).
+
+* Liu & Layland (1973): a set of n implicit-deadline periodic tasks is
+  RM-schedulable if U <= n(2^(1/n) - 1).
+* Hyperbolic bound (Bini, Buttazzo & Buttazzo 2003): schedulable if
+  prod(U_i + 1) <= 2 -- strictly dominates the LL bound.
+
+These are the "traditional schedulability analysis algorithms" the paper
+contrasts with: fast, but inapplicable once the model has complex
+interaction patterns, and pessimistic even where they apply.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import SchedError
+from repro.sched.taskmodel import TaskSet
+
+
+def utilization(tasks: TaskSet) -> float:
+    """Total processor utilization sum(C_i / T_i)."""
+    return tasks.utilization
+
+
+def liu_layland_bound(n: int) -> float:
+    """The RM utilization bound for n tasks; ln 2 as n -> infinity."""
+    if n < 1:
+        raise SchedError(f"need at least one task, got {n}")
+    return n * (2.0 ** (1.0 / n) - 1.0)
+
+
+def liu_layland_test(tasks: TaskSet) -> bool:
+    """Sufficient RM test: U <= n(2^(1/n)-1).
+
+    Requires implicit deadlines (D == T); raises otherwise, because the
+    bound is not valid for constrained deadlines.
+    """
+    _require_implicit_deadlines(tasks)
+    return tasks.utilization <= liu_layland_bound(len(tasks)) + 1e-12
+
+
+def hyperbolic_bound_test(tasks: TaskSet) -> bool:
+    """Sufficient RM test: prod(U_i + 1) <= 2 (implicit deadlines)."""
+    _require_implicit_deadlines(tasks)
+    product = 1.0
+    for task in tasks:
+        product *= task.utilization + 1.0
+    return product <= 2.0 + 1e-12
+
+
+def _require_implicit_deadlines(tasks: TaskSet) -> None:
+    if len(tasks) == 0:
+        raise SchedError("empty task set")
+    for task in tasks:
+        if task.deadline != task.period:
+            raise SchedError(
+                f"task {task.name}: utilization bounds require implicit "
+                f"deadlines (D == T), got D={task.deadline}, T={task.period}"
+            )

@@ -1,0 +1,42 @@
+"""AADL -> ACSR translation (paper S4, Algorithm 1).
+
+For every processor ``p`` and every thread ``t`` bound to ``p``:
+
+* generate the thread *skeleton* -- AwaitDispatch / Compute / Finish
+  states mirroring Figures 4-5, with dynamic parameters ``(e, s)`` for
+  accumulated execution and elapsed time since dispatch;
+* generate the *dispatcher* for ``t``'s dispatch protocol (Figure 6);
+* refine the skeleton with output events for each outgoing event /
+  event-data connection and with bus resources for connections mapped to
+  buses;
+* generate a *queue process* for each incoming event / event-data
+  connection (S4.4).
+
+The scheduling policy of each processor is encoded as a priority
+assignment on its ``cpu`` resource (S5): static priorities for RMS / DMS /
+HPF, parametric expressions over ``(e, s)`` for EDF and LLF.
+
+Entry point: :func:`~repro.translate.translator.translate`.
+"""
+
+from repro.translate.names import NameTable, Names
+from repro.translate.quantum import QuantizedTiming, TimingQuantizer
+from repro.translate.priorities import priority_assignment
+from repro.translate.translator import (
+    EventSendPattern,
+    TranslationOptions,
+    TranslationResult,
+    translate,
+)
+
+__all__ = [
+    "EventSendPattern",
+    "NameTable",
+    "Names",
+    "QuantizedTiming",
+    "TimingQuantizer",
+    "TranslationOptions",
+    "TranslationResult",
+    "priority_assignment",
+    "translate",
+]

@@ -1,0 +1,248 @@
+"""Thread dispatchers (paper Figure 6).
+
+Each thread gets one dispatcher process that (a) sends the ``dispatch``
+event according to the dispatch protocol and (b) tracks the compute
+deadline, *blocking* -- and thereby deadlocking the model -- when ``done``
+does not arrive in time (S4.3: "signals deadline violations by inducing a
+deadlock into the model execution").
+
+* **Periodic** (Fig 6a): dispatch immediately (the initial state has no
+  idle alternative, so the internal dispatch step preempts time), await
+  ``done`` within the deadline ``D``, idle out the remainder of the
+  period ``P``, repeat.
+* **Aperiodic / background** (Fig 6b): idle until a dequeue event arrives
+  from some incoming connection's queue process (choice weighted by the
+  connections' Urgency), dispatch, await ``done`` within ``D``.
+* **Sporadic** (Fig 6c): like aperiodic, but after completion the next
+  dequeue is only accepted once the minimum separation ``P`` has elapsed
+  since the previous dispatch.
+
+Dynamic parameter ``k`` counts quanta since the last dispatch; guards
+bound it by ``D`` (wait states) and ``P`` (idle states), keeping the
+processes finite-state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import TranslationError
+from repro.acsr.definitions import ProcessEnv
+from repro.acsr.expressions import var
+from repro.acsr.terms import Term, choice, guard, idle, proc, recv, send
+from repro.aadl.properties import DispatchProtocol
+from repro.translate.names import NameTable, Names
+from repro.translate.quantum import QuantizedTiming
+
+# (dequeue event name, urgency) per incoming queued connection.
+DequeueSpec = Tuple[str, int]
+
+_PROTOCOL_TAGS = {
+    DispatchProtocol.PERIODIC: "P",
+    DispatchProtocol.APERIODIC: "A",
+    DispatchProtocol.SPORADIC: "S",
+    DispatchProtocol.BACKGROUND: "A",
+}
+
+
+def build_dispatcher(
+    env: ProcessEnv,
+    table: NameTable,
+    thread_qual: str,
+    protocol: DispatchProtocol,
+    timing: QuantizedTiming,
+    *,
+    dequeues: Sequence[DequeueSpec] = (),
+) -> Tuple[str, Term]:
+    """Generate the dispatcher definitions for one thread.
+
+    Returns ``(dispatcher name, initial term)`` -- they differ for
+    periodic threads with a Dispatch_Offset, whose initial state is the
+    offset countdown ``DO$t(0)``."""
+    if protocol is DispatchProtocol.PERIODIC:
+        return _periodic(env, table, thread_qual, timing)
+    if protocol in (DispatchProtocol.APERIODIC, DispatchProtocol.BACKGROUND):
+        return _aperiodic(env, table, thread_qual, protocol, timing, dequeues)
+    if protocol is DispatchProtocol.SPORADIC:
+        return _sporadic(env, table, thread_qual, timing, dequeues)
+    raise TranslationError(f"unsupported dispatch protocol {protocol}")
+
+
+def _names(
+    table: NameTable, thread_qual: str, protocol: DispatchProtocol
+) -> Tuple[str, str, str, str, str]:
+    tag = _PROTOCOL_TAGS[protocol]
+    d_name = table.record(
+        Names.dispatcher(thread_qual, tag), "dispatcher", thread_qual
+    )
+    w_name = table.record(
+        Names.dispatcher_wait(thread_qual), "dispatcher_wait", thread_qual
+    )
+    i_name = table.record(
+        Names.dispatcher_idle(thread_qual), "dispatcher_idle", thread_qual
+    )
+    dispatch_evt = Names.dispatch(thread_qual)
+    done_evt = Names.done(thread_qual)
+    return d_name, w_name, i_name, dispatch_evt, done_evt
+
+
+def _periodic(
+    env: ProcessEnv,
+    table: NameTable,
+    thread_qual: str,
+    timing: QuantizedTiming,
+) -> str:
+    if timing.period is None:
+        raise TranslationError(
+            f"periodic thread {thread_qual} has no quantized period"
+        )
+    d_name, w_name, i_name, dispatch_evt, done_evt = _names(
+        table, thread_qual, DispatchProtocol.PERIODIC
+    )
+    period, deadline = timing.period, timing.deadline
+    k = var("k")
+
+    # Fig 6a initial state: dispatch! with no idle alternative.
+    env.define(d_name, (), send(dispatch_evt, 1) >> proc(w_name, 0))
+
+    # Dispatch_Offset extension: idle out the phase before the first
+    # dispatch (subsequent periods are counted from each dispatch, so
+    # only the initial state changes).
+    if timing.offset > 0:
+        o_name = table.record(
+            f"DO${d_name.split('$', 1)[1]}", "dispatcher_offset", thread_qual
+        )
+        env.define(
+            o_name,
+            ("k",),
+            choice(
+                guard(k < timing.offset, idle().then(proc(o_name, k + 1))),
+                guard(
+                    k.eq(timing.offset),
+                    send(dispatch_evt, 1) >> proc(w_name, 0),
+                ),
+            ),
+        )
+
+    # Await done before the deadline; no branch at k == D => deadlock.
+    env.define(
+        w_name,
+        ("k",),
+        choice(
+            recv(done_evt, 0).then(proc(i_name, k)),
+            guard(k < deadline, idle().then(proc(w_name, k + 1))),
+        ),
+    )
+
+    # Idle out the period, then re-dispatch.  The [k == P] branch covers
+    # completion exactly at the deadline when D == P.
+    env.define(
+        i_name,
+        ("k",),
+        choice(
+            guard(k + 1 < period, idle().then(proc(i_name, k + 1))),
+            guard((k + 1).eq(period), idle().then(proc(d_name))),
+            guard(k.eq(period), send(dispatch_evt, 1) >> proc(w_name, 0)),
+        ),
+    )
+    if timing.offset > 0:
+        o_name = f"DO${d_name.split('$', 1)[1]}"
+        return d_name, proc(o_name, 0)
+    return d_name, proc(d_name)
+
+
+def _dequeue_choices(
+    dequeues: Sequence[DequeueSpec],
+    dispatch_evt: str,
+    wait_ref: Term,
+) -> List[Term]:
+    if not dequeues:
+        raise TranslationError(
+            "event-dispatched thread has no incoming queued connection"
+        )
+    return [
+        recv(dq_event, urgency).then(send(dispatch_evt, 1).then(wait_ref))
+        for dq_event, urgency in dequeues
+    ]
+
+
+def _aperiodic(
+    env: ProcessEnv,
+    table: NameTable,
+    thread_qual: str,
+    protocol: DispatchProtocol,
+    timing: QuantizedTiming,
+    dequeues: Sequence[DequeueSpec],
+) -> str:
+    d_name, w_name, _, dispatch_evt, done_evt = _names(
+        table, thread_qual, protocol
+    )
+    deadline = timing.deadline
+    k = var("k")
+
+    # Fig 6b: the dispatcher may idle awaiting an event.
+    env.define(
+        d_name,
+        (),
+        choice(
+            *_dequeue_choices(dequeues, dispatch_evt, proc(w_name, 0)),
+            idle().then(proc(d_name)),
+        ),
+    )
+    env.define(
+        w_name,
+        ("k",),
+        choice(
+            recv(done_evt, 0).then(proc(d_name)),
+            guard(k < deadline, idle().then(proc(w_name, k + 1))),
+        ),
+    )
+    return d_name, proc(d_name)
+
+
+def _sporadic(
+    env: ProcessEnv,
+    table: NameTable,
+    thread_qual: str,
+    timing: QuantizedTiming,
+    dequeues: Sequence[DequeueSpec],
+) -> str:
+    if timing.period is None:
+        raise TranslationError(
+            f"sporadic thread {thread_qual} has no quantized minimum "
+            f"separation (Period)"
+        )
+    d_name, w_name, i_name, dispatch_evt, done_evt = _names(
+        table, thread_qual, DispatchProtocol.SPORADIC
+    )
+    period, deadline = timing.period, timing.deadline
+    k = var("k")
+
+    accept = _dequeue_choices(dequeues, dispatch_evt, proc(w_name, 0))
+
+    env.define(
+        d_name,
+        (),
+        choice(*accept, idle().then(proc(d_name))),
+    )
+    env.define(
+        w_name,
+        ("k",),
+        choice(
+            recv(done_evt, 0).then(proc(i_name, k)),
+            guard(k < deadline, idle().then(proc(w_name, k + 1))),
+        ),
+    )
+    # Fig 6c: the next dispatch waits out the minimum separation.  At
+    # k == P (completion exactly at the deadline when D == P) the idle
+    # state already behaves like the initial state.
+    env.define(
+        i_name,
+        ("k",),
+        choice(
+            guard(k + 1 < period, idle().then(proc(i_name, k + 1))),
+            guard(k + 1 >= period, idle().then(proc(d_name))),
+            *[guard(k >= period, branch) for branch in accept],
+        ),
+    )
+    return d_name, proc(d_name)

@@ -1,0 +1,175 @@
+"""Systematic naming of generated ACSR entities.
+
+The paper: "By carefully choosing the names in the translated model we
+make it possible to present failing scenarios in terms of the original
+AADL model."  Every generated identifier embeds the qualified name of the
+AADL element it stems from, and a :class:`NameTable` records the inverse
+mapping explicitly so trace raising never parses strings heuristically.
+
+Kinds recorded in the table:
+
+======================  =====================================================
+ACSR entity             meaning
+======================  =====================================================
+``cpu$<proc>``          processor resource
+``bus$<bus>``           bus resource
+``data$<data>``         shared-data resource (access connections)
+``dispatch$<thr>``      dispatcher -> skeleton dispatch event
+``done$<thr>``          skeleton -> dispatcher completion event
+``q$<conn>``            source thread -> queue enqueue event  (paper: e_q)
+``dq$<conn>``           queue -> dispatcher dequeue event     (paper: e_deq)
+``AD$<thr>``            AwaitDispatch skeleton state
+``C$<thr>``             Compute skeleton state, params (e, s)
+``F$<thr>``             Finish state (completion events, then done)
+``DP$/DA$/DS$<thr>``    periodic / aperiodic / sporadic dispatcher states
+``DW$/DI$<thr>``        dispatcher wait-for-done / inter-dispatch idle states
+``Q$<conn>``            queue counter process, param (n)
+``QE$<conn>``           queue overflow error state
+``OBS$<flow>``          latency observer states
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+_SANITIZE = str.maketrans({".": "_", "-": "_", ">": "_", "+": "_"})
+
+
+def sanitize(qualified: str) -> str:
+    """Turn an AADL qualified name into an ACSR identifier fragment."""
+    return qualified.translate(_SANITIZE)
+
+
+class Names:
+    """Name constructors for one translation run."""
+
+    # -- resources ----------------------------------------------------
+
+    @staticmethod
+    def cpu(processor_qual: str) -> str:
+        return f"cpu${sanitize(processor_qual)}"
+
+    @staticmethod
+    def bus(bus_qual: str) -> str:
+        return f"bus${sanitize(bus_qual)}"
+
+    @staticmethod
+    def data(data_qual: str) -> str:
+        return f"data${sanitize(data_qual)}"
+
+    # -- events ----------------------------------------------------------
+
+    @staticmethod
+    def dispatch(thread_qual: str) -> str:
+        return f"dispatch${sanitize(thread_qual)}"
+
+    @staticmethod
+    def done(thread_qual: str) -> str:
+        return f"done${sanitize(thread_qual)}"
+
+    @staticmethod
+    def enqueue(conn_id: str) -> str:
+        return f"q${sanitize(conn_id)}"
+
+    @staticmethod
+    def dequeue(conn_id: str) -> str:
+        return f"dq${sanitize(conn_id)}"
+
+    @staticmethod
+    def obs_start(flow_id: str) -> str:
+        return f"obs_start${sanitize(flow_id)}"
+
+    @staticmethod
+    def obs_end(flow_id: str) -> str:
+        return f"obs_end${sanitize(flow_id)}"
+
+    # -- processes -----------------------------------------------------------
+
+    @staticmethod
+    def await_dispatch(thread_qual: str) -> str:
+        return f"AD${sanitize(thread_qual)}"
+
+    @staticmethod
+    def compute(thread_qual: str) -> str:
+        return f"C${sanitize(thread_qual)}"
+
+    @staticmethod
+    def finish(thread_qual: str) -> str:
+        return f"F${sanitize(thread_qual)}"
+
+    @staticmethod
+    def dispatcher(thread_qual: str, protocol_tag: str) -> str:
+        return f"D{protocol_tag}${sanitize(thread_qual)}"
+
+    @staticmethod
+    def dispatcher_wait(thread_qual: str) -> str:
+        return f"DW${sanitize(thread_qual)}"
+
+    @staticmethod
+    def dispatcher_idle(thread_qual: str) -> str:
+        return f"DI${sanitize(thread_qual)}"
+
+    @staticmethod
+    def queue(conn_id: str) -> str:
+        return f"Q${sanitize(conn_id)}"
+
+    @staticmethod
+    def queue_error(conn_id: str) -> str:
+        return f"QE${sanitize(conn_id)}"
+
+    @staticmethod
+    def observer(flow_id: str) -> str:
+        return f"OBS${sanitize(flow_id)}"
+
+    @staticmethod
+    def observer_wait(flow_id: str) -> str:
+        return f"OBSW${sanitize(flow_id)}"
+
+
+class NameTable:
+    """Bidirectional record: generated ACSR name -> (kind, AADL element).
+
+    Kinds: ``cpu``, ``bus``, ``data``, ``dispatch``, ``done``, ``enqueue``,
+    ``dequeue``, ``await``, ``compute``, ``finish``, ``dispatcher``,
+    ``dispatcher_wait``, ``dispatcher_idle``, ``queue``, ``queue_error``,
+    ``obs_start``, ``obs_end``, ``observer``, ``observer_wait``.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Tuple[str, str]] = {}
+
+    def record(self, acsr_name: str, kind: str, aadl_element: str) -> str:
+        existing = self._entries.get(acsr_name)
+        if existing is not None and existing != (kind, aadl_element):
+            raise ValueError(
+                f"name collision: {acsr_name!r} maps to both {existing} "
+                f"and {(kind, aadl_element)}"
+            )
+        self._entries[acsr_name] = (kind, aadl_element)
+        return acsr_name
+
+    def lookup(self, acsr_name: str) -> Optional[Tuple[str, str]]:
+        return self._entries.get(acsr_name)
+
+    def kind_of(self, acsr_name: str) -> Optional[str]:
+        entry = self._entries.get(acsr_name)
+        return entry[0] if entry else None
+
+    def element_of(self, acsr_name: str) -> Optional[str]:
+        entry = self._entries.get(acsr_name)
+        return entry[1] if entry else None
+
+    def names_of_kind(self, kind: str) -> Dict[str, str]:
+        """Map acsr-name -> aadl-element for all entries of one kind."""
+        return {
+            name: element
+            for name, (k, element) in self._entries.items()
+            if k == kind
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, acsr_name: str) -> bool:
+        return acsr_name in self._entries

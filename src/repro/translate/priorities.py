@@ -1,0 +1,197 @@
+"""Scheduling policies as priority assignments (paper S5).
+
+Fixed-priority policies (RMS, DMS, HPF) assign one static integer per
+thread, used in every access to the ``cpu`` resource.  Dynamic policies
+use parametric expressions over the Compute process's dynamic parameters
+``(e, s)``:
+
+* **EDF** -- the paper's encoding ``pi_i = dmax - (d_i - t)``; we add 1 so
+  the priority is always strictly positive (a zero cpu priority would not
+  preempt the idle step, breaking work conservation).
+* **LLF** -- priority rises as laxity ``(d_i - s) - (cmax_i - e)`` falls:
+  ``pi_i = dmax + 1 - (d_i - s) + (cmax_i - e)``.
+
+Ties between static priorities are broken deterministically by qualified
+name (documented deviation: equal priorities would make preemption
+nondeterministic and inflate the state space without changing verdicts
+for the policies above).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.errors import TranslationError
+from repro.acsr.expressions import Expr, const
+from repro.aadl.instance import ComponentInstance
+from repro.aadl.properties import PRIORITY, SchedulingProtocol
+from repro.translate.quantum import QuantizedTiming
+
+
+class CpuPriority:
+    """Priority of a thread's cpu accesses: static or parametric."""
+
+    def expr(self, e: Expr, s: Expr) -> Union[int, Expr]:
+        """Priority value given the Compute parameters ``(e, s)``."""
+        raise NotImplementedError
+
+    @property
+    def is_static(self) -> bool:
+        return False
+
+
+class StaticPriority(CpuPriority):
+    """A fixed positive priority."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        if value < 1:
+            raise TranslationError(
+                f"static cpu priority must be >= 1, got {value}"
+            )
+        self.value = value
+
+    def expr(self, e: Expr, s: Expr) -> int:
+        return self.value
+
+    @property
+    def is_static(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"StaticPriority({self.value})"
+
+
+class EdfPriority(CpuPriority):
+    """``dmax - (d - s) + 1``: grows as the absolute deadline approaches."""
+
+    __slots__ = ("deadline", "dmax")
+
+    def __init__(self, deadline: int, dmax: int) -> None:
+        self.deadline = deadline
+        self.dmax = dmax
+
+    def expr(self, e: Expr, s: Expr) -> Expr:
+        return const(self.dmax - self.deadline + 1) + s
+
+    def __repr__(self) -> str:
+        return f"EdfPriority(deadline={self.deadline}, dmax={self.dmax})"
+
+
+class LlfPriority(CpuPriority):
+    """``dmax + 1 - laxity`` with ``laxity = (d - s) - (cmax - e)``."""
+
+    __slots__ = ("deadline", "cmax", "dmax")
+
+    def __init__(self, deadline: int, cmax: int, dmax: int) -> None:
+        self.deadline = deadline
+        self.cmax = cmax
+        self.dmax = dmax
+
+    def expr(self, e: Expr, s: Expr) -> Expr:
+        base = self.dmax + 1 - self.deadline + self.cmax
+        return const(base) + s - e
+
+    def __repr__(self) -> str:
+        return (
+            f"LlfPriority(deadline={self.deadline}, cmax={self.cmax}, "
+            f"dmax={self.dmax})"
+        )
+
+
+class CeilingPriority(CpuPriority):
+    """Immediate-ceiling emulation: base priority while contending for
+    the first quantum, resource ceiling once execution (and therefore the
+    critical section) has started: ``own + (ceiling - own) * min(e, 1)``."""
+
+    __slots__ = ("own", "ceiling")
+
+    def __init__(self, own: int, ceiling: int) -> None:
+        if ceiling < own:
+            raise TranslationError(
+                f"ceiling {ceiling} below base priority {own}"
+            )
+        self.own = own
+        self.ceiling = ceiling
+
+    def expr(self, e: Expr, s: Expr) -> Union[int, Expr]:
+        if self.ceiling == self.own:
+            return self.own
+        from repro.acsr.expressions import BinOp, const
+
+        boosted = BinOp("min", e, const(1)) * (self.ceiling - self.own)
+        return const(self.own) + boosted
+
+    def __repr__(self) -> str:
+        return f"CeilingPriority(own={self.own}, ceiling={self.ceiling})"
+
+
+def priority_assignment(
+    protocol: SchedulingProtocol,
+    threads: Sequence[Tuple[ComponentInstance, QuantizedTiming]],
+) -> Dict[str, CpuPriority]:
+    """Priorities for the threads bound to one processor."""
+    if not threads:
+        return {}
+    if protocol is SchedulingProtocol.RATE_MONOTONIC:
+        return _monotonic(threads, key="period")
+    if protocol is SchedulingProtocol.DEADLINE_MONOTONIC:
+        return _monotonic(threads, key="deadline")
+    if protocol is SchedulingProtocol.HIGHEST_PRIORITY_FIRST:
+        return _explicit(threads)
+    dmax = max(timing.deadline for _, timing in threads)
+    if protocol is SchedulingProtocol.EARLIEST_DEADLINE_FIRST:
+        return {
+            thread.qualified_name: EdfPriority(timing.deadline, dmax)
+            for thread, timing in threads
+        }
+    if protocol is SchedulingProtocol.LEAST_LAXITY_FIRST:
+        return {
+            thread.qualified_name: LlfPriority(
+                timing.deadline, timing.cmax, dmax
+            )
+            for thread, timing in threads
+        }
+    raise TranslationError(f"unsupported scheduling protocol {protocol}")
+
+
+def _monotonic(
+    threads: Sequence[Tuple[ComponentInstance, QuantizedTiming]],
+    *,
+    key: str,
+) -> Dict[str, CpuPriority]:
+    def sort_key(item: Tuple[ComponentInstance, QuantizedTiming]):
+        thread, timing = item
+        value = getattr(timing, key)
+        # Threads without a period (aperiodic/background under RMS) rank
+        # below every periodic thread.
+        rank = value if value is not None else float("inf")
+        return (rank, thread.qualified_name)
+
+    ordered: List[Tuple[ComponentInstance, QuantizedTiming]] = sorted(
+        threads, key=sort_key
+    )
+    n = len(ordered)
+    return {
+        thread.qualified_name: StaticPriority(n - index)
+        for index, (thread, _) in enumerate(ordered)
+    }
+
+
+def _explicit(
+    threads: Sequence[Tuple[ComponentInstance, QuantizedTiming]],
+) -> Dict[str, CpuPriority]:
+    raw: Dict[str, int] = {}
+    for thread, _ in threads:
+        value = thread.property_int(PRIORITY)
+        if value is None:
+            raise TranslationError(
+                f"{thread.qualified_name}: HPF scheduling requires the "
+                f"Priority property"
+            )
+        raw[thread.qualified_name] = value
+    shift = 1 - min(raw.values())
+    return {
+        qual: StaticPriority(value + shift) for qual, value in raw.items()
+    }

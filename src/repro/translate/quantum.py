@@ -1,0 +1,192 @@
+"""Time quantization (paper S4.1).
+
+ACSR time is discrete: "time is partitioned into fixed-size scheduling
+quanta and all scheduling decisions are made at quantum boundaries."  The
+quantizer converts every AADL time property into an integer number of
+quanta with *conservative* rounding:
+
+* execution-time upper bounds round **up** (more demand),
+* execution-time lower bounds round **down** (clamped to >= 1 quantum --
+  a computation takes at least one quantum),
+* deadlines and periods round **down** (less supply / tighter separation).
+
+The analysis therefore overapproximates: it may report a spurious
+deadline violation on a model that is schedulable in continuous time, but
+never the reverse.  Precision improves as the quantum shrinks -- at the
+cost of state-space growth, the trade-off benchmarked in
+``benchmarks/bench_state_space_scaling.py``.
+
+When every relevant duration is an exact multiple of the quantum the
+quantization is exact.  The default quantum is the GCD of all durations,
+which makes the default analysis exact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.errors import QuantizationError
+from repro.aadl.components import ComponentCategory
+from repro.aadl.instance import ComponentInstance, SystemInstance
+from repro.aadl.properties import (
+    COMPUTE_DEADLINE,
+    COMPUTE_EXECUTION_TIME,
+    DEADLINE,
+    DISPATCH_OFFSET,
+    PERIOD,
+    TimeValue,
+)
+
+
+class QuantizedTiming:
+    """Integer timing parameters of one thread, in quanta."""
+
+    __slots__ = ("cmin", "cmax", "deadline", "period", "exact", "offset")
+
+    def __init__(
+        self,
+        cmin: int,
+        cmax: int,
+        deadline: int,
+        period: Optional[int],
+        exact: bool,
+        offset: int = 0,
+    ) -> None:
+        self.cmin = cmin
+        self.cmax = cmax
+        self.deadline = deadline
+        self.period = period
+        self.exact = exact
+        self.offset = offset
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantizedTiming(cmin={self.cmin}, cmax={self.cmax}, "
+            f"deadline={self.deadline}, period={self.period}, "
+            f"offset={self.offset}, exact={self.exact})"
+        )
+
+
+class TimingQuantizer:
+    """Converts the time properties of threads into quanta."""
+
+    def __init__(self, quantum: TimeValue) -> None:
+        if quantum.picoseconds <= 0:
+            raise QuantizationError("quantum must be positive")
+        self.quantum = quantum
+
+    @classmethod
+    def natural(cls, system: SystemInstance) -> "TimingQuantizer":
+        """Quantizer with the GCD of every duration in the model (exact)."""
+        durations = _all_durations(system)
+        if not durations:
+            raise QuantizationError("model contains no time properties")
+        gcd = durations[0]
+        for duration in durations[1:]:
+            gcd = math.gcd(gcd, duration)
+        return cls(_ps_to_timevalue(gcd))
+
+    # -- rounding primitives --------------------------------------------
+
+    def quanta_ceil(self, value: TimeValue) -> int:
+        q = self.quantum.picoseconds
+        return -(-value.picoseconds // q)
+
+    def quanta_floor(self, value: TimeValue) -> int:
+        return value.picoseconds // self.quantum.picoseconds
+
+    def is_exact(self, value: TimeValue) -> bool:
+        return value.picoseconds % self.quantum.picoseconds == 0
+
+    # -- thread-level API --------------------------------------------------
+
+    def thread_timing(self, thread: ComponentInstance) -> QuantizedTiming:
+        """Quantize a thread's Compute_Execution_Time, deadline and period."""
+        qual = thread.qualified_name
+        exec_range = thread.property_time_range(COMPUTE_EXECUTION_TIME)
+        if exec_range is None:
+            raise QuantizationError(f"{qual}: missing Compute_Execution_Time")
+        deadline_tv = thread.property_time(
+            COMPUTE_DEADLINE
+        ) or thread.property_time(DEADLINE)
+        if deadline_tv is None:
+            raise QuantizationError(f"{qual}: missing Compute_Deadline")
+        period_tv = thread.property_time(PERIOD)
+
+        cmax = self.quanta_ceil(exec_range.high)
+        cmin = max(1, self.quanta_floor(exec_range.low))
+        if cmax < 1:
+            raise QuantizationError(
+                f"{qual}: execution time {exec_range.high} rounds to zero "
+                f"quanta"
+            )
+        cmin = min(cmin, cmax)
+        deadline = self.quanta_floor(deadline_tv)
+        if deadline < cmax:
+            # Either a genuinely infeasible thread or a too-coarse quantum;
+            # both deserve a hard error rather than a guaranteed deadlock.
+            raise QuantizationError(
+                f"{qual}: deadline {deadline_tv} < worst-case execution "
+                f"{exec_range.high} at quantum {self.quantum} "
+                f"({deadline} < {cmax} quanta)"
+            )
+        period = None
+        exact = (
+            self.is_exact(exec_range.low)
+            and self.is_exact(exec_range.high)
+            and self.is_exact(deadline_tv)
+        )
+        offset_tv = thread.property_time(DISPATCH_OFFSET)
+        offset = 0
+        if offset_tv is not None:
+            offset = self.quanta_floor(offset_tv)
+            exact = exact and self.is_exact(offset_tv)
+        if period_tv is not None:
+            period = self.quanta_floor(period_tv)
+            exact = exact and self.is_exact(period_tv)
+            if period < 1:
+                raise QuantizationError(
+                    f"{qual}: period {period_tv} rounds to zero quanta"
+                )
+            if deadline > period:
+                raise QuantizationError(
+                    f"{qual}: deadline ({deadline} quanta) exceeds period "
+                    f"({period} quanta); the translation requires "
+                    f"constrained deadlines (D <= P)"
+                )
+            if offset >= period:
+                raise QuantizationError(
+                    f"{qual}: Dispatch_Offset ({offset} quanta) must be "
+                    f"smaller than the period ({period} quanta)"
+                )
+        return QuantizedTiming(cmin, cmax, deadline, period, exact, offset)
+
+
+def _all_durations(system: SystemInstance) -> List[int]:
+    durations: List[int] = []
+    for thread in system.threads():
+        exec_range = thread.property_time_range(COMPUTE_EXECUTION_TIME)
+        if exec_range is not None:
+            durations.append(exec_range.low.picoseconds)
+            durations.append(exec_range.high.picoseconds)
+        for prop in (COMPUTE_DEADLINE, DEADLINE, PERIOD, DISPATCH_OFFSET):
+            value = thread.property_time(prop)
+            if value is not None:
+                durations.append(value.picoseconds)
+    return [d for d in durations if d > 0]
+
+
+def _ps_to_timevalue(picoseconds: int) -> TimeValue:
+    """Largest unit that represents the duration exactly."""
+    for unit, factor in (
+        ("hr", 3600 * 10**12),
+        ("min", 60 * 10**12),
+        ("sec", 10**12),
+        ("ms", 10**9),
+        ("us", 10**6),
+        ("ns", 10**3),
+    ):
+        if picoseconds % factor == 0:
+            return TimeValue(picoseconds // factor, unit)
+    return TimeValue(picoseconds, "ps")

@@ -1,0 +1,76 @@
+"""Connection queue processes (paper S4.4, "Queue management").
+
+Each semantic event / event-data connection ``c`` whose destination
+thread is event-dispatched gets a counter process ``Q$c(n)`` counting up
+to the ``Queue_Size`` of the connection's last port (default 1):
+
+* ``(q$c?, 0)`` increments the counter (the source thread enqueues);
+* ``(dq$c!, u)`` decrements it (the destination's dispatcher dequeues;
+  ``u`` is the connection's Urgency, default 1);
+* an idle self-loop lets time pass freely;
+* at capacity, ``Overflow_Handling_Protocol`` decides: *DropNewest* /
+  *DropOldest* consume and discard the event (a self-loop -- with the
+  counter abstraction the two drop flavours coincide, because event
+  attributes are not modeled), while *Error* moves to the ``QE$c`` error
+  state, which has no transitions and therefore deadlocks the model ("it
+  appears as the interrupt of the queue process leading to an error
+  state").
+"""
+
+from __future__ import annotations
+
+from repro.errors import TranslationError
+from repro.acsr.definitions import ProcessEnv
+from repro.acsr.expressions import var
+from repro.acsr.terms import NIL, choice, guard, idle, proc, recv, send
+from repro.aadl.properties import OverflowHandlingProtocol
+from repro.translate.names import NameTable, Names
+
+
+def build_queue(
+    env: ProcessEnv,
+    table: NameTable,
+    conn_id: str,
+    *,
+    size: int = 1,
+    overflow: OverflowHandlingProtocol = OverflowHandlingProtocol.DROP_NEWEST,
+    urgency: int = 1,
+) -> str:
+    """Generate the queue process for one connection; returns its name."""
+    if size < 1:
+        raise TranslationError(
+            f"connection {conn_id}: Queue_Size must be >= 1, got {size}"
+        )
+    if urgency < 1:
+        raise TranslationError(
+            f"connection {conn_id}: Urgency must be >= 1, got {urgency}"
+        )
+    q_name = table.record(Names.queue(conn_id), "queue", conn_id)
+    enqueue = table.record(Names.enqueue(conn_id), "enqueue", conn_id)
+    dequeue = table.record(Names.dequeue(conn_id), "dequeue", conn_id)
+
+    n = var("n")
+    if overflow.drops:
+        overflow_branch = guard(
+            n.eq(size), recv(enqueue, 0).then(proc(q_name, n))
+        )
+    else:
+        error_name = table.record(
+            Names.queue_error(conn_id), "queue_error", conn_id
+        )
+        env.define(error_name, (), NIL)
+        overflow_branch = guard(
+            n.eq(size), recv(enqueue, 0).then(proc(error_name))
+        )
+
+    env.define(
+        q_name,
+        ("n",),
+        choice(
+            guard(n < size, recv(enqueue, 0).then(proc(q_name, n + 1))),
+            overflow_branch,
+            guard(n > 0, send(dequeue, urgency) >> proc(q_name, n - 1)),
+            idle().then(proc(q_name, n)),
+        ),
+    )
+    return q_name

@@ -1,0 +1,173 @@
+"""Thread skeleton: AwaitDispatch / Compute / Finish (paper Figures 4-5).
+
+For the completely-bound single-mode case the thread semantic automaton
+collapses to three generated process definitions per thread ``t``:
+
+``AD$t`` (AwaitDispatch)
+    waits (idling) for the ``dispatch$t`` event from the dispatcher, then
+    enters Compute with ``(e, s) = (0, 0)``.
+
+``C$t(e, s)`` (Compute, Figure 5)
+    ``e`` counts accumulated execution quanta, ``s`` elapsed quanta since
+    dispatch.  Branches:
+
+    * *non-final compute step* ``[e < cmax-1 and s < D]`` -- uses the cpu
+      (at the policy priority, possibly parametric in ``(e, s)``) plus the
+      access-connection resources R;
+    * *final compute step* ``[cmin-1 <= e < cmax and s < D]`` -- like the
+      above but additionally claims the bus resources of bus-mapped
+      outgoing connections ("output on a data connection is produced as
+      the thread completes its dispatch; thus the last computation step
+      uses both cpu and bus", S4.2), then moves to Finish;
+    * *preempted steps* ``[s < D]`` -- Figure 5's Preempted state: before
+      the first compute quantum (``e == 0``) the thread holds nothing; once
+      it has started executing (``e > 0``) it holds R across preemption --
+      its whole remaining execution is a critical section on its shared
+      data, which is what makes priority inversion (and the
+      priority-ceiling remedy, S5) expressible;
+    * optional *anytime event* self-loops ``(q$c!, 0)`` for outgoing event
+      connections translated with the ANYTIME pattern (S4.4).
+
+    When ``s`` reaches the deadline ``D`` the process has no step left:
+    the skeleton itself realizes Figure 4's computeDeadline timeout into
+    the Violation deadlock.
+
+``F$t`` (Finish)
+    emits the at-completion events -- one ``(q$c!, 0)`` per outgoing
+    event/event-data connection (the default data-event treatment of
+    S4.4) and any latency-observer events -- then signals ``(done$t!, 0)``
+    to the dispatcher and returns to AwaitDispatch.  Event priorities are
+    0 on purpose: completion is *enabled*, not urgent, but because the
+    Finish state offers no timed step, global time cannot pass until the
+    handshake happens -- completion is therefore never delayed, yet a
+    pending completion never preempts another thread's computation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.acsr.definitions import ProcessEnv
+from repro.acsr.expressions import var
+from repro.acsr.resources import EMPTY_ACTION as EMPTY, make_action
+from repro.acsr.terms import (
+    ActionPrefix,
+    Term,
+    choice,
+    guard,
+    idle,
+    proc,
+    recv,
+    send,
+)
+from repro.translate.names import NameTable, Names
+from repro.translate.priorities import CpuPriority
+from repro.translate.quantum import QuantizedTiming
+
+
+def build_skeleton(
+    env: ProcessEnv,
+    table: NameTable,
+    thread_qual: str,
+    timing: QuantizedTiming,
+    *,
+    cpu_resource: str,
+    cpu_priority: CpuPriority,
+    final_step_resources: Sequence[str] = (),
+    held_resources: Sequence[str] = (),
+    completion_events: Sequence[str] = (),
+    anytime_events: Sequence[str] = (),
+) -> str:
+    """Generate AD/C/F definitions for one thread; returns the AD name.
+
+    Args:
+        final_step_resources: bus resources claimed only by the final
+            compute step (bus-mapped outgoing connections).
+        held_resources: the set R of Figure 5, held on every compute and
+            preempted step (access connections; empty by default as in
+            the paper's presentation).
+        completion_events: enqueue-event names sent, in order, at
+            completion (before ``done``).
+        anytime_events: enqueue-event names offered as Compute self-loops.
+    """
+    ad_name = table.record(
+        Names.await_dispatch(thread_qual), "await", thread_qual
+    )
+    c_name = table.record(Names.compute(thread_qual), "compute", thread_qual)
+    f_name = table.record(Names.finish(thread_qual), "finish", thread_qual)
+    dispatch_evt = table.record(
+        Names.dispatch(thread_qual), "dispatch", thread_qual
+    )
+    done_evt = table.record(Names.done(thread_qual), "done", thread_qual)
+
+    e, s = var("e"), var("s")
+    pi = cpu_priority.expr(e, s)
+    cmin, cmax, deadline = timing.cmin, timing.cmax, timing.deadline
+
+    held = list(held_resources)
+    compute_action = make_action(
+        [(cpu_resource, pi)] + [(r, 1) for r in held]
+    )
+    final_action = make_action(
+        [(cpu_resource, pi)]
+        + [(r, 1) for r in held]
+        + [(r, 1) for r in final_step_resources if r not in held]
+    )
+    preempted_action = make_action([(r, 1) for r in held])
+
+    branches: List[Term] = []
+    if cmax > 1:
+        branches.append(
+            guard(
+                (e < cmax - 1) & (s < deadline),
+                ActionPrefix(compute_action, proc(c_name, e + 1, s + 1)),
+            )
+        )
+    branches.append(
+        guard(
+            (e >= cmin - 1) & (e < cmax) & (s < deadline),
+            ActionPrefix(final_action, proc(f_name)),
+        )
+    )
+    if held:
+        # Waiting before acquisition holds nothing; after the first
+        # compute quantum the thread retains R across preemption.
+        branches.append(
+            guard(
+                e.eq(0) & (s < deadline),
+                ActionPrefix(EMPTY, proc(c_name, e, s + 1)),
+            )
+        )
+        branches.append(
+            guard(
+                (e > 0) & (s < deadline),
+                ActionPrefix(preempted_action, proc(c_name, e, s + 1)),
+            )
+        )
+    else:
+        branches.append(
+            guard(
+                s < deadline,
+                ActionPrefix(preempted_action, proc(c_name, e, s + 1)),
+            )
+        )
+    for event in anytime_events:
+        branches.append(
+            guard(s < deadline, send(event, 0) >> proc(c_name, e, s))
+        )
+    env.define(c_name, ("e", "s"), choice(*branches))
+
+    finish: Term = send(done_evt, 0) >> proc(ad_name)
+    for event in reversed(list(completion_events)):
+        finish = send(event, 0).then(finish)
+    env.define(f_name, (), finish)
+
+    env.define(
+        ad_name,
+        (),
+        choice(
+            recv(dispatch_evt, 1).then(proc(c_name, 0, 0)),
+            idle().then(proc(ad_name)),
+        ),
+    )
+    return ad_name

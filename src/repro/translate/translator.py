@@ -1,0 +1,640 @@
+"""Algorithm 1: driving the AADL -> ACSR translation.
+
+For every processor ``p`` in the model and every thread ``t`` bound to
+``p``: generate the skeleton ``S_t``, generate the dispatcher ``D_t`` for
+``t``'s incoming connections, populate ``S_t`` with output events ``e!``
+and bus resources for its outgoing connections, and generate a queue
+process for each incoming event connection -- then compose everything in
+parallel under a restriction of all generated event names.
+
+Extensions beyond the paper's presentation (each documented in
+DESIGN.md):
+
+* **Device event sources.**  A connection whose ultimate source is a
+  device gets a stub process that may raise the event at any time --
+  modeling the environment nondeterministically, which is what makes
+  sporadic/aperiodic threads driven from outside the software analyzable.
+* **Access connections.**  ``requires data access`` features become
+  resources held on every compute and preempted step (the set R of
+  Figure 5).
+* **Latency observers** (paper S5): optional observer processes that
+  deadlock when a source-completion -> destination-completion flow takes
+  longer than its bound.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import TranslationError
+from repro.acsr.definitions import ClosedSystem, ProcessEnv
+from repro.acsr.expressions import var
+from repro.acsr.terms import Term, choice, guard, idle, parallel, proc, recv, restrict, send
+from repro.aadl.components import ComponentCategory
+from repro.aadl.features import AccessCategory, AccessFeature, AccessKind
+from repro.aadl.instance import (
+    ComponentInstance,
+    ConnectionInstance,
+    SystemInstance,
+)
+from repro.aadl.properties import (
+    DISPATCH_PROTOCOL,
+    OVERFLOW_HANDLING_PROTOCOL,
+    QUEUE_SIZE,
+    SCHEDULING_PROTOCOL,
+    URGENCY,
+    DispatchProtocol,
+    OverflowHandlingProtocol,
+    SchedulingProtocol,
+    TimeValue,
+)
+from repro.aadl.validation import check_translation_assumptions
+from repro.translate.dispatchers import build_dispatcher
+from repro.translate.names import NameTable, Names, sanitize
+from repro.translate.priorities import CpuPriority, priority_assignment
+from repro.translate.quantum import QuantizedTiming, TimingQuantizer
+from repro.translate.queues import build_queue
+from repro.translate.skeleton import build_skeleton
+
+
+class EventSendPattern(enum.Enum):
+    """When a thread raises events on an outgoing connection (S4.4)."""
+
+    AT_COMPLETION = "at_completion"
+    ANYTIME = "anytime"
+
+
+class LatencyFlow:
+    """A source-completion -> destination-completion latency requirement."""
+
+    __slots__ = ("flow_id", "source_qual", "destination_qual", "bound")
+
+    def __init__(
+        self,
+        flow_id: str,
+        source_qual: str,
+        destination_qual: str,
+        bound: TimeValue,
+    ) -> None:
+        self.flow_id = flow_id
+        self.source_qual = source_qual
+        self.destination_qual = destination_qual
+        self.bound = bound
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyFlow({self.flow_id!r}, {self.source_qual} -> "
+            f"{self.destination_qual}, bound={self.bound})"
+        )
+
+
+class TranslationOptions:
+    """Knobs of the translation.
+
+    Args:
+        quantum: scheduling quantum; default is the GCD of all durations
+            (exact quantization).
+        default_event_pattern: how outgoing event connections raise
+            events; ``AT_COMPLETION`` is the paper's default.
+        pattern_overrides: per-connection (qualified name) pattern.
+        latency_flows: observer specifications (see
+            :mod:`repro.analysis.latency`).
+        validate: run the S4.1 legality checks first.
+        use_priority_ceiling: boost the cpu priority of threads holding
+            shared data resources to the resource ceiling (highest-locker
+            protocol), bounding priority inversion.
+    """
+
+    def __init__(
+        self,
+        *,
+        quantum: Optional[TimeValue] = None,
+        default_event_pattern: EventSendPattern = (
+            EventSendPattern.AT_COMPLETION
+        ),
+        pattern_overrides: Optional[Mapping[str, EventSendPattern]] = None,
+        latency_flows: Sequence[LatencyFlow] = (),
+        validate: bool = True,
+        use_priority_ceiling: bool = False,
+    ) -> None:
+        self.quantum = quantum
+        self.default_event_pattern = default_event_pattern
+        self.pattern_overrides = dict(pattern_overrides or {})
+        self.latency_flows = list(latency_flows)
+        self.validate = validate
+        #: Highest-locker emulation for shared data (S5's remark that the
+        #: priority-inheritance family has ACSR encodings): a thread
+        #: holding data resources computes at the ceiling of those
+        #: resources.  Requires a fixed-priority scheduling protocol on
+        #: every processor with sharing threads.
+        self.use_priority_ceiling = use_priority_ceiling
+
+
+class ThreadTranslation:
+    """Bookkeeping for one translated thread."""
+
+    __slots__ = (
+        "qual",
+        "protocol",
+        "timing",
+        "processor_qual",
+        "priority",
+        "skeleton_name",
+        "dispatcher_name",
+    )
+
+    def __init__(
+        self,
+        qual: str,
+        protocol: DispatchProtocol,
+        timing: QuantizedTiming,
+        processor_qual: str,
+        priority: CpuPriority,
+        skeleton_name: str,
+        dispatcher_name: str,
+    ) -> None:
+        self.qual = qual
+        self.protocol = protocol
+        self.timing = timing
+        self.processor_qual = processor_qual
+        self.priority = priority
+        self.skeleton_name = skeleton_name
+        self.dispatcher_name = dispatcher_name
+
+    def __repr__(self) -> str:
+        return f"ThreadTranslation({self.qual!r}, {self.protocol.value})"
+
+
+class QueueTranslation:
+    """Bookkeeping for one translated connection queue."""
+
+    __slots__ = ("conn_qual", "queue_name", "size", "overflow", "urgency")
+
+    def __init__(
+        self,
+        conn_qual: str,
+        queue_name: str,
+        size: int,
+        overflow: OverflowHandlingProtocol,
+        urgency: int,
+    ) -> None:
+        self.conn_qual = conn_qual
+        self.queue_name = queue_name
+        self.size = size
+        self.overflow = overflow
+        self.urgency = urgency
+
+    def __repr__(self) -> str:
+        return f"QueueTranslation({self.conn_qual!r}, size={self.size})"
+
+
+class TranslationResult:
+    """The translated system plus everything needed to raise traces."""
+
+    def __init__(
+        self,
+        system: ClosedSystem,
+        names: NameTable,
+        quantizer: TimingQuantizer,
+        threads: Dict[str, ThreadTranslation],
+        queues: Dict[str, QueueTranslation],
+        restricted_events: frozenset,
+        instance: SystemInstance,
+        options: TranslationOptions,
+    ) -> None:
+        self.system = system
+        self.names = names
+        self.quantizer = quantizer
+        self.threads = threads
+        self.queues = queues
+        self.restricted_events = restricted_events
+        self.instance = instance
+        self.options = options
+
+    @property
+    def env(self) -> ProcessEnv:
+        return self.system.env
+
+    @property
+    def root(self) -> Term:
+        return self.system.root
+
+    @property
+    def num_thread_processes(self) -> int:
+        return len(self.threads)
+
+    @property
+    def num_dispatchers(self) -> int:
+        return len(self.threads)
+
+    @property
+    def num_queue_processes(self) -> int:
+        return len(self.queues)
+
+    def __repr__(self) -> str:
+        return (
+            f"TranslationResult(threads={self.num_thread_processes}, "
+            f"dispatchers={self.num_dispatchers}, "
+            f"queues={self.num_queue_processes})"
+        )
+
+
+def translate(
+    instance: SystemInstance,
+    options: Optional[TranslationOptions] = None,
+) -> TranslationResult:
+    """Translate a bound AADL system instance into a closed ACSR system."""
+    options = options or TranslationOptions()
+    if options.validate:
+        check_translation_assumptions(instance)
+
+    quantizer = (
+        TimingQuantizer(options.quantum)
+        if options.quantum is not None
+        else TimingQuantizer.natural(instance)
+    )
+    env = ProcessEnv()
+    table = NameTable()
+    initial_refs: List[Term] = []
+    restricted: set = set()
+    threads_out: Dict[str, ThreadTranslation] = {}
+    queues_out: Dict[str, QueueTranslation] = {}
+
+    # Group threads by bound processor (Algorithm 1's outer loops).
+    by_processor: Dict[ComponentInstance, List[ComponentInstance]] = {}
+    for thread in instance.threads():
+        if thread.bound_processor is None:
+            raise TranslationError(
+                f"thread {thread.qualified_name} is unbound"
+            )
+        by_processor.setdefault(thread.bound_processor, []).append(thread)
+
+    timings: Dict[str, QuantizedTiming] = {}
+    priorities: Dict[str, CpuPriority] = {}
+    for processor, bound in sorted(
+        by_processor.items(), key=lambda kv: kv[0].qualified_name
+    ):
+        protocol = processor.property(SCHEDULING_PROTOCOL)
+        if not isinstance(protocol, SchedulingProtocol):
+            raise TranslationError(
+                f"processor {processor.qualified_name}: missing or invalid "
+                f"Scheduling_Protocol"
+            )
+        with_timing = [
+            (thread, quantizer.thread_timing(thread)) for thread in bound
+        ]
+        for thread, timing in with_timing:
+            timings[thread.qualified_name] = timing
+        priorities.update(priority_assignment(protocol, with_timing))
+
+    # Queued connections (thread or device source -> event-dispatched thread).
+    queue_conns = [
+        conn for conn in instance.connections if _needs_queue(conn)
+    ]
+    # Flow observers: map thread qual -> list of events its Finish state
+    # must additionally emit.
+    extra_finish_events: Dict[str, List[str]] = {}
+    for flow in options.latency_flows:
+        start_evt = table.record(
+            Names.obs_start(flow.flow_id), "obs_start", flow.flow_id
+        )
+        end_evt = table.record(
+            Names.obs_end(flow.flow_id), "obs_end", flow.flow_id
+        )
+        extra_finish_events.setdefault(flow.source_qual, []).append(start_evt)
+        extra_finish_events.setdefault(flow.destination_qual, []).append(
+            end_evt
+        )
+
+    # Pre-pass: held (access) resources per thread, and -- when requested
+    # -- the highest-locker priority boost.
+    held_map: Dict[str, List[str]] = {}
+    for processor, bound in by_processor.items():
+        for thread in bound:
+            held_map[thread.qualified_name] = _access_resources(
+                table, instance, thread
+            )
+    if options.use_priority_ceiling:
+        _apply_priority_ceiling(priorities, held_map)
+
+    # Per-thread skeletons and dispatchers (Algorithm 1's inner loop).
+    for processor, bound in sorted(
+        by_processor.items(), key=lambda kv: kv[0].qualified_name
+    ):
+        cpu_resource = table.record(
+            Names.cpu(processor.qualified_name),
+            "cpu",
+            processor.qualified_name,
+        )
+        for thread in sorted(bound, key=lambda t: t.qualified_name):
+            qual = thread.qualified_name
+            timing = timings[qual]
+            protocol = thread.property(DISPATCH_PROTOCOL)
+            assert isinstance(protocol, DispatchProtocol)
+
+            outgoing = instance.connections_from(thread)
+            final_resources = _bus_resources(table, outgoing)
+            completion_events: List[str] = []
+            anytime_events: List[str] = []
+            for conn in outgoing:
+                if conn not in queue_conns:
+                    continue
+                enqueue = Names.enqueue(conn.qualified_name)
+                pattern = options.pattern_overrides.get(
+                    conn.qualified_name, options.default_event_pattern
+                )
+                if pattern is EventSendPattern.ANYTIME:
+                    anytime_events.append(enqueue)
+                else:
+                    completion_events.append(enqueue)
+            completion_events.extend(extra_finish_events.get(qual, ()))
+
+            skeleton_name = build_skeleton(
+                env,
+                table,
+                qual,
+                timing,
+                cpu_resource=cpu_resource,
+                cpu_priority=priorities[qual],
+                final_step_resources=final_resources,
+                held_resources=held_map[qual],
+                completion_events=completion_events,
+                anytime_events=anytime_events,
+            )
+            dequeues = [
+                (
+                    Names.dequeue(conn.qualified_name),
+                    _urgency(conn),
+                )
+                for conn in instance.connections_to(thread)
+                if conn in queue_conns
+            ]
+            dispatcher_name, dispatcher_init = build_dispatcher(
+                env, table, qual, protocol, timing, dequeues=dequeues
+            )
+            threads_out[qual] = ThreadTranslation(
+                qual,
+                protocol,
+                timing,
+                processor.qualified_name,
+                priorities[qual],
+                skeleton_name,
+                dispatcher_name,
+            )
+            initial_refs.append(proc(skeleton_name))
+            initial_refs.append(dispatcher_init)
+            restricted.add(Names.dispatch(qual))
+            restricted.add(Names.done(qual))
+
+    # Queue processes and device event sources.
+    for conn in queue_conns:
+        conn_qual = conn.qualified_name
+        size = _queue_size(conn)
+        overflow = _overflow(conn)
+        urgency = _urgency(conn)
+        queue_name = build_queue(
+            env,
+            table,
+            conn_qual,
+            size=size,
+            overflow=overflow,
+            urgency=urgency,
+        )
+        queues_out[conn_qual] = QueueTranslation(
+            conn_qual, queue_name, size, overflow, urgency
+        )
+        initial_refs.append(proc(queue_name, 0))
+        restricted.add(Names.enqueue(conn_qual))
+        restricted.add(Names.dequeue(conn_qual))
+        if conn.source.component.category is ComponentCategory.DEVICE:
+            initial_refs.append(
+                _device_source(env, table, conn)
+            )
+
+    # Latency observers.
+    for flow in options.latency_flows:
+        initial_refs.append(_observer(env, table, flow, quantizer))
+        restricted.add(Names.obs_start(flow.flow_id))
+        restricted.add(Names.obs_end(flow.flow_id))
+
+    root = restrict(parallel(*initial_refs), restricted)
+    system = env.close(root)
+    return TranslationResult(
+        system,
+        table,
+        quantizer,
+        threads_out,
+        queues_out,
+        frozenset(restricted),
+        instance,
+        options,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Connection helpers
+# ---------------------------------------------------------------------------
+
+
+def _needs_queue(conn: ConnectionInstance) -> bool:
+    """Queues are generated for event / event-data connections whose
+    destination thread is event-dispatched (periodic threads ignore
+    external events, paper S2)."""
+    if not conn.kind.is_queued:
+        return False
+    dest = conn.destination.component
+    if dest.category is not ComponentCategory.THREAD:
+        return False
+    protocol = dest.property(DISPATCH_PROTOCOL)
+    return (
+        isinstance(protocol, DispatchProtocol)
+        and protocol is not DispatchProtocol.PERIODIC
+    )
+
+
+def _queue_size(conn: ConnectionInstance) -> int:
+    value = conn.destination_port_property(QUEUE_SIZE)
+    if value is None:
+        return 1
+    if isinstance(value, int) and not isinstance(value, bool) and value >= 1:
+        return value
+    raise TranslationError(
+        f"connection {conn.qualified_name}: invalid Queue_Size {value!r}"
+    )
+
+
+def _overflow(conn: ConnectionInstance) -> OverflowHandlingProtocol:
+    value = conn.destination_port_property(OVERFLOW_HANDLING_PROTOCOL)
+    if value is None:
+        return OverflowHandlingProtocol.DROP_NEWEST
+    if isinstance(value, OverflowHandlingProtocol):
+        return value
+    raise TranslationError(
+        f"connection {conn.qualified_name}: invalid "
+        f"Overflow_Handling_Protocol {value!r}"
+    )
+
+
+def _urgency(conn: ConnectionInstance) -> int:
+    value = conn.connection_property(URGENCY)
+    if value is None:
+        return 1
+    if isinstance(value, int) and not isinstance(value, bool) and value >= 1:
+        return value
+    raise TranslationError(
+        f"connection {conn.qualified_name}: invalid Urgency {value!r}"
+    )
+
+
+def _bus_resources(
+    table: NameTable, outgoing: Sequence[ConnectionInstance]
+) -> List[str]:
+    resources: List[str] = []
+    for conn in outgoing:
+        for bus in conn.buses:
+            name = table.record(
+                Names.bus(bus.qualified_name), "bus", bus.qualified_name
+            )
+            if name not in resources:
+                resources.append(name)
+    return resources
+
+
+def _access_resources(
+    table: NameTable,
+    instance: SystemInstance,
+    thread: ComponentInstance,
+) -> List[str]:
+    """Resources for ``requires data access`` features (the R of Fig 5).
+
+    Resolved access connections name the actual shared data component;
+    unconnected features fall back to classifier-based sharing (features
+    with the same data classifier share a resource) so partially-wired
+    models remain analyzable.
+    """
+    resources: List[str] = []
+    resolved_features = set()
+    for acc in instance.access_connections:
+        if acc.feature.component is not thread:
+            continue
+        decl = acc.feature.feature
+        if (
+            isinstance(decl, AccessFeature)
+            and decl.kind is AccessKind.REQUIRES
+            and decl.category is AccessCategory.DATA
+        ):
+            resolved_features.add(acc.feature)
+            target = acc.target.qualified_name
+            name = table.record(Names.data(target), "data", target)
+            if name not in resources:
+                resources.append(name)
+    for feature in thread.features.values():
+        decl = feature.feature
+        if not isinstance(decl, AccessFeature) or feature in resolved_features:
+            continue
+        if decl.kind is not AccessKind.REQUIRES:
+            continue
+        if decl.category is not AccessCategory.DATA:
+            continue
+        target = decl.classifier or f"{thread.qualified_name}.{decl.name}"
+        name = table.record(Names.data(target), "data", target)
+        if name not in resources:
+            resources.append(name)
+    return resources
+
+
+def _apply_priority_ceiling(
+    priorities: Dict[str, CpuPriority],
+    held_map: Dict[str, List[str]],
+) -> None:
+    """Immediate-ceiling protocol: once a thread has started executing
+    (its critical section on R), its cpu priority rises to the maximum
+    static priority of any thread sharing one of its resources."""
+    from repro.translate.priorities import CeilingPriority
+
+    holders: Dict[str, List[str]] = {}
+    for qual, resources in held_map.items():
+        for resource in resources:
+            holders.setdefault(resource, []).append(qual)
+    for quals in holders.values():
+        for qual in quals:
+            if not priorities[qual].is_static:
+                raise TranslationError(
+                    f"{qual}: priority ceiling requires a fixed-priority "
+                    f"scheduling protocol"
+                )
+    ceilings = {
+        resource: max(priorities[q].value for q in quals)  # type: ignore[attr-defined]
+        for resource, quals in holders.items()
+    }
+    for qual, resources in held_map.items():
+        if not resources:
+            continue
+        own = priorities[qual].value  # type: ignore[attr-defined]
+        ceiling = max([own] + [ceilings[r] for r in resources])
+        if ceiling > own:
+            priorities[qual] = CeilingPriority(own, ceiling)
+
+
+def _device_source(
+    env: ProcessEnv, table: NameTable, conn: ConnectionInstance
+) -> Term:
+    """Environment stub: a device that may raise the event at any time."""
+    device_qual = conn.source.component.qualified_name
+    name = f"DEV${sanitize(device_qual)}_{sanitize(conn.qualified_name)}"
+    table.record(name, "device_source", device_qual)
+    enqueue = Names.enqueue(conn.qualified_name)
+    env.define(
+        name,
+        (),
+        choice(
+            send(enqueue, 0).then(proc(name)),
+            idle().then(proc(name)),
+        ),
+    )
+    return proc(name)
+
+
+def _observer(
+    env: ProcessEnv,
+    table: NameTable,
+    flow: LatencyFlow,
+    quantizer: TimingQuantizer,
+) -> Term:
+    """Latency observer (paper S5): deadlocks when the flow misses its
+    bound.  Overlapping starts/ends are absorbed (single-outstanding-flow
+    limitation, as the paper notes for pipelined inputs)."""
+    obs_name = table.record(
+        Names.observer(flow.flow_id), "observer", flow.flow_id
+    )
+    wait_name = table.record(
+        Names.observer_wait(flow.flow_id), "observer_wait", flow.flow_id
+    )
+    start_evt = Names.obs_start(flow.flow_id)
+    end_evt = Names.obs_end(flow.flow_id)
+    bound = quantizer.quanta_floor(flow.bound)
+    if bound < 1:
+        raise TranslationError(
+            f"flow {flow.flow_id}: bound {flow.bound} rounds to zero quanta"
+        )
+    k = var("k")
+    env.define(
+        obs_name,
+        (),
+        choice(
+            recv(start_evt, 0).then(proc(wait_name, 0)),
+            recv(end_evt, 0).then(proc(obs_name)),
+            idle().then(proc(obs_name)),
+        ),
+    )
+    env.define(
+        wait_name,
+        ("k",),
+        choice(
+            recv(end_evt, 0).then(proc(obs_name)),
+            recv(start_evt, 0).then(proc(wait_name, k)),
+            guard(k < bound, idle().then(proc(wait_name, k + 1))),
+        ),
+    )
+    return proc(obs_name)

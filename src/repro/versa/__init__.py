@@ -1,0 +1,49 @@
+"""VERSA-style analysis engine: state-space exploration of ACSR systems.
+
+The original VERSA tool (Clarke, Lee & Xie 1995) performs state-space
+exploration and deadlock detection over the prioritized transition relation
+of an ACSR model; the paper (S5) reduces schedulability to exactly that
+question.  This subpackage reimplements the analysis core:
+
+* :class:`~repro.versa.explorer.Explorer` -- breadth-first exploration with
+  state interning, budget limits and early deadlock exit;
+* :class:`~repro.versa.traces.Trace` -- counterexample traces (the "failing
+  scenarios" of the paper);
+* :mod:`~repro.versa.queries` -- deadlock-freedom, reachability and
+  observer-style queries;
+* :class:`~repro.versa.lts.LTS` -- an explicit labelled transition system
+  for export (networkx) and minimization;
+* :mod:`~repro.versa.minimize` -- strong-bisimulation quotient via
+  partition refinement.
+"""
+
+from repro.versa.explorer import Explorer, ExplorationResult
+from repro.versa.traces import Step, Trace
+from repro.versa.lts import LTS
+from repro.versa.queries import (
+    deadlock_free,
+    find_deadlock,
+    find_reachable,
+    reachable_states,
+)
+from repro.versa.minimize import bisimulation_quotient
+from repro.versa.weak import weak_bisimulation_quotient
+from repro.versa.walk import random_walk, walk_statistics, uniform_policy, event_first_policy
+
+__all__ = [
+    "Explorer",
+    "ExplorationResult",
+    "LTS",
+    "Step",
+    "Trace",
+    "bisimulation_quotient",
+    "deadlock_free",
+    "event_first_policy",
+    "random_walk",
+    "uniform_policy",
+    "walk_statistics",
+    "weak_bisimulation_quotient",
+    "find_deadlock",
+    "find_reachable",
+    "reachable_states",
+]

@@ -1,0 +1,259 @@
+"""Breadth-first state-space exploration with deadlock detection.
+
+The explorer walks the (by default prioritized) transition relation of a
+:class:`~repro.acsr.definitions.ClosedSystem` from its root term.  States
+are ACSR terms; because terms are hash-consed, the visited set is a plain
+identity-keyed dict and state comparison is pointer equality -- this is the
+single most important performance property of the engine (the HPC guides'
+"optimize the measured bottleneck": state dedup dominates exploration).
+
+BFS (rather than DFS) is used so that the first deadlock found yields a
+*shortest* counterexample trace, which makes the raised AADL scenarios
+minimal and readable.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ExplorationLimitError
+from repro.acsr.definitions import ClosedSystem
+from repro.acsr.terms import Term
+from repro.versa.traces import Step, Trace
+
+
+class ExplorationResult:
+    """Outcome of a state-space exploration.
+
+    Attributes:
+        initial: the root state.
+        num_states: states discovered (including the initial one).
+        num_transitions: transitions traversed.
+        deadlock_states: states with no outgoing (prioritized) transition.
+        target_states: states satisfying the optional target predicate.
+        completed: True when the full reachable space was explored (i.e.
+            the search was not stopped early by a budget, a first-deadlock
+            request, or a target hit).
+        elapsed: wall-clock seconds.
+    """
+
+    def __init__(
+        self,
+        initial: Term,
+        *,
+        num_states: int,
+        num_transitions: int,
+        deadlock_states: List[Term],
+        target_states: List[Term],
+        completed: bool,
+        elapsed: float,
+        parent: Dict[Term, Tuple[Optional[Term], Optional[object]]],
+        transitions: Optional[Dict[Term, Tuple[Tuple[object, Term], ...]]],
+    ) -> None:
+        self.initial = initial
+        self.num_states = num_states
+        self.num_transitions = num_transitions
+        self.deadlock_states = deadlock_states
+        self.target_states = target_states
+        self.completed = completed
+        self.elapsed = elapsed
+        self._parent = parent
+        self._transitions = transitions
+
+    @property
+    def deadlock_free(self) -> bool:
+        """True when the explored space contains no deadlock.
+
+        Only meaningful when :attr:`completed` is True (or a first-deadlock
+        search returned no deadlock and completed).
+        """
+        return not self.deadlock_states
+
+    def trace_to(self, state: Term) -> Trace:
+        """Shortest trace (along the BFS tree) from the initial state."""
+        if state not in self._parent:
+            raise KeyError(f"state was not discovered: {state!r}")
+        steps: List[Step] = []
+        current: Optional[Term] = state
+        while current is not None:
+            parent, label = self._parent[current]
+            if parent is None:
+                break
+            steps.append(Step(label, current))
+            current = parent
+        steps.reverse()
+        return Trace(self.initial, steps)
+
+    def first_deadlock_trace(self) -> Optional[Trace]:
+        """Trace to the first (shallowest) deadlock, if any."""
+        if not self.deadlock_states:
+            return None
+        return self.trace_to(self.deadlock_states[0])
+
+    def transitions_of(self, state: Term) -> Tuple[Tuple[object, Term], ...]:
+        """Outgoing transitions of an explored state (requires the explorer
+        to have been run with ``store_transitions=True``)."""
+        if self._transitions is None:
+            raise ValueError(
+                "exploration did not store transitions; "
+                "pass store_transitions=True"
+            )
+        return self._transitions[state]
+
+    @property
+    def stored_transitions(
+        self,
+    ) -> Optional[Dict[Term, Tuple[Tuple[object, Term], ...]]]:
+        return self._transitions
+
+    def states(self) -> List[Term]:
+        """All discovered states, in BFS discovery order."""
+        return list(self._parent)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplorationResult(states={self.num_states}, "
+            f"transitions={self.num_transitions}, "
+            f"deadlocks={len(self.deadlock_states)}, "
+            f"completed={self.completed})"
+        )
+
+
+class Explorer:
+    """State-space explorer over a closed ACSR system.
+
+    Args:
+        system: the closed system to explore.
+        prioritized: explore the prioritized transition relation (the
+            paper's semantics) or, for ablation, the unprioritized one.
+        max_states: state budget; exceeding it raises
+            :class:`~repro.errors.ExplorationLimitError` unless
+            ``on_limit="truncate"``.
+        max_seconds: optional wall-clock budget, same policy.
+        store_transitions: keep the full transition table (needed for LTS
+            export and minimization; costs memory).
+        on_limit: ``"raise"`` (default) or ``"truncate"`` -- truncation
+            returns a result with ``completed=False``.
+    """
+
+    def __init__(
+        self,
+        system: ClosedSystem,
+        *,
+        prioritized: bool = True,
+        max_states: int = 1_000_000,
+        max_seconds: Optional[float] = None,
+        store_transitions: bool = False,
+        on_limit: str = "raise",
+    ) -> None:
+        if on_limit not in ("raise", "truncate"):
+            raise ValueError("on_limit must be 'raise' or 'truncate'")
+        self.system = system
+        self.prioritized = prioritized
+        self.max_states = max_states
+        self.max_seconds = max_seconds
+        self.store_transitions = store_transitions
+        self.on_limit = on_limit
+
+    def _steps(self, state: Term) -> Tuple[Tuple[object, Term], ...]:
+        if self.prioritized:
+            return self.system.prioritized_steps(state)
+        return self.system.steps(state)
+
+    def run(
+        self,
+        *,
+        stop_at_first_deadlock: bool = False,
+        target: Optional[Callable[[Term], bool]] = None,
+        stop_at_target: bool = False,
+    ) -> ExplorationResult:
+        """Explore breadth-first from the system root.
+
+        Args:
+            stop_at_first_deadlock: return as soon as a deadlock is found
+                (shortest counterexample); the result then has
+                ``completed=False`` unless the space was exhausted anyway.
+            target: optional predicate on states; matches are collected in
+                ``target_states``.
+            stop_at_target: stop as soon as the predicate matches.
+        """
+        start = time.perf_counter()
+        initial = self.system.root
+        parent: Dict[Term, Tuple[Optional[Term], Optional[object]]] = {
+            initial: (None, None)
+        }
+        transitions: Optional[Dict[Term, Tuple[Tuple[object, Term], ...]]] = (
+            {} if self.store_transitions else None
+        )
+        deadlocks: List[Term] = []
+        targets: List[Term] = []
+        num_transitions = 0
+        stopped_early = False
+
+        queue: deque = deque((initial,))
+        if target is not None and target(initial):
+            targets.append(initial)
+            if stop_at_target:
+                queue.clear()
+                stopped_early = True
+
+        while queue:
+            if self.max_seconds is not None and (
+                time.perf_counter() - start > self.max_seconds
+            ):
+                if self.on_limit == "raise":
+                    raise ExplorationLimitError(
+                        f"time budget {self.max_seconds}s exhausted after "
+                        f"{len(parent)} states",
+                        states_explored=len(parent),
+                    )
+                stopped_early = True
+                break
+            state = queue.popleft()
+            steps = self._steps(state)
+            if transitions is not None:
+                transitions[state] = steps
+            if not steps:
+                deadlocks.append(state)
+                if stop_at_first_deadlock:
+                    stopped_early = True
+                    break
+                continue
+            num_transitions += len(steps)
+            for label, successor in steps:
+                if successor not in parent:
+                    if len(parent) >= self.max_states:
+                        if self.on_limit == "raise":
+                            raise ExplorationLimitError(
+                                f"state budget {self.max_states} exhausted",
+                                states_explored=len(parent),
+                            )
+                        stopped_early = True
+                        queue.clear()
+                        break
+                    parent[successor] = (state, label)
+                    if target is not None and target(successor):
+                        targets.append(successor)
+                        if stop_at_target:
+                            stopped_early = True
+                            queue.clear()
+                            break
+                    queue.append(successor)
+            else:
+                continue
+            break
+
+        completed = not stopped_early and not queue
+        return ExplorationResult(
+            initial,
+            num_states=len(parent),
+            num_transitions=num_transitions,
+            deadlock_states=deadlocks,
+            target_states=targets,
+            completed=completed,
+            elapsed=time.perf_counter() - start,
+            parent=parent,
+            transitions=transitions,
+        )

@@ -1,0 +1,75 @@
+"""Strong-bisimulation minimization of explored transition systems.
+
+Naive partition refinement: start from a single block and split blocks by
+the multiset of (label, target-block) signatures until stable.  Complexity
+is O(m * n) per round in the worst case -- entirely adequate for the sizes
+we minimize (the quotient is a diagnostic/compression device, not part of
+the schedulability verdict; deadlock-freedom is invariant under strong
+bisimulation, which the tests exploit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.versa.lts import LTS
+
+
+def bisimulation_quotient(lts: LTS) -> Tuple[LTS, List[int]]:
+    """Quotient the LTS by strong bisimilarity.
+
+    Returns ``(quotient, block_of)`` where ``block_of[s]`` is the quotient
+    state containing original state ``s``.
+    """
+    n = lts.num_states
+    if n == 0:
+        return LTS(0, 0, []), []
+
+    # successor lists per state
+    succs: List[List[Tuple[Hashable, int]]] = [[] for _ in range(n)]
+    for src, label, dst in lts.edges:
+        succs[src].append((label, dst))
+
+    block_of = [0] * n
+    num_blocks = 1
+    while True:
+        signatures: Dict[int, Dict[frozenset, List[int]]] = {}
+        for state in range(n):
+            sig = frozenset(
+                (_label_key(label), block_of[dst]) for label, dst in succs[state]
+            )
+            signatures.setdefault(block_of[state], {}).setdefault(
+                sig, []
+            ).append(state)
+
+        new_block_of = [0] * n
+        next_block = 0
+        changed = False
+        for block in sorted(signatures):
+            groups = signatures[block]
+            if len(groups) > 1:
+                changed = True
+            for sig in sorted(groups, key=lambda fs: sorted(map(repr, fs))):
+                for state in groups[sig]:
+                    new_block_of[state] = next_block
+                next_block += 1
+        block_of = new_block_of
+        num_blocks = next_block
+        if not changed:
+            break
+
+    # Build the quotient: one representative edge set per block.
+    edge_set: Dict[Tuple[int, Hashable, int], None] = {}
+    for src, label, dst in lts.edges:
+        edge_set.setdefault((block_of[src], label, block_of[dst]), None)
+    quotient = LTS(
+        num_blocks,
+        block_of[lts.initial],
+        list(edge_set),
+    )
+    return quotient, block_of
+
+
+def _label_key(label: Hashable) -> Hashable:
+    """Labels are already hashable (interned Actions / EventLabels)."""
+    return label

@@ -1,0 +1,112 @@
+"""High-level analysis queries over closed ACSR systems.
+
+These are the operations the paper's toolchain exposes: deadlock-freedom
+(= schedulability after translation, S5), first-deadlock counterexamples,
+and reachability of marked states (used for queue-overflow errors and
+latency observers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.acsr.definitions import ClosedSystem
+from repro.acsr.terms import ProcRef, Term
+from repro.versa.explorer import ExplorationResult, Explorer
+from repro.versa.traces import Trace
+
+
+def deadlock_free(
+    system: ClosedSystem,
+    *,
+    max_states: int = 1_000_000,
+    prioritized: bool = True,
+) -> bool:
+    """Exhaustively check deadlock-freedom of the system."""
+    result = Explorer(
+        system, prioritized=prioritized, max_states=max_states
+    ).run()
+    return result.deadlock_free
+
+
+def find_deadlock(
+    system: ClosedSystem,
+    *,
+    max_states: int = 1_000_000,
+    prioritized: bool = True,
+) -> Optional[Trace]:
+    """Shortest trace to a deadlock, or None when the system is
+    deadlock-free."""
+    result = Explorer(
+        system, prioritized=prioritized, max_states=max_states
+    ).run(stop_at_first_deadlock=True)
+    return result.first_deadlock_trace()
+
+
+def find_reachable(
+    system: ClosedSystem,
+    predicate: Callable[[Term], bool],
+    *,
+    max_states: int = 1_000_000,
+    prioritized: bool = True,
+) -> Optional[Trace]:
+    """Shortest trace to a state satisfying ``predicate``, or None."""
+    result = Explorer(
+        system, prioritized=prioritized, max_states=max_states
+    ).run(target=predicate, stop_at_target=True)
+    if not result.target_states:
+        return None
+    return result.trace_to(result.target_states[0])
+
+
+def reachable_states(
+    system: ClosedSystem,
+    *,
+    max_states: int = 1_000_000,
+    prioritized: bool = True,
+) -> ExplorationResult:
+    """Full exploration result (all reachable states)."""
+    return Explorer(
+        system, prioritized=prioritized, max_states=max_states
+    ).run()
+
+
+def contains_proc(name: str) -> Callable[[Term], bool]:
+    """Predicate factory: does the state contain a reference to process
+    ``name``?  Useful for marking error states (e.g. queue overflow)."""
+
+    def predicate(term: Term) -> bool:
+        return any(ref.name == name for ref in _proc_refs(term))
+
+    return predicate
+
+
+def _proc_refs(term: Term) -> List[ProcRef]:
+    from repro.acsr.terms import (
+        ActionPrefix,
+        Choice,
+        Close,
+        EventPrefix,
+        Hide,
+        Parallel,
+        Restrict,
+        Scope,
+    )
+
+    refs: List[ProcRef] = []
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ProcRef):
+            refs.append(node)
+        elif isinstance(node, (Choice, Parallel)):
+            stack.extend(node.children)
+        elif isinstance(node, (Restrict, Close, Hide)):
+            stack.append(node.body)
+        elif isinstance(node, Scope):
+            stack.append(node.body)
+        elif isinstance(node, (ActionPrefix, EventPrefix)):
+            # Prefix continuations are future behaviour, not part of the
+            # current control state; do not descend.
+            pass
+    return refs

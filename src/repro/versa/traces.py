@@ -1,0 +1,103 @@
+"""Execution traces (failing scenarios).
+
+A :class:`Trace` is a finite alternating sequence of states and transition
+labels starting at the initial state of an exploration.  Traces are what
+VERSA reports when it finds a deadlock; :mod:`repro.analysis.raising`
+reinterprets them in terms of the source AADL model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.acsr.events import EventLabel
+from repro.acsr.printer import format_label, format_term
+from repro.acsr.resources import Action
+from repro.acsr.terms import Term
+
+
+class Step:
+    """One transition of a trace: the label taken and the state reached."""
+
+    __slots__ = ("label", "state")
+
+    def __init__(self, label: object, state: Term) -> None:
+        self.label = label
+        self.state = state
+
+    @property
+    def is_timed(self) -> bool:
+        """True when the step is a timed action (advances the clock)."""
+        return isinstance(self.label, Action)
+
+    @property
+    def is_event(self) -> bool:
+        return isinstance(self.label, EventLabel)
+
+    def __repr__(self) -> str:
+        return f"Step({format_label(self.label)})"
+
+
+class Trace:
+    """A finite execution from the initial state of an exploration."""
+
+    __slots__ = ("initial", "steps")
+
+    def __init__(self, initial: Term, steps: Sequence[Step]) -> None:
+        self.initial = initial
+        self.steps = list(steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[Step]:
+        return iter(self.steps)
+
+    def __getitem__(self, index: int) -> Step:
+        return self.steps[index]
+
+    @property
+    def final_state(self) -> Term:
+        """The last state of the trace (the deadlocked state for a
+        counterexample)."""
+        return self.steps[-1].state if self.steps else self.initial
+
+    @property
+    def duration(self) -> int:
+        """Number of timed steps, i.e. elapsed quanta along the trace."""
+        return sum(1 for step in self.steps if step.is_timed)
+
+    def labels(self) -> List[object]:
+        return [step.label for step in self.steps]
+
+    def timed_prefix_times(self) -> List[int]:
+        """Clock value *before* each step (timed steps advance the clock)."""
+        times: List[int] = []
+        clock = 0
+        for step in self.steps:
+            times.append(clock)
+            if step.is_timed:
+                clock += 1
+        return times
+
+    def format(self, *, show_states: bool = False) -> str:
+        """Human-readable rendering: one step per line with clock values."""
+        lines: List[str] = []
+        clock = 0
+        if show_states:
+            lines.append(f"  [t={clock}] {format_term(self.initial)}")
+        for step in self.steps:
+            lines.append(f"  t={clock:<4d} {format_label(step.label)}")
+            if step.is_timed:
+                clock += 1
+            if show_states:
+                lines.append(f"  [t={clock}] {format_term(step.state)}")
+        if not lines:
+            lines.append("  <empty trace>")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Trace(len={len(self.steps)}, duration={self.duration})"
+
+    def __str__(self) -> str:
+        return self.format()

@@ -1,0 +1,114 @@
+"""Random and guided walks through an ACSR system.
+
+VERSA offered interactive execution alongside exhaustive search; walks
+are the scripted equivalent -- useful for sanity-checking a model's
+behaviour, generating example schedules, and statistical smoke tests
+where the full space is too large.  A walk is *one* behaviour; only the
+explorer's verdicts are exhaustive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.acsr.definitions import ClosedSystem
+from repro.acsr.terms import Term
+from repro.versa.traces import Step, Trace
+
+#: A walk policy picks one transition among the enabled ones.
+Policy = Callable[[Sequence[Tuple[object, Term]], np.random.Generator], int]
+
+
+def uniform_policy(
+    steps: Sequence[Tuple[object, Term]], rng: np.random.Generator
+) -> int:
+    """Choose uniformly among enabled transitions."""
+    return int(rng.integers(len(steps)))
+
+
+def event_first_policy(
+    steps: Sequence[Tuple[object, Term]], rng: np.random.Generator
+) -> int:
+    """Drain pending events before letting time pass (mirrors the maximal-
+    progress intuition; among events, uniform)."""
+    from repro.acsr.events import EventLabel
+
+    events = [
+        index
+        for index, (label, _) in enumerate(steps)
+        if isinstance(label, EventLabel)
+    ]
+    pool = events if events else list(range(len(steps)))
+    return int(pool[rng.integers(len(pool))])
+
+
+def random_walk(
+    system: ClosedSystem,
+    *,
+    max_steps: int = 100,
+    seed: Optional[int] = None,
+    policy: Policy = uniform_policy,
+    prioritized: bool = True,
+) -> Trace:
+    """Walk ``max_steps`` transitions from the root (or until deadlock).
+
+    Returns the trace actually taken; ``trace.final_state`` is deadlocked
+    iff the walk stopped early.
+    """
+    if max_steps < 0:
+        raise AnalysisError("max_steps must be non-negative")
+    rng = np.random.default_rng(seed)
+    state = system.root
+    steps = []
+    for _ in range(max_steps):
+        candidates = (
+            system.prioritized_steps(state)
+            if prioritized
+            else system.steps(state)
+        )
+        if not candidates:
+            break
+        index = policy(candidates, rng)
+        if not (0 <= index < len(candidates)):
+            raise AnalysisError(
+                f"walk policy returned out-of-range index {index}"
+            )
+        label, state = candidates[index]
+        steps.append(Step(label, state))
+    return Trace(system.root, steps)
+
+
+def walk_statistics(
+    system: ClosedSystem,
+    *,
+    walks: int = 20,
+    max_steps: int = 200,
+    seed: Optional[int] = None,
+) -> dict:
+    """Aggregate several uniform walks: deadlock hit-rate and depths.
+
+    A cheap statistical smoke test: a nonzero ``deadlock_rate`` proves
+    unschedulability (witnessed), but zero proves nothing -- use the
+    explorer for the real verdict.
+    """
+    rng = np.random.default_rng(seed)
+    deadlocks = 0
+    durations = []
+    for _ in range(walks):
+        trace = random_walk(
+            system,
+            max_steps=max_steps,
+            seed=int(rng.integers(2**31)),
+        )
+        durations.append(trace.duration)
+        if len(trace) < max_steps:
+            deadlocks += 1
+    return {
+        "walks": walks,
+        "deadlock_rate": deadlocks / walks if walks else 0.0,
+        "mean_duration": float(np.mean(durations)) if durations else 0.0,
+        "max_duration": max(durations, default=0),
+    }

@@ -1,0 +1,129 @@
+"""Weak (observational) bisimulation quotient.
+
+Internal steps (``tau`` labels) are unobservable: two states are weakly
+bisimilar when they match each other's *visible* behaviour up to
+interleaved internal activity.  On translated AADL systems this abstracts
+the dispatch/done/queue handshakes away, leaving the timed schedule --
+the quotient of a schedulable single-thread system is (close to) a bare
+cycle of its period.
+
+Implementation: saturate the LTS with weak transitions
+(``tau* a tau*`` for visible ``a``, ``tau*`` for internal moves), then run
+strong partition refinement over the saturated relation, with the
+convention that a weak-tau move to a state's own block is implicit
+(stuttering) and therefore excluded from signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.acsr.events import EventLabel
+from repro.versa.lts import LTS
+
+#: Canonical label for all internal steps in the weak view.
+TAU = "tau"
+
+
+def _weak_label(label: Hashable) -> Hashable:
+    if isinstance(label, EventLabel) and label.is_tau:
+        return TAU
+    return label
+
+
+def _tau_closure(n: int, tau_succ: List[Set[int]]) -> List[Set[int]]:
+    """Reflexive-transitive closure of the internal-step relation."""
+    closure: List[Set[int]] = [set((i,)) for i in range(n)]
+    # Iterative propagation; state counts here are small (explored LTSs).
+    changed = True
+    while changed:
+        changed = False
+        for state in range(n):
+            additions: Set[int] = set()
+            for reached in closure[state]:
+                for nxt in tau_succ[reached]:
+                    if nxt not in closure[state]:
+                        additions.add(nxt)
+            if additions:
+                closure[state] |= additions
+                changed = True
+    return closure
+
+
+def weak_bisimulation_quotient(lts: LTS) -> Tuple[LTS, List[int]]:
+    """Quotient the LTS by weak bisimilarity.
+
+    Returns ``(quotient, block_of)``.  Quotient edges carry the original
+    labels for visible moves and the string ``"tau"`` for residual
+    (non-stuttering) internal moves.
+    """
+    n = lts.num_states
+    if n == 0:
+        return LTS(0, 0, []), []
+
+    tau_succ: List[Set[int]] = [set() for _ in range(n)]
+    visible: List[List[Tuple[Hashable, int]]] = [[] for _ in range(n)]
+    for src, label, dst in lts.edges:
+        if _weak_label(label) == TAU:
+            tau_succ[src].add(dst)
+        else:
+            visible[src].append((label, dst))
+
+    closure = _tau_closure(n, tau_succ)
+
+    # Weak successor sets: s ==a==> t  iff  s tau* s' -a-> t' tau* t.
+    weak_visible: List[Set[Tuple[Hashable, int]]] = [set() for _ in range(n)]
+    weak_tau: List[Set[int]] = [set() for _ in range(n)]
+    for state in range(n):
+        for mid in closure[state]:
+            weak_tau[state] |= closure[mid]
+            for label, target in visible[mid]:
+                for final in closure[target]:
+                    weak_visible[state].add((label, final))
+
+    block_of = [0] * n
+    while True:
+        signatures: Dict[int, Dict[frozenset, List[int]]] = {}
+        for state in range(n):
+            sig_items = {
+                (label, block_of[target])
+                for label, target in weak_visible[state]
+            }
+            # Weak tau moves to a *different* block are observable
+            # branching; moves within the own block are stuttering.
+            sig_items |= {
+                (TAU, block_of[target])
+                for target in weak_tau[state]
+                if block_of[target] != block_of[state]
+            }
+            signatures.setdefault(block_of[state], {}).setdefault(
+                frozenset(sig_items), []
+            ).append(state)
+
+        new_block_of = [0] * n
+        next_block = 0
+        changed = False
+        for block in sorted(signatures):
+            groups = signatures[block]
+            if len(groups) > 1:
+                changed = True
+            for sig in sorted(groups, key=lambda fs: sorted(map(repr, fs))):
+                for state in groups[sig]:
+                    new_block_of[state] = next_block
+                next_block += 1
+        block_of = new_block_of
+        if not changed:
+            break
+
+    num_blocks = next_block
+    edges: Dict[Tuple[int, Hashable, int], None] = {}
+    for state in range(n):
+        for label, target in weak_visible[state]:
+            edges.setdefault(
+                (block_of[state], label, block_of[target]), None
+            )
+        for target in weak_tau[state]:
+            if block_of[target] != block_of[state]:
+                edges.setdefault((block_of[state], TAU, block_of[target]), None)
+    quotient = LTS(num_blocks, block_of[lts.initial], list(edges))
+    return quotient, block_of

@@ -1,0 +1,18 @@
+"""Synthetic workload generation for benchmarks and property tests."""
+
+from repro.workloads.uunifast import uunifast, integer_task_set
+from repro.workloads.generators import (
+    chain_system,
+    multiprocessor_system,
+    random_periodic_system,
+    task_set_to_system,
+)
+
+__all__ = [
+    "chain_system",
+    "integer_task_set",
+    "multiprocessor_system",
+    "random_periodic_system",
+    "task_set_to_system",
+    "uunifast",
+]

@@ -1,0 +1,151 @@
+"""Synthetic AADL system generators for scaling and agreement benchmarks."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.aadl.builder import SystemBuilder
+from repro.aadl.instance import SystemInstance
+from repro.aadl.properties import (
+    DispatchProtocol,
+    OverflowHandlingProtocol,
+    SchedulingProtocol,
+    ms,
+)
+from repro.sched.taskmodel import TaskSet
+from repro.workloads.uunifast import integer_task_set
+
+
+def task_set_to_system(
+    tasks: TaskSet,
+    *,
+    scheduling: SchedulingProtocol = SchedulingProtocol.RATE_MONOTONIC,
+    name: str = "Synthetic",
+) -> SystemInstance:
+    """Wrap a task set as a single-processor AADL system (1 ms quantum)."""
+    builder = SystemBuilder(name)
+    cpu = builder.processor("cpu", scheduling=scheduling)
+    for task in tasks:
+        builder.thread(
+            task.name,
+            dispatch=DispatchProtocol.PERIODIC,
+            period=ms(task.period),
+            compute_time=(ms(task.bcet), ms(task.wcet)),
+            deadline=ms(task.deadline),
+            processor=cpu,
+            priority=task.priority,
+        )
+    return builder.instantiate()
+
+
+def random_periodic_system(
+    n_threads: int,
+    total_utilization: float,
+    *,
+    scheduling: SchedulingProtocol = SchedulingProtocol.RATE_MONOTONIC,
+    periods: Sequence[int] = (4, 8, 12, 24),
+    rng: Optional[np.random.Generator] = None,
+) -> SystemInstance:
+    """Random single-processor periodic system at a target utilization."""
+    tasks = integer_task_set(
+        n_threads, total_utilization, periods=periods, rng=rng
+    )
+    return task_set_to_system(tasks, scheduling=scheduling)
+
+
+def chain_system(
+    n_stages: int,
+    *,
+    period: int = 8,
+    wcet: int = 1,
+    stage_deadline: int = 4,
+    queue_size: int = 1,
+    overflow: OverflowHandlingProtocol = OverflowHandlingProtocol.DROP_NEWEST,
+) -> SystemInstance:
+    """A periodic source driving a pipeline of sporadic stages through
+    event connections -- the "complex patterns of interaction" regime
+    where classical analysis does not apply but the ACSR translation does.
+    """
+    if n_stages < 1:
+        raise ValueError("need at least one stage")
+    builder = SystemBuilder("Chain")
+    cpu = builder.processor(
+        "cpu", scheduling=SchedulingProtocol.DEADLINE_MONOTONIC
+    )
+    source = builder.thread(
+        "source",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(period),
+        compute_time=(ms(wcet), ms(wcet)),
+        deadline=ms(period),
+        processor=cpu,
+    )
+    source.out_event_port("out")
+    previous = source
+    for index in range(n_stages):
+        stage = builder.thread(
+            f"stage{index}",
+            dispatch=DispatchProtocol.SPORADIC,
+            period=ms(period),
+            compute_time=(ms(wcet), ms(wcet)),
+            deadline=ms(stage_deadline),
+            processor=cpu,
+        )
+        stage.in_event_port("inp", queue_size=queue_size, overflow=overflow)
+        if index < n_stages - 1:
+            stage.out_event_port("out")
+        builder.connect(previous, "out", stage, "inp")
+        previous = stage
+    return builder.instantiate()
+
+
+def multiprocessor_system(
+    n_processors: int,
+    threads_per_processor: int,
+    *,
+    utilization_per_processor: float = 0.5,
+    shared_bus: bool = True,
+    scheduling: SchedulingProtocol = SchedulingProtocol.RATE_MONOTONIC,
+    periods: Sequence[int] = (4, 8),
+    rng: Optional[np.random.Generator] = None,
+) -> SystemInstance:
+    """Several processors, each with its own thread set; optionally every
+    processor's first thread sends over one shared bus (cross-processor
+    contention as in Figure 1)."""
+    rng = rng or np.random.default_rng()
+    builder = SystemBuilder("Multi")
+    bus = builder.bus("net") if shared_bus else None
+    sink_cpu = builder.processor("sink_cpu", scheduling=scheduling)
+    sink = builder.thread(
+        "sink",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(max(periods)),
+        compute_time=(ms(1), ms(1)),
+        deadline=ms(max(periods)),
+        processor=sink_cpu,
+    )
+    for p in range(n_processors):
+        cpu = builder.processor(f"cpu{p}", scheduling=scheduling)
+        tasks = integer_task_set(
+            threads_per_processor,
+            utilization_per_processor,
+            periods=periods,
+            rng=rng,
+            name_prefix=f"p{p}t",
+        )
+        for index, task in enumerate(tasks):
+            thread = builder.thread(
+                task.name,
+                dispatch=DispatchProtocol.PERIODIC,
+                period=ms(task.period),
+                compute_time=(ms(task.wcet), ms(task.wcet)),
+                deadline=ms(task.deadline),
+                processor=cpu,
+            )
+            if shared_bus and index == 0:
+                thread.out_data_port("out")
+                sink.in_data_port(f"in_p{p}")
+                builder.connect(thread, "out", sink, f"in_p{p}", bus=bus)
+    return builder.instantiate()

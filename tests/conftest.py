@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.acsr import (
+    ProcessEnv,
+    action,
+    idle,
+    nil,
+    proc,
+    recv,
+    restrict,
+    parallel,
+    send,
+)
+
+
+@pytest.fixture
+def env() -> ProcessEnv:
+    return ProcessEnv()
+
+
+@pytest.fixture
+def simple_system(env: ProcessEnv):
+    """The paper's Figure 2 'Simple' process with an idling receiver:
+    Simple = {(cpu,1)} : {(cpu,1),(bus,1)} : (done!,1) . Simple
+    Recv   = (done?,1) . Recv + idle : Recv
+    """
+    env.define(
+        "Simple",
+        (),
+        action({"cpu": 1})
+        >> action({"cpu": 1, "bus": 1})
+        >> send("done", 1)
+        >> proc("Simple"),
+    )
+    env.define(
+        "Recv",
+        (),
+        recv("done", 1).then(proc("Recv")) + idle().then(proc("Recv")),
+    )
+    root = restrict(parallel(proc("Simple"), proc("Recv")), ["done"])
+    return env.close(root)
+
+
+def labels_of(system, term=None):
+    """Formatted prioritized labels of a state (test convenience)."""
+    from repro.acsr.printer import format_label
+
+    return sorted(
+        format_label(label) for label, _ in system.prioritized_steps(term)
+    )

@@ -1,0 +1,198 @@
+"""Tests of the fluent SystemBuilder and the gallery models."""
+
+import pytest
+
+from repro.errors import AadlError, AadlNameError
+from repro.aadl.builder import SystemBuilder
+from repro.aadl.features import PortKind
+from repro.aadl.gallery import (
+    aperiodic_worker,
+    cruise_control,
+    shared_bus_pair,
+    sporadic_consumer,
+    two_periodic_threads,
+)
+from repro.aadl.properties import (
+    DispatchProtocol,
+    OverflowHandlingProtocol,
+    SchedulingProtocol,
+    ms,
+)
+
+
+class TestBuilder:
+    def test_minimal_system(self):
+        b = SystemBuilder("Mini")
+        cpu = b.processor("cpu")
+        b.thread(
+            "t",
+            dispatch="periodic",
+            period=ms(10),
+            compute_time=ms(2),
+            deadline=ms(10),
+            processor=cpu,
+        )
+        inst = b.instantiate()
+        assert len(inst.threads()) == 1
+        assert inst.threads()[0].bound_processor is inst.child("cpu")
+
+    def test_int_times_are_milliseconds(self):
+        b = SystemBuilder("Mini")
+        cpu = b.processor("cpu")
+        b.thread(
+            "t",
+            dispatch="periodic",
+            period=10,
+            compute_time=(1, 2),
+            deadline=10,
+            processor=cpu,
+        )
+        inst = b.instantiate()
+        assert inst.threads()[0].property_time("period") == ms(10)
+
+    def test_string_protocol_names(self):
+        b = SystemBuilder("Mini")
+        cpu = b.processor("cpu", scheduling="edf")
+        thread = b.thread(
+            "t",
+            dispatch="sporadic",
+            period=10,
+            compute_time=1,
+            deadline=10,
+            processor=cpu,
+        )
+        thread.in_event_port("go")
+        inst = b.instantiate(validate=False)
+        assert (
+            inst.child("cpu").property("scheduling_protocol")
+            is SchedulingProtocol.EARLIEST_DEADLINE_FIRST
+        )
+
+    def test_connection_with_bus_and_urgency(self):
+        b = SystemBuilder("Mini")
+        cpu = b.processor("cpu")
+        net = b.bus("net")
+        p = b.thread(
+            "p", dispatch="periodic", period=8, compute_time=1,
+            deadline=8, processor=cpu,
+        )
+        p.out_event_port("evt")
+        c = b.thread(
+            "c", dispatch="aperiodic", compute_time=1, deadline=4,
+            processor=cpu,
+        )
+        c.in_event_port("evt", queue_size=3)
+        b.connect(p, "evt", c, "evt", bus=net, urgency=2)
+        inst = b.instantiate()
+        conn = inst.connections[0]
+        assert conn.buses[0].qualified_name == "Mini.net"
+        assert conn.connection_property("urgency") == 2
+        assert conn.destination_port_property("queue_size") == 3
+
+    def test_duplicate_thread_name_rejected(self):
+        b = SystemBuilder("Mini")
+        cpu = b.processor("cpu")
+        b.thread(
+            "t", dispatch="periodic", period=10, compute_time=1,
+            deadline=10, processor=cpu,
+        )
+        with pytest.raises(AadlNameError):
+            b.thread(
+                "t", dispatch="periodic", period=10, compute_time=1,
+                deadline=10, processor=cpu,
+            )
+
+    def test_bad_time_type_rejected(self):
+        b = SystemBuilder("Mini")
+        cpu = b.processor("cpu")
+        with pytest.raises(AadlError):
+            b.thread(
+                "t", dispatch="periodic", period=1.5, compute_time=1,
+                deadline=10, processor=cpu,
+            )
+
+    def test_port_kinds(self):
+        b = SystemBuilder("Mini")
+        cpu = b.processor("cpu")
+        t = b.thread(
+            "t", dispatch="periodic", period=10, compute_time=1,
+            deadline=10, processor=cpu,
+        )
+        t.out_data_port("a").in_data_port("b").out_event_port("c")
+        t.in_event_port("d").out_event_data_port("e").in_event_data_port("f")
+        ctype = t.ctype
+        assert ctype.feature("a").kind is PortKind.DATA
+        assert ctype.feature("c").kind is PortKind.EVENT
+        assert ctype.feature("e").kind is PortKind.EVENT_DATA
+
+
+class TestGallery:
+    def test_cruise_control_shape(self):
+        cc = cruise_control()
+        assert len(cc.threads()) == 6
+        assert len(cc.processors()) == 2
+        assert len(cc.buses()) == 1
+        assert len(cc.connections) == 5
+
+    def test_cruise_control_bus_mapped_sources(self):
+        cc = cruise_control()
+        # Paper S4.2: DriverModeLogic and RefSpeed have bus-mapped
+        # outgoing data connections.
+        bus_sources = {
+            c.source.component.name for c in cc.connections if c.buses
+        }
+        assert bus_sources == {"drivermodelogic", "refspeed"}
+
+    def test_cruise_control_all_data_connections(self):
+        cc = cruise_control()
+        assert all(c.kind is PortKind.DATA for c in cc.connections)
+
+    def test_overloaded_variant_differs(self):
+        nominal = cruise_control()
+        overloaded = cruise_control(overloaded=True)
+        get = lambda inst: inst.child("ccl").child("cruise1").property_time_range(
+            "compute_execution_time"
+        )
+        assert get(overloaded).high > get(nominal).high
+
+    def test_two_periodic_threads_variants(self):
+        sched = two_periodic_threads(schedulable=True)
+        unsched = two_periodic_threads(schedulable=False)
+        assert len(sched.threads()) == 2
+        total = lambda inst: sum(
+            inst.threads()[i]
+            .property_time_range("compute_execution_time")
+            .high.picoseconds
+            for i in range(2)
+        )
+        assert total(unsched) > total(sched)
+
+    def test_sporadic_consumer_queue_properties(self):
+        inst = sporadic_consumer(
+            queue_size=3, overflow=OverflowHandlingProtocol.ERROR
+        )
+        conn = inst.connections[0]
+        assert conn.destination_port_property("queue_size") == 3
+        assert (
+            conn.destination_port_property("overflow_handling_protocol")
+            is OverflowHandlingProtocol.ERROR
+        )
+
+    def test_aperiodic_worker_protocols(self):
+        inst = aperiodic_worker()
+        protocols = {
+            t.name: t.property("dispatch_protocol") for t in inst.threads()
+        }
+        assert protocols["driver"] is DispatchProtocol.PERIODIC
+        assert protocols["worker"] is DispatchProtocol.APERIODIC
+
+    def test_shared_bus_pair_cross_processor(self):
+        inst = shared_bus_pair()
+        assert len(inst.processors()) == 2
+        bus_conns = [c for c in inst.connections if c.buses]
+        assert len(bus_conns) == 2
+        cpus = {
+            c.source.component.bound_processor.qualified_name
+            for c in bus_conns
+        }
+        assert len(cpus) == 2

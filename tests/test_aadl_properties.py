@@ -1,0 +1,149 @@
+"""Tests of AADL property values, units and lookup."""
+
+import pytest
+
+from repro.errors import AadlPropertyError
+from repro.aadl.properties import (
+    DispatchProtocol,
+    OverflowHandlingProtocol,
+    PropertyAssociation,
+    PropertyHolder,
+    ReferenceValue,
+    SchedulingProtocol,
+    TimeRange,
+    TimeValue,
+    ms,
+    us,
+)
+
+
+class TestTimeValue:
+    def test_exact_unit_conversion(self):
+        assert TimeValue(1, "ms").picoseconds == 10**9
+        assert TimeValue(1, "sec").picoseconds == 10**12
+        assert TimeValue(2, "min").picoseconds == 120 * 10**12
+
+    def test_equality_across_units(self):
+        assert TimeValue(1, "ms") == TimeValue(1000, "us")
+        assert hash(ms(1)) == hash(us(1000))
+
+    def test_ordering(self):
+        assert us(999) < ms(1)
+        assert ms(1) <= us(1000)
+
+    def test_rejects_unknown_unit(self):
+        with pytest.raises(AadlPropertyError):
+            TimeValue(1, "fortnight")
+
+    def test_rejects_negative(self):
+        with pytest.raises(AadlPropertyError):
+            TimeValue(-1, "ms")
+
+    def test_rejects_float(self):
+        with pytest.raises(AadlPropertyError):
+            TimeValue(1.5, "ms")
+
+    def test_to_ms(self):
+        assert us(1500).to_ms() == 1.5
+
+    def test_str(self):
+        assert str(ms(10)) == "10 ms"
+
+
+class TestTimeRange:
+    def test_construction(self):
+        r = TimeRange(ms(1), ms(3))
+        assert r.low == ms(1) and r.high == ms(3)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(AadlPropertyError):
+            TimeRange(ms(3), ms(1))
+
+    def test_point_range_allowed(self):
+        TimeRange(ms(2), ms(2))
+
+    def test_cross_unit_range(self):
+        TimeRange(us(500), ms(2))
+
+
+class TestEnums:
+    def test_dispatch_protocol_parse(self):
+        assert DispatchProtocol.parse("periodic") is DispatchProtocol.PERIODIC
+        assert DispatchProtocol.parse("Sporadic") is DispatchProtocol.SPORADIC
+
+    def test_dispatch_protocol_unknown(self):
+        with pytest.raises(AadlPropertyError):
+            DispatchProtocol.parse("monthly")
+
+    @pytest.mark.parametrize(
+        "text,member",
+        [
+            ("RMS", SchedulingProtocol.RATE_MONOTONIC),
+            ("rate_monotonic_protocol", SchedulingProtocol.RATE_MONOTONIC),
+            ("DMS", SchedulingProtocol.DEADLINE_MONOTONIC),
+            ("EDF", SchedulingProtocol.EARLIEST_DEADLINE_FIRST),
+            ("llf", SchedulingProtocol.LEAST_LAXITY_FIRST),
+            ("fixed_priority", SchedulingProtocol.HIGHEST_PRIORITY_FIRST),
+        ],
+    )
+    def test_scheduling_protocol_aliases(self, text, member):
+        assert SchedulingProtocol.parse(text) is member
+
+    def test_is_fixed_priority(self):
+        assert SchedulingProtocol.RATE_MONOTONIC.is_fixed_priority
+        assert not SchedulingProtocol.EARLIEST_DEADLINE_FIRST.is_fixed_priority
+
+    def test_overflow_drops(self):
+        assert OverflowHandlingProtocol.DROP_NEWEST.drops
+        assert OverflowHandlingProtocol.DROP_OLDEST.drops
+        assert not OverflowHandlingProtocol.ERROR.drops
+
+
+class TestReferenceValue:
+    def test_path(self):
+        ref = ReferenceValue(("a", "b"))
+        assert ref.path == ("a", "b")
+        assert str(ref) == "reference(a.b)"
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(AadlPropertyError):
+            ReferenceValue(())
+
+
+class TestPropertyHolder:
+    def test_own_property_lookup(self):
+        holder = PropertyHolder()
+        holder.add_property("Period", ms(10))
+        assert holder.own_property("period") == ms(10)
+
+    def test_case_insensitive(self):
+        holder = PropertyHolder()
+        holder.add_property("Dispatch_Protocol", DispatchProtocol.PERIODIC)
+        assert (
+            holder.own_property("DISPATCH_PROTOCOL")
+            is DispatchProtocol.PERIODIC
+        )
+
+    def test_later_association_overrides(self):
+        holder = PropertyHolder()
+        holder.add_property("Period", ms(10))
+        holder.add_property("Period", ms(20))
+        assert holder.own_property("period") == ms(20)
+
+    def test_default(self):
+        holder = PropertyHolder()
+        assert holder.own_property("period", ms(1)) == ms(1)
+
+    def test_contained_separate_from_own(self):
+        holder = PropertyHolder()
+        holder.add_property("Priority", 1)
+        holder.add_property("Priority", 2, applies_to=("sub",))
+        assert holder.own_property("priority") == 1
+        contained = holder.contained_properties("priority")
+        assert len(contained) == 1
+        assert contained[0].applies_to == ("sub",)
+
+    def test_property_set_prefix_normalized(self):
+        holder = PropertyHolder()
+        holder.add_property("SEI::Priority", 5)
+        assert holder.own_property("sei::priority") == 5

@@ -1,0 +1,193 @@
+"""Tests of the paper S4.1 translation assumptions."""
+
+import pytest
+
+from repro.errors import AadlLegalityError
+from repro.aadl import parse_model, instantiate
+from repro.aadl.builder import SystemBuilder
+from repro.aadl.properties import (
+    DispatchProtocol,
+    SchedulingProtocol,
+    ms,
+)
+from repro.aadl.validation import (
+    check_translation_assumptions,
+    collect_violations,
+)
+
+
+def build_valid():
+    b = SystemBuilder("V")
+    cpu = b.processor("cpu", scheduling=SchedulingProtocol.RATE_MONOTONIC)
+    b.thread(
+        "t",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(10),
+        compute_time=(ms(1), ms(2)),
+        deadline=ms(10),
+        processor=cpu,
+    )
+    return b.instantiate(validate=False)
+
+
+class TestValidModel:
+    def test_no_violations(self):
+        assert collect_violations(build_valid()) == []
+
+    def test_check_passes(self):
+        check_translation_assumptions(build_valid())
+
+
+class TestStructuralViolations:
+    def test_no_threads(self):
+        b = SystemBuilder("V")
+        b.processor("cpu")
+        inst = b.instantiate(validate=False)
+        violations = collect_violations(inst)
+        assert any("no thread" in v for v in violations)
+
+    def test_no_processors(self):
+        b = SystemBuilder("V")
+        b.thread(
+            "t",
+            dispatch=DispatchProtocol.PERIODIC,
+            period=ms(10),
+            compute_time=(ms(1), ms(1)),
+            deadline=ms(10),
+        )
+        violations = collect_violations(b.instantiate(validate=False))
+        assert any("no processor" in v for v in violations)
+        assert any("not bound" in v for v in violations)
+
+    def test_check_raises_with_all_problems(self):
+        b = SystemBuilder("V")
+        b.thread(
+            "t",
+            dispatch=DispatchProtocol.PERIODIC,
+            period=ms(10),
+            compute_time=(ms(1), ms(1)),
+            deadline=ms(10),
+        )
+        with pytest.raises(AadlLegalityError) as excinfo:
+            check_translation_assumptions(b.instantiate(validate=False))
+        message = str(excinfo.value)
+        assert "no processor" in message and "not bound" in message
+
+
+class TestPropertyViolations:
+    SRC = """
+    processor CPU
+      properties
+        Scheduling_Protocol => RMS;
+    end CPU;
+    thread T
+    end T;
+    system S end S;
+    system implementation S.impl
+      subcomponents
+        t: thread T;
+        cpu: processor CPU;
+      properties
+        Actual_Processor_Binding => reference(cpu) applies to t;
+    end S.impl;
+    """
+
+    def test_missing_thread_properties(self):
+        inst = instantiate(parse_model(self.SRC), "S.impl")
+        violations = collect_violations(inst)
+        assert any("Dispatch_Protocol" in v for v in violations)
+        assert any("Compute_Execution_Time" in v for v in violations)
+        assert any("Compute_Deadline" in v for v in violations)
+
+    def test_periodic_requires_period(self):
+        src = self.SRC.replace(
+            "thread T\n    end T;",
+            """thread T
+      properties
+        Dispatch_Protocol => Periodic;
+        Compute_Execution_Time => 1 ms .. 1 ms;
+        Compute_Deadline => 5 ms;
+    end T;""",
+        )
+        inst = instantiate(parse_model(src), "S.impl")
+        violations = collect_violations(inst)
+        assert any("lacks Period" in v for v in violations)
+
+    def test_missing_scheduling_protocol(self):
+        src = self.SRC.replace(
+            "properties\n        Scheduling_Protocol => RMS;\n    end CPU;",
+            "end CPU;",
+        )
+        inst = instantiate(parse_model(src), "S.impl")
+        violations = collect_violations(inst)
+        assert any("Scheduling_Protocol" in v for v in violations)
+
+    def test_deadline_accepted_as_substitute(self):
+        src = self.SRC.replace(
+            "thread T\n    end T;",
+            """thread T
+      properties
+        Dispatch_Protocol => Aperiodic;
+        Compute_Execution_Time => 1 ms .. 1 ms;
+        Deadline => 5 ms;
+    end T;""",
+        )
+        inst = instantiate(parse_model(src), "S.impl")
+        violations = collect_violations(inst)
+        assert not any("Compute_Deadline" in v for v in violations)
+
+
+class TestEventConnectionAssumption:
+    def test_sporadic_needs_incoming_connection(self):
+        b = SystemBuilder("V")
+        cpu = b.processor("cpu")
+        consumer = b.thread(
+            "consumer",
+            dispatch=DispatchProtocol.SPORADIC,
+            period=ms(10),
+            compute_time=(ms(1), ms(1)),
+            deadline=ms(10),
+            processor=cpu,
+        )
+        consumer.in_event_port("trigger")
+        violations = collect_violations(b.instantiate(validate=False))
+        assert any("no incoming connection" in v for v in violations)
+
+    def test_connected_sporadic_is_fine(self):
+        from repro.aadl.gallery import sporadic_consumer
+
+        assert collect_violations(sporadic_consumer()) == []
+
+
+class TestHpfPriorities:
+    def test_hpf_requires_priority(self):
+        b = SystemBuilder("V")
+        cpu = b.processor(
+            "cpu", scheduling=SchedulingProtocol.HIGHEST_PRIORITY_FIRST
+        )
+        b.thread(
+            "t",
+            dispatch=DispatchProtocol.PERIODIC,
+            period=ms(10),
+            compute_time=(ms(1), ms(1)),
+            deadline=ms(10),
+            processor=cpu,
+        )
+        violations = collect_violations(b.instantiate(validate=False))
+        assert any("Priority" in v for v in violations)
+
+    def test_hpf_with_priorities_ok(self):
+        b = SystemBuilder("V")
+        cpu = b.processor(
+            "cpu", scheduling=SchedulingProtocol.HIGHEST_PRIORITY_FIRST
+        )
+        b.thread(
+            "t",
+            dispatch=DispatchProtocol.PERIODIC,
+            period=ms(10),
+            compute_time=(ms(1), ms(1)),
+            deadline=ms(10),
+            processor=cpu,
+            priority=3,
+        )
+        assert collect_violations(b.instantiate(validate=False)) == []

@@ -1,0 +1,116 @@
+"""Unit tests for timed actions and resources."""
+
+import pytest
+
+from repro.errors import AcsrSemanticsError
+from repro.acsr.expressions import var
+from repro.acsr.resources import Action, EMPTY_ACTION, make_action
+
+
+class TestConstruction:
+    def test_interning(self):
+        assert Action([("cpu", 1)]) is Action([("cpu", 1)])
+
+    def test_order_insensitive(self):
+        a = Action([("cpu", 1), ("bus", 2)])
+        b = Action([("bus", 2), ("cpu", 1)])
+        assert a is b
+
+    def test_empty_is_idle(self):
+        assert Action(()).is_idle
+        assert Action(()) is EMPTY_ACTION
+
+    def test_duplicate_resource_rejected(self):
+        with pytest.raises(AcsrSemanticsError):
+            Action([("cpu", 1), ("cpu", 2)])
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(AcsrSemanticsError):
+            Action([("cpu", -1)])
+
+    def test_bool_priority_rejected(self):
+        with pytest.raises(AcsrSemanticsError):
+            Action([("cpu", True)])
+
+    def test_empty_resource_name_rejected(self):
+        with pytest.raises(AcsrSemanticsError):
+            Action([("", 1)])
+
+    def test_make_action_from_mapping(self):
+        assert make_action({"cpu": 2}) is Action([("cpu", 2)])
+
+    def test_make_action_string_priority_becomes_param(self):
+        act = make_action({"cpu": "p"})
+        assert not act.is_ground
+
+
+class TestAccessors:
+    def test_resources(self):
+        act = Action([("cpu", 1), ("bus", 2)])
+        assert act.resources == frozenset({"cpu", "bus"})
+
+    def test_priority_of_present(self):
+        assert Action([("cpu", 3)]).priority_of("cpu") == 3
+
+    def test_priority_of_absent_is_zero(self):
+        # The 0-for-absent convention underlies the preemption relation.
+        assert Action([("cpu", 3)]).priority_of("bus") == 0
+
+    def test_contains_and_len(self):
+        act = Action([("cpu", 1)])
+        assert "cpu" in act
+        assert "bus" not in act
+        assert len(act) == 1
+
+    def test_is_ground(self):
+        assert Action([("cpu", 1)]).is_ground
+        assert not Action([("cpu", var("p"))]).is_ground
+
+    def test_symbolic_priority_of_raises(self):
+        act = Action([("cpu", var("p"))])
+        with pytest.raises(AcsrSemanticsError):
+            act.priority_of("cpu")
+
+
+class TestAlgebra:
+    def test_union_disjoint(self):
+        merged = Action([("cpu", 1)]).union(Action([("bus", 2)]))
+        assert merged is Action([("cpu", 1), ("bus", 2)])
+
+    def test_union_overlap_rejected(self):
+        with pytest.raises(AcsrSemanticsError):
+            Action([("cpu", 1)]).union(Action([("cpu", 2)]))
+
+    def test_disjoint_predicate(self):
+        assert Action([("cpu", 1)]).disjoint(Action([("bus", 1)]))
+        assert not Action([("cpu", 1)]).disjoint(Action([("cpu", 2)]))
+
+    def test_idle_disjoint_with_everything(self):
+        assert EMPTY_ACTION.disjoint(Action([("cpu", 1)]))
+
+    def test_closed_over_adds_zero_claims(self):
+        closed = Action([("cpu", 1)]).closed_over({"cpu", "bus"})
+        assert closed is Action([("cpu", 1), ("bus", 0)])
+
+    def test_closed_over_noop_when_covered(self):
+        act = Action([("cpu", 1)])
+        assert act.closed_over({"cpu"}) is act
+
+
+class TestInstantiate:
+    def test_ground_passthrough(self):
+        act = Action([("cpu", 1)])
+        assert act.instantiate({}) is act
+
+    def test_symbolic_evaluates(self):
+        act = Action([("cpu", var("p") + 1)])
+        assert act.instantiate({"p": 2}) is Action([("cpu", 3)])
+
+    def test_negative_result_rejected(self):
+        act = Action([("cpu", var("p") - 5)])
+        with pytest.raises(AcsrSemanticsError):
+            act.instantiate({"p": 2})
+
+    def test_free_params(self):
+        act = Action([("cpu", var("p")), ("bus", 1)])
+        assert act.free_params() == frozenset({"p"})

@@ -1,0 +1,97 @@
+"""Unit tests for event labels and synchronization."""
+
+import pytest
+
+from repro.errors import AcsrSemanticsError
+from repro.acsr.expressions import var
+from repro.acsr.events import IN, OUT, TAU, EventLabel, event_label, tau_label
+
+
+class TestConstruction:
+    def test_interning(self):
+        assert EventLabel("e", IN, 1) is EventLabel("e", IN, 1)
+
+    def test_direction_required(self):
+        with pytest.raises(AcsrSemanticsError):
+            EventLabel("e", "x", 1)
+
+    def test_tau_has_no_direction(self):
+        with pytest.raises(AcsrSemanticsError):
+            EventLabel(TAU, IN, 1)
+
+    def test_only_tau_carries_via(self):
+        with pytest.raises(AcsrSemanticsError):
+            EventLabel("e", IN, 1, via="x")
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(AcsrSemanticsError):
+            EventLabel("e", IN, -1)
+
+    def test_flags(self):
+        assert EventLabel("e", IN, 1).is_input
+        assert EventLabel("e", OUT, 1).is_output
+        assert tau_label(1).is_tau
+
+
+class TestSynchronization:
+    def test_matches_complementary(self):
+        send = event_label("e", OUT, 2)
+        receive = event_label("e", IN, 3)
+        assert send.matches(receive)
+        assert receive.matches(send)
+
+    def test_same_direction_does_not_match(self):
+        assert not event_label("e", OUT, 1).matches(event_label("e", OUT, 1))
+
+    def test_different_names_do_not_match(self):
+        assert not event_label("e", OUT, 1).matches(event_label("f", IN, 1))
+
+    def test_tau_never_matches(self):
+        assert not tau_label(1).matches(event_label("e", IN, 1))
+
+    def test_synchronize_sums_priorities(self):
+        # ACSR: complementary event priorities add on synchronization.
+        tau = event_label("e", OUT, 2).synchronize(event_label("e", IN, 3))
+        assert tau.is_tau
+        assert tau.int_priority() == 5
+        assert tau.via == "e"
+
+    def test_synchronize_mismatched_raises(self):
+        with pytest.raises(AcsrSemanticsError):
+            event_label("e", OUT, 1).synchronize(event_label("f", IN, 1))
+
+    def test_complement(self):
+        assert event_label("e", OUT, 2).complement() is event_label("e", IN, 2)
+
+    def test_tau_has_no_complement(self):
+        with pytest.raises(AcsrSemanticsError):
+            tau_label(1).complement()
+
+
+class TestSymbolic:
+    def test_instantiate(self):
+        label = EventLabel("e", IN, var("p"))
+        assert label.instantiate({"p": 4}) is EventLabel("e", IN, 4)
+
+    def test_instantiate_negative_rejected(self):
+        label = EventLabel("e", IN, var("p") - 3)
+        with pytest.raises(AcsrSemanticsError):
+            label.instantiate({"p": 1})
+
+    def test_int_priority_on_symbolic_raises(self):
+        with pytest.raises(AcsrSemanticsError):
+            EventLabel("e", IN, var("p")).int_priority()
+
+    def test_free_params(self):
+        assert EventLabel("e", IN, var("p")).free_params() == frozenset({"p"})
+        assert EventLabel("e", IN, 1).free_params() == frozenset()
+
+
+class TestRendering:
+    def test_event_str(self):
+        assert str(event_label("done", OUT, 1)) == "(done!,1)"
+        assert str(event_label("go", IN, 2)) == "(go?,2)"
+
+    def test_tau_str(self):
+        assert str(tau_label(2)) == "(tau,2)"
+        assert str(tau_label(2, via="done")) == "(tau@done,2)"

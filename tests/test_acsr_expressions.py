@@ -1,0 +1,166 @@
+"""Unit tests for the ACSR expression language."""
+
+import pytest
+
+from repro.errors import AcsrEvaluationError
+from repro.acsr.expressions import (
+    BinOp,
+    BoolOp,
+    Cmp,
+    Const,
+    Not,
+    Param,
+    TrueExpr,
+    as_expr,
+    const,
+    maximum,
+    minimum,
+    var,
+)
+
+
+class TestConst:
+    def test_evaluates_to_value(self):
+        assert Const(7).evaluate({}) == 7
+
+    def test_no_free_params(self):
+        assert Const(7).free_params() == frozenset()
+
+    def test_rejects_bool(self):
+        with pytest.raises(AcsrEvaluationError):
+            Const(True)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(AcsrEvaluationError):
+            Const("x")
+
+
+class TestParam:
+    def test_evaluates_from_env(self):
+        assert Param("e").evaluate({"e": 3}) == 3
+
+    def test_unbound_raises(self):
+        with pytest.raises(AcsrEvaluationError):
+            Param("e").evaluate({"s": 1})
+
+    def test_free_params(self):
+        assert Param("e").free_params() == frozenset({"e"})
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(AcsrEvaluationError):
+            Param("")
+
+
+class TestBinOp:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("+", 3, 4, 7),
+            ("-", 3, 4, -1),
+            ("*", 3, 4, 12),
+            ("//", 7, 2, 3),
+            ("%", 7, 2, 1),
+            ("min", 3, 4, 3),
+            ("max", 3, 4, 4),
+        ],
+    )
+    def test_operators(self, op, a, b, expected):
+        assert BinOp(op, Const(a), Const(b)).evaluate({}) == expected
+
+    def test_division_by_zero(self):
+        with pytest.raises(AcsrEvaluationError):
+            BinOp("//", Const(1), Const(0)).evaluate({})
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(AcsrEvaluationError):
+            BinOp("%", Const(1), Const(0)).evaluate({})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(AcsrEvaluationError):
+            BinOp("**", Const(1), Const(2))
+
+    def test_free_params_union(self):
+        expr = BinOp("+", Param("e"), Param("s"))
+        assert expr.free_params() == frozenset({"e", "s"})
+
+
+class TestOperatorSugar:
+    def test_add_sub_mul(self):
+        e = var("e")
+        assert (e + 1).evaluate({"e": 2}) == 3
+        assert (e - 1).evaluate({"e": 2}) == 1
+        assert (e * 3).evaluate({"e": 2}) == 6
+        assert (10 - e).evaluate({"e": 2}) == 8
+
+    def test_comparisons(self):
+        e = var("e")
+        assert (e < 3).evaluate({"e": 2})
+        assert not (e < 2).evaluate({"e": 2})
+        assert (e <= 2).evaluate({"e": 2})
+        assert (e >= 2).evaluate({"e": 2})
+        assert (e > 1).evaluate({"e": 2})
+        assert e.eq(2).evaluate({"e": 2})
+        assert e.ne(3).evaluate({"e": 2})
+
+    def test_eq_keeps_identity_semantics(self):
+        # __eq__ is not overloaded: expressions can live in sets.
+        e = var("e")
+        assert len({e, e}) == 1
+
+    def test_boolean_combinators(self):
+        e = var("e")
+        both = (e > 0) & (e < 5)
+        assert both.evaluate({"e": 3})
+        assert not both.evaluate({"e": 5})
+        either = (e < 1) | (e > 4)
+        assert either.evaluate({"e": 0})
+        assert not either.evaluate({"e": 3})
+        negated = ~(e < 1)
+        assert negated.evaluate({"e": 3})
+
+    def test_min_max_helpers(self):
+        assert minimum(var("a"), 3).evaluate({"a": 5}) == 3
+        assert maximum(var("a"), 3).evaluate({"a": 5}) == 5
+
+
+class TestAsExpr:
+    def test_int_becomes_const(self):
+        assert isinstance(as_expr(4), Const)
+
+    def test_str_becomes_param(self):
+        assert isinstance(as_expr("e"), Param)
+
+    def test_expr_passthrough(self):
+        e = var("e")
+        assert as_expr(e) is e
+
+    def test_bool_rejected(self):
+        with pytest.raises(AcsrEvaluationError):
+            as_expr(True)
+
+    def test_other_rejected(self):
+        with pytest.raises(AcsrEvaluationError):
+            as_expr(3.5)
+
+
+class TestBoolNodes:
+    def test_true_expr(self):
+        assert TrueExpr().evaluate({})
+        assert TrueExpr().free_params() == frozenset()
+
+    def test_not(self):
+        assert not Not(TrueExpr()).evaluate({})
+
+    def test_cmp_free_params(self):
+        cmp = Cmp("<", Param("a"), Param("b"))
+        assert cmp.free_params() == frozenset({"a", "b"})
+
+    def test_bool_op_rejects_unknown(self):
+        with pytest.raises(AcsrEvaluationError):
+            BoolOp("xor", TrueExpr(), TrueExpr())
+
+    def test_str_renderings(self):
+        e = var("e")
+        assert str(e + 1) == "(e + 1)"
+        assert str(e < 3) == "(e < 3)"
+        assert str(minimum(e, 2)) == "min(e, 2)"

@@ -1,0 +1,82 @@
+"""Tests of the resource-hiding operator ``hide(P, {r})``."""
+
+import pytest
+
+from repro.errors import AcsrSemanticsError
+from repro.acsr import (
+    ProcessEnv,
+    action,
+    format_term,
+    hide,
+    nil,
+    parallel,
+    parse_term,
+    proc,
+    send,
+    transitions,
+)
+from repro.acsr.resources import Action
+from repro.acsr.terms import Hide
+
+
+class TestSemantics:
+    def test_hidden_resource_removed_from_actions(self, env):
+        env.define("P", (), action({"cpu": 1, "bus": 2}) >> proc("P"))
+        term = hide(proc("P"), ["bus"])
+        ((label, succ),) = transitions(term, env)
+        assert label is Action([("cpu", 1)])
+        assert isinstance(succ, Hide)
+
+    def test_hidden_resource_no_longer_conflicts(self, env):
+        env.define("P", (), action({"bus": 2}) >> proc("P"))
+        composed = parallel(
+            hide(proc("P"), ["bus"]),
+            action({"bus": 1}) >> nil(),
+        )
+        actions = [
+            label
+            for label, _ in transitions(composed, env)
+            if isinstance(label, Action)
+        ]
+        # Both use 'bus' but one side's use is internal: they co-occur.
+        assert actions == [Action([("bus", 1)])]
+
+    def test_unhidden_conflict_still_blocks(self, env):
+        env.define("P", (), action({"bus": 2}) >> proc("P"))
+        composed = parallel(proc("P"), action({"bus": 1}) >> nil())
+        actions = [
+            label
+            for label, _ in transitions(composed, env)
+            if isinstance(label, Action)
+        ]
+        assert actions == []
+
+    def test_events_pass_through(self, env):
+        env.define("P", (), send("e", 1) >> proc("P"))
+        term = hide(proc("P"), ["bus"])
+        ((label, _),) = transitions(term, env)
+        assert label.name == "e"
+
+    def test_hiding_everything_yields_idle(self, env):
+        env.define("P", (), action({"cpu": 1}) >> proc("P"))
+        term = hide(proc("P"), ["cpu"])
+        ((label, _),) = transitions(term, env)
+        assert label.is_idle
+
+
+class TestConstruction:
+    def test_empty_set_is_noop(self):
+        assert hide(proc("P"), []) is proc("P")
+
+    def test_nested_hides_merge(self):
+        merged = hide(hide(proc("P"), ["a"]), ["b"])
+        assert isinstance(merged, Hide)
+        assert merged.resources == frozenset({"a", "b"})
+
+    def test_invalid_resource_rejected(self):
+        with pytest.raises(AcsrSemanticsError):
+            Hide(proc("P"), frozenset({""}))
+
+    def test_roundtrip(self):
+        term = hide(proc("P"), ["bus", "mem"])
+        assert parse_term(format_term(term)) is term

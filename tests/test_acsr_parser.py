@@ -1,0 +1,213 @@
+"""Tests of the ACSR concrete syntax: parser, printer, round-trips."""
+
+import pytest
+
+from repro.errors import AcsrSyntaxError
+from repro.acsr import (
+    action,
+    choice,
+    format_env,
+    format_term,
+    guard,
+    idle,
+    nil,
+    parallel,
+    parse_env,
+    parse_term,
+    proc,
+    recv,
+    restrict,
+    scope,
+    send,
+)
+from repro.acsr.expressions import var
+from repro.acsr.resources import Action
+from repro.acsr.terms import EventPrefix, Guard, ProcRef, Scope
+
+
+class TestTermParsing:
+    def test_nil(self):
+        assert parse_term("NIL") is nil()
+
+    def test_action_prefix(self):
+        term = parse_term("{(cpu,1)} : NIL")
+        assert term is (action({"cpu": 1}) >> nil())
+
+    def test_idle_prefix(self):
+        term = parse_term("idle : NIL")
+        assert term.action.is_idle
+
+    def test_multi_resource_action(self):
+        term = parse_term("{(cpu,1),(bus,2)} : NIL")
+        assert term.action is Action([("cpu", 1), ("bus", 2)])
+
+    def test_send_event(self):
+        term = parse_term("(done!,1) . NIL")
+        assert term is (send("done", 1) >> nil())
+
+    def test_recv_event(self):
+        term = parse_term("(go?,2) . NIL")
+        assert term is (recv("go", 2) >> nil())
+
+    def test_tau_event(self):
+        term = parse_term("(tau,3) . NIL")
+        assert isinstance(term, EventPrefix)
+        assert term.label.is_tau
+
+    def test_tau_with_via(self):
+        term = parse_term("(tau@done,3) . NIL")
+        assert term.label.via == "done"
+
+    def test_choice(self):
+        term = parse_term("{(cpu,1)} : NIL + (e!,1) . NIL")
+        expected = choice(
+            action({"cpu": 1}) >> nil(), send("e", 1) >> nil()
+        )
+        assert term is expected
+
+    def test_parallel(self):
+        term = parse_term("A || B")
+        assert term is parallel(proc("A"), proc("B"))
+
+    def test_restriction(self):
+        term = parse_term("(A || B) \\ {e, f}")
+        assert term is restrict(parallel(proc("A"), proc("B")), ["e", "f"])
+
+    def test_parenthesized_term_not_event(self):
+        term = parse_term("(A || B)")
+        assert term is parallel(proc("A"), proc("B"))
+
+    def test_proc_ref_with_args(self):
+        term = parse_term("P(1, e + 1)")
+        assert isinstance(term, ProcRef)
+        assert term.args[0] == 1
+        assert term.args[1].free_params() == frozenset({"e"})
+
+    def test_guard(self):
+        term = parse_term("[e < 3] {(cpu,1)} : P(e + 1)")
+        assert isinstance(term, Guard)
+
+    def test_close(self):
+        term = parse_term("close(A, {cpu, bus})")
+        assert term.resources == frozenset({"cpu", "bus"})
+
+    def test_scope_full(self):
+        term = parse_term(
+            "scope(A; 10; except fin -> B; timeout -> C; interrupt -> D)"
+        )
+        assert isinstance(term, Scope)
+        assert term.bound == 10
+        assert term.exception == "fin"
+        assert term.success is proc("B")
+        assert term.timeout is proc("C")
+        assert term.interrupt is proc("D")
+
+    def test_scope_infinite(self):
+        term = parse_term("scope(A; inf)")
+        assert term.bound is None
+
+    def test_comments_ignored(self):
+        term = parse_term("-- a comment\nNIL -- trailing")
+        assert term is nil()
+
+    def test_priority_expression(self):
+        term = parse_term("{(cpu, dmax - d + s + 1)} : NIL")
+        assert not term.action.is_ground
+
+
+class TestErrors:
+    def test_trailing_input(self):
+        with pytest.raises(AcsrSyntaxError):
+            parse_term("NIL NIL")
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(AcsrSyntaxError):
+            parse_term("{(cpu,1) : NIL")
+
+    def test_bad_event_direction(self):
+        with pytest.raises(AcsrSyntaxError):
+            parse_term("(e,1) . NIL")
+
+    def test_error_carries_location(self):
+        with pytest.raises(AcsrSyntaxError) as excinfo:
+            parse_term("{(cpu,1)} :\n  @@")
+        assert excinfo.value.line == 2
+
+    def test_scope_bound_must_be_constant(self):
+        with pytest.raises(AcsrSyntaxError):
+            parse_term("scope(A; n)")
+
+
+class TestFileParsing:
+    SOURCE = """
+    -- Figure 2 of the paper
+    process Simple = {(cpu,1)} : {(bus,1),(cpu,1)} : (done!,1) . Simple;
+    process Recv = (done?,1) . Recv + idle : Recv;
+    system (Simple || Recv) \\ {done};
+    """
+
+    def test_parse_definitions(self):
+        env, root = parse_env(self.SOURCE)
+        assert "Simple" in env
+        assert "Recv" in env
+        assert root is not None
+
+    def test_parsed_system_runs(self):
+        env, root = parse_env(self.SOURCE)
+        system = env.close(root)
+        steps = system.prioritized_steps()
+        assert len(steps) == 1
+
+    def test_parameterized_definition(self):
+        env, _ = parse_env(
+            "process Count(n) = [n < 3] {(cpu,1)} : Count(n + 1);"
+        )
+        definition = env["Count"]
+        assert definition.params == ("n",)
+
+    def test_duplicate_system_rejected(self):
+        with pytest.raises(AcsrSyntaxError):
+            parse_env("system NIL; system NIL;")
+
+
+class TestRoundTrip:
+    CASES = [
+        "NIL",
+        "{(cpu,1)} : NIL",
+        "idle : P",
+        "(done!,1) . NIL",
+        "(go?,2) . P(1, 2)",
+        "{(bus,1),(cpu,1)} : (done!,1) . Simple",
+        "P + Q",
+        "P || Q || R",
+        "(P || Q) \\ {e}",
+        "close(P, {cpu})",
+        "scope(P; 10; except fin -> Q; timeout -> R; interrupt -> S)",
+        "scope(P; inf)",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_parse_print_parse(self, source):
+        term = parse_term(source)
+        printed = format_term(term)
+        assert parse_term(printed) is term
+
+    def test_env_roundtrip(self):
+        env, root = parse_env(TestFileParsing.SOURCE)
+        printed = format_env(env, root)
+        env2, root2 = parse_env(printed)
+        assert root2 is root
+        assert format_env(env2, root2) == printed
+
+    def test_open_term_roundtrip(self):
+        source = "[e < 3] {(cpu, e + 1)} : Count(e + 1, s)"
+        term = parse_term(source)
+        printed = format_term(term)
+        reparsed = parse_term(printed)
+        # Guards intern by identity, so compare via instantiation.
+        assert reparsed.instantiate({"e": 1, "s": 0}) is term.instantiate(
+            {"e": 1, "s": 0}
+        )
+        assert reparsed.instantiate({"e": 5, "s": 0}) is term.instantiate(
+            {"e": 5, "s": 0}
+        )

@@ -1,0 +1,255 @@
+"""Rule-by-rule tests of the unprioritized operational semantics."""
+
+import pytest
+
+from repro.errors import AcsrDefinitionError
+from repro.acsr import (
+    ProcessEnv,
+    action,
+    choice,
+    close,
+    idle,
+    nil,
+    parallel,
+    proc,
+    recv,
+    restrict,
+    send,
+    tau,
+    transitions,
+)
+from repro.acsr.events import EventLabel
+from repro.acsr.resources import Action
+from repro.acsr.terms import NIL
+
+
+def trans(term, env=None):
+    return transitions(term, env or ProcessEnv())
+
+
+class TestPrefixes:
+    def test_nil_has_no_steps(self):
+        assert trans(NIL) == ()
+
+    def test_action_prefix_single_step(self):
+        term = action({"cpu": 1}) >> nil()
+        ((label, succ),) = trans(term)
+        assert label is Action([("cpu", 1)])
+        assert succ is NIL
+
+    def test_event_prefix_single_step(self):
+        term = send("done", 2) >> nil()
+        ((label, succ),) = trans(term)
+        assert isinstance(label, EventLabel)
+        assert label.name == "done" and label.is_output
+        assert succ is NIL
+
+    def test_idle_step(self):
+        ((label, _),) = trans(idle() >> nil())
+        assert label.is_idle
+
+
+class TestChoice:
+    def test_union_of_summands(self):
+        term = choice(
+            action({"cpu": 1}) >> nil(),
+            send("e", 1) >> nil(),
+        )
+        labels = {type(label) for label, _ in trans(term)}
+        assert labels == {Action, EventLabel}
+
+    def test_identical_summands_dedup(self):
+        a = action({"cpu": 1}) >> nil()
+        term = choice(a, a)
+        assert len(trans(term)) == 1
+
+
+class TestParallelEvents:
+    def test_interleaving(self):
+        term = parallel(send("a", 1) >> nil(), send("b", 1) >> nil())
+        names = sorted(
+            label.name for label, _ in trans(term)
+            if isinstance(label, EventLabel)
+        )
+        assert names == ["a", "b"]
+
+    def test_synchronization_produces_tau(self):
+        term = parallel(send("e", 2) >> nil(), recv("e", 3) >> nil())
+        taus = [label for label, _ in trans(term) if label.is_tau]
+        assert len(taus) == 1
+        assert taus[0].int_priority() == 5
+        assert taus[0].via == "e"
+
+    def test_unrestricted_events_also_step_individually(self):
+        term = parallel(send("e", 1) >> nil(), recv("e", 1) >> nil())
+        events = [
+            label for label, _ in trans(term)
+            if isinstance(label, EventLabel) and not label.is_tau
+        ]
+        assert len(events) == 2
+
+    def test_three_way_sync_pairs_only(self):
+        term = parallel(
+            send("e", 1) >> nil(),
+            recv("e", 1) >> proc("A"),
+            recv("e", 1) >> proc("B"),
+        )
+        taus = [
+            (label, succ)
+            for label, succ in trans(term)
+            if getattr(label, "is_tau", False)
+        ]
+        # Sender pairs with either receiver: two distinct tau successors.
+        assert len(taus) == 2
+        assert taus[0][1] is not taus[1][1]
+
+    def test_identical_receivers_dedup(self):
+        # Pairing with either of two identical receivers reaches the same
+        # state; the transition relation contains it once.
+        term = parallel(
+            send("e", 1) >> nil(),
+            recv("e", 1) >> nil(),
+            recv("e", 1) >> nil(),
+        )
+        taus = [label for label, _ in trans(term) if getattr(label, "is_tau", False)]
+        assert len(taus) == 1
+
+
+class TestParallelTimed:
+    def test_par3_joint_step_disjoint_resources(self):
+        term = parallel(
+            action({"cpu": 1}) >> nil(),
+            action({"bus": 2}) >> nil(),
+        )
+        actions = [label for label, _ in trans(term) if isinstance(label, Action)]
+        assert actions == [Action([("cpu", 1), ("bus", 2)])]
+
+    def test_par3_conflicting_resources_blocked(self):
+        term = parallel(
+            action({"cpu": 1}) >> nil(),
+            action({"cpu": 2}) >> nil(),
+        )
+        actions = [label for label, _ in trans(term) if isinstance(label, Action)]
+        assert actions == []
+
+    def test_time_blocked_by_component_without_timed_step(self):
+        # "time progress is global": a component offering only an event
+        # step stops the whole composition's clock.
+        term = parallel(
+            action({"cpu": 1}) >> nil(),
+            send("e", 1) >> nil(),
+        )
+        actions = [label for label, _ in trans(term) if isinstance(label, Action)]
+        assert actions == []
+
+    def test_idle_alternative_restores_time_progress(self):
+        term = parallel(
+            action({"cpu": 1}) >> nil(),
+            choice(send("e", 1) >> nil(), idle() >> nil()),
+        )
+        actions = [label for label, _ in trans(term) if isinstance(label, Action)]
+        assert actions == [Action([("cpu", 1)])]
+
+    def test_branching_product(self):
+        two_way = choice(
+            action({"cpu": 1}) >> nil(),
+            idle() >> nil(),
+        )
+        term = parallel(two_way, action({"bus": 1}) >> nil())
+        actions = {label for label, _ in trans(term) if isinstance(label, Action)}
+        assert actions == {
+            Action([("cpu", 1), ("bus", 1)]),
+            Action([("bus", 1)]),
+        }
+
+
+class TestRestrict:
+    def test_blocks_individual_steps(self):
+        term = restrict(send("e", 1) >> nil(), ["e"])
+        assert trans(term) == ()
+
+    def test_tau_passes_through(self):
+        inner = parallel(send("e", 1) >> nil(), recv("e", 1) >> nil())
+        term = restrict(inner, ["e"])
+        labels = [label for label, _ in trans(term)]
+        assert len(labels) == 1
+        assert labels[0].is_tau
+
+    def test_unrelated_events_pass(self):
+        term = restrict(send("f", 1) >> nil(), ["e"])
+        assert len(trans(term)) == 1
+
+    def test_successors_stay_restricted(self):
+        term = restrict(idle() >> (send("e", 1) >> nil()), ["e"])
+        ((_, succ),) = trans(term)
+        assert trans(succ) == ()
+
+
+class TestClose:
+    def test_timed_steps_gain_zero_claims(self):
+        term = close(action({"cpu": 1}) >> nil(), ["cpu", "bus"])
+        ((label, _),) = trans(term)
+        assert label is Action([("cpu", 1), ("bus", 0)])
+
+    def test_closed_resource_excludes_sibling(self):
+        term = parallel(
+            close(idle() >> nil(), ["bus"]),
+            action({"bus": 1}) >> nil(),
+        )
+        actions = [label for label, _ in trans(term) if isinstance(label, Action)]
+        assert actions == []
+
+    def test_events_unchanged(self):
+        term = close(send("e", 1) >> nil(), ["cpu"])
+        ((label, _),) = trans(term)
+        assert isinstance(label, EventLabel)
+
+
+class TestProcRef:
+    def test_unfolds_definition(self, env):
+        env.define("P", (), action({"cpu": 1}) >> proc("P"))
+        ((label, succ),) = transitions(proc("P"), env)
+        assert label is Action([("cpu", 1)])
+        assert succ is proc("P")
+
+    def test_parameterized_unfolding(self, env):
+        from repro.acsr.expressions import var
+        from repro.acsr.terms import guard
+
+        n = var("n")
+        env.define(
+            "Count",
+            ("n",),
+            guard(n < 2, action({"cpu": 1}) >> proc("Count", n + 1)),
+        )
+        ((_, succ),) = transitions(proc("Count", 0), env)
+        assert succ is proc("Count", 1)
+        ((_, succ2),) = transitions(succ, env)
+        assert succ2 is proc("Count", 2)
+        assert transitions(succ2, env) == ()
+
+    def test_unguarded_recursion_detected(self, env):
+        env.define("X", (), choice(proc("X"), send("e", 1) >> nil()))
+        with pytest.raises(AcsrDefinitionError):
+            transitions(proc("X"), env)
+
+    def test_unknown_process_raises(self, env):
+        with pytest.raises(AcsrDefinitionError):
+            transitions(proc("Missing"), env)
+
+
+class TestSimpleSystem:
+    def test_figure2_lifecycle(self, simple_system):
+        """Figure 2: compute, compute+bus, handshake done, restart."""
+        state = simple_system.root
+        seen = []
+        for _ in range(3):
+            steps = simple_system.prioritized_steps(state)
+            assert len(steps) == 1
+            label, state = steps[0]
+            seen.append(label)
+        assert seen[0] is Action([("cpu", 1)])
+        assert seen[1] is Action([("cpu", 1), ("bus", 1)])
+        assert seen[2].is_tau and seen[2].via == "done"
+        # After the handshake the system loops back to the start.
+        assert state is simple_system.root

@@ -1,0 +1,234 @@
+"""Unit tests for term construction, canonicalization and instantiation."""
+
+import pytest
+
+from repro.errors import AcsrSemanticsError
+from repro.acsr.expressions import var
+from repro.acsr.resources import Action
+from repro.acsr.terms import (
+    NIL,
+    ActionPrefix,
+    Choice,
+    Parallel,
+    ProcRef,
+    Restrict,
+    Scope,
+    action,
+    choice,
+    close,
+    guard,
+    idle,
+    nil,
+    parallel,
+    proc,
+    recv,
+    restrict,
+    scope,
+    send,
+    seq,
+    tau,
+)
+
+
+class TestInterning:
+    def test_nil_singleton(self):
+        assert nil() is NIL
+
+    def test_action_prefix_interned(self):
+        a = action({"cpu": 1}) >> nil()
+        b = action({"cpu": 1}) >> nil()
+        assert a is b
+
+    def test_proc_ref_interned(self):
+        assert proc("P", 1, 2) is proc("P", 1, 2)
+        assert proc("P", 1) is not proc("P", 2)
+
+
+class TestChoiceCanonicalization:
+    def test_flattens(self):
+        a, b, c = proc("A"), proc("B"), proc("C")
+        assert choice(choice(a, b), c) is choice(a, b, c)
+
+    def test_commutative(self):
+        a, b = proc("A"), proc("B")
+        assert choice(a, b) is choice(b, a)
+
+    def test_dedups(self):
+        a, b = proc("A"), proc("B")
+        assert choice(a, a, b) is choice(a, b)
+
+    def test_nil_is_unit(self):
+        a = proc("A")
+        assert choice(a, NIL) is a
+
+    def test_empty_choice_is_nil(self):
+        assert choice() is NIL
+
+    def test_operator(self):
+        a, b = proc("A"), proc("B")
+        assert (a + b) is choice(a, b)
+
+
+class TestParallelCanonicalization:
+    def test_flattens_and_commutes(self):
+        a, b, c = proc("A"), proc("B"), proc("C")
+        assert parallel(parallel(a, b), c) is parallel(c, b, a)
+
+    def test_nil_is_kept(self):
+        # NIL refuses time progress: it is NOT a unit of parallel.
+        a = proc("A")
+        composed = parallel(a, NIL)
+        assert isinstance(composed, Parallel)
+        assert NIL in composed.children
+
+    def test_single_child_collapses(self):
+        a = proc("A")
+        assert parallel(a) is a
+
+    def test_operator(self):
+        a, b = proc("A"), proc("B")
+        assert (a | b) is parallel(a, b)
+
+    def test_duplicate_children_preserved(self):
+        # Two copies of the same process are distinct components.
+        a = proc("A")
+        composed = parallel(a, a)
+        assert isinstance(composed, Parallel)
+        assert len(composed.children) == 2
+
+
+class TestRestrictClose:
+    def test_restrict_merges_nested(self):
+        inner = restrict(proc("A"), ["x"])
+        outer = restrict(inner, ["y"])
+        assert isinstance(outer, Restrict)
+        assert outer.names == frozenset({"x", "y"})
+        assert outer.body is proc("A")
+
+    def test_restrict_empty_is_noop(self):
+        a = proc("A")
+        assert restrict(a, []) is a
+
+    def test_restrict_rejects_tau(self):
+        with pytest.raises(AcsrSemanticsError):
+            restrict(proc("A"), ["tau"])
+
+    def test_close_merges_nested(self):
+        merged = close(close(proc("A"), ["r"]), ["s"])
+        assert merged.resources == frozenset({"r", "s"})
+
+    def test_close_empty_is_noop(self):
+        a = proc("A")
+        assert close(a, []) is a
+
+
+class TestScope:
+    def test_zero_bound_normalizes_to_timeout(self):
+        handler = proc("R")
+        assert scope(proc("P"), bound=0, timeout=handler) is handler
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(AcsrSemanticsError):
+            scope(proc("P"), bound=-1)
+
+    def test_infinite_bound(self):
+        term = scope(proc("P"), bound=None)
+        assert isinstance(term, Scope)
+        assert term.bound is None
+
+    def test_handlers_default_to_nil(self):
+        term = scope(proc("P"), bound=5)
+        assert term.success is NIL
+        assert term.timeout is NIL
+        assert term.interrupt is NIL
+
+
+class TestPrefixBuilders:
+    def test_chain_is_right_nested(self):
+        term = action({"cpu": 1}) >> send("done", 1) >> nil()
+        assert isinstance(term, ActionPrefix)
+        assert term.continuation.label.name == "done"
+
+    def test_seq_matches_rshift(self):
+        via_seq = seq(action({"cpu": 1}), send("done", 1), nil())
+        via_shift = action({"cpu": 1}) >> send("done", 1) >> nil()
+        assert via_seq is via_shift
+
+    def test_seq_must_end_with_term(self):
+        with pytest.raises(AcsrSemanticsError):
+            seq(action({"cpu": 1}), send("done", 1))
+
+    def test_idle_is_empty_action(self):
+        term = idle() >> nil()
+        assert term.action.is_idle
+
+    def test_tau_prefix(self):
+        term = tau(2) >> nil()
+        assert term.label.is_tau
+        assert term.label.int_priority() == 2
+
+    def test_then_equivalent_to_rshift(self):
+        assert recv("go", 1).then(NIL) is (recv("go", 1) >> NIL)
+
+
+class TestInstantiation:
+    def test_guard_true_keeps_body(self):
+        e = var("e")
+        term = guard(e < 3, proc("P", e + 1))
+        assert term.instantiate({"e": 1}) is proc("P", 2)
+
+    def test_guard_false_becomes_nil(self):
+        e = var("e")
+        term = guard(e < 3, proc("P", e))
+        assert term.instantiate({"e": 5}) is NIL
+
+    def test_action_priorities_evaluate(self):
+        p = var("p")
+        term = action({"cpu": p}) >> nil()
+        closed = term.instantiate({"p": 4})
+        assert closed.action.priority_of("cpu") == 4
+
+    def test_choice_with_false_guard_drops_branch(self):
+        e = var("e")
+        term = choice(
+            guard(e < 3, proc("A")),
+            guard(e >= 3, proc("B")),
+        )
+        assert term.instantiate({"e": 5}) is proc("B")
+
+    def test_free_params_and_is_closed(self):
+        e = var("e")
+        open_term = proc("P", e)
+        assert open_term.free_params() == frozenset({"e"})
+        assert not open_term.is_closed()
+        assert proc("P", 1).is_closed()
+
+    def test_guarded_term_not_closed(self):
+        from repro.acsr.expressions import TrueExpr
+
+        term = guard(TrueExpr(), proc("P"))
+        assert not term.is_closed()
+
+    def test_scope_instantiates_handlers(self):
+        e = var("e")
+        term = scope(
+            proc("P", e), bound=3, exception="x",
+            success=proc("Q", e), timeout=proc("R", e),
+        )
+        closed = term.instantiate({"e": 7})
+        assert closed.success is proc("Q", 7)
+        assert closed.timeout is proc("R", 7)
+
+
+class TestValidation:
+    def test_action_prefix_requires_action(self):
+        with pytest.raises(AcsrSemanticsError):
+            ActionPrefix("not-an-action", NIL)
+
+    def test_proc_rejects_float_args(self):
+        with pytest.raises(AcsrSemanticsError):
+            ProcRef("P", (1.5,))
+
+    def test_proc_string_arg_becomes_param(self):
+        ref = proc("P", "e")
+        assert ref.free_params() == frozenset({"e"})

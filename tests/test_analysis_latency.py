@@ -1,0 +1,107 @@
+"""Tests of end-to-end latency observers (paper S5)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.aadl.gallery import cruise_control, two_periodic_threads
+from repro.aadl.properties import ms
+from repro.analysis import FlowSpec, Verdict, check_latency
+
+
+class TestFlowSpec:
+    def test_int_bound_is_milliseconds(self):
+        spec = FlowSpec("a", "b", 20)
+        assert spec.bound == ms(20)
+
+    def test_default_flow_id(self):
+        spec = FlowSpec("a", "b", ms(20))
+        assert spec.flow_id == "a__b"
+
+    def test_explicit_flow_id(self):
+        spec = FlowSpec("a", "b", ms(20), flow_id="critical")
+        assert spec.flow_id == "critical"
+
+
+class TestChecks:
+    def test_requires_flows(self):
+        with pytest.raises(AnalysisError):
+            check_latency(two_periodic_threads(), [])
+
+    def test_rejects_unknown_thread(self):
+        with pytest.raises(AnalysisError):
+            check_latency(
+                two_periodic_threads(),
+                [FlowSpec("TwoThreads.fast", "TwoThreads.ghost", ms(8))],
+            )
+
+    def test_generous_bound_passes(self):
+        result = check_latency(
+            cruise_control(),
+            [
+                FlowSpec(
+                    "CruiseControl.hci.refspeed",
+                    "CruiseControl.ccl.cruise1",
+                    ms(50),
+                )
+            ],
+        )
+        assert result.verdict is Verdict.SCHEDULABLE
+
+    def test_tight_bound_fails_with_flow_events(self):
+        result = check_latency(
+            cruise_control(),
+            [
+                FlowSpec(
+                    "CruiseControl.hci.refspeed",
+                    "CruiseControl.ccl.cruise1",
+                    ms(10),
+                )
+            ],
+        )
+        assert result.verdict is Verdict.UNSCHEDULABLE
+        kinds = [e.kind for e in result.scenario.events]
+        assert "flow_start" in kinds
+        # The violation is a start with no matching end: after the last
+        # flow_start the trace deadlocks without a flow_end.
+        last_start = max(
+            i for i, k in enumerate(kinds) if k == "flow_start"
+        )
+        assert "flow_end" not in kinds[last_start + 1 :]
+
+    def test_bound_sweep_monotone(self):
+        """There is a crossover bound: tighter bounds fail, looser pass."""
+        verdicts = []
+        for bound in (10, 20, 30, 40, 50, 60):
+            result = check_latency(
+                cruise_control(),
+                [
+                    FlowSpec(
+                        "CruiseControl.hci.refspeed",
+                        "CruiseControl.ccl.cruise1",
+                        ms(bound),
+                    )
+                ],
+            )
+            verdicts.append(result.verdict is Verdict.SCHEDULABLE)
+        # Once satisfiable, stays satisfiable.
+        first_pass = verdicts.index(True)
+        assert all(verdicts[first_pass:])
+        assert not any(verdicts[:first_pass])
+
+    def test_multiple_flows(self):
+        result = check_latency(
+            cruise_control(),
+            [
+                FlowSpec(
+                    "CruiseControl.hci.refspeed",
+                    "CruiseControl.ccl.cruise1",
+                    ms(60),
+                ),
+                FlowSpec(
+                    "CruiseControl.ccl.cruise1",
+                    "CruiseControl.ccl.cruise2",
+                    ms(110),
+                ),
+            ],
+        )
+        assert result.verdict is Verdict.SCHEDULABLE

@@ -1,0 +1,60 @@
+"""Tests of the baseline-comparison report."""
+
+import pytest
+
+from repro.aadl.gallery import (
+    shared_bus_pair,
+    sporadic_consumer,
+    two_periodic_threads,
+)
+from repro.aadl.properties import SchedulingProtocol
+from repro.analysis import compare_with_baselines
+
+
+class TestComparison:
+    def test_all_methods_agree_schedulable(self):
+        rows = compare_with_baselines(two_periodic_threads(schedulable=True))
+        methods = {row.method: row.verdict for row in rows}
+        assert methods["acsr-exploration"] is True
+        assert methods["response-time-analysis"] is True
+        assert methods["cheddar-style-sim"] is True
+        assert methods["utilization-LL"] is True
+
+    def test_all_methods_agree_unschedulable(self):
+        rows = compare_with_baselines(
+            two_periodic_threads(schedulable=False)
+        )
+        methods = {row.method: row.verdict for row in rows}
+        assert methods["acsr-exploration"] is False
+        assert methods["response-time-analysis"] is False
+        assert methods["cheddar-style-sim"] is False
+
+    def test_edf_uses_demand_analysis(self):
+        rows = compare_with_baselines(
+            two_periodic_threads(
+                scheduling=SchedulingProtocol.EARLIEST_DEADLINE_FIRST
+            )
+        )
+        methods = {row.method: row.verdict for row in rows}
+        assert methods["edf-demand-analysis"] is True
+        assert "response-time-analysis" not in methods
+
+    def test_multiprocessor_classical_na(self):
+        rows = compare_with_baselines(shared_bus_pair())
+        methods = {row.method: row.verdict for row in rows}
+        assert methods["acsr-exploration"] is True
+        assert methods["classical-tests"] is None
+
+    def test_event_driven_classical_na(self):
+        """Sporadic/aperiodic interaction patterns: only the exhaustive
+        analysis applies -- the paper's core selling point."""
+        rows = compare_with_baselines(sporadic_consumer())
+        methods = {row.method: row.verdict for row in rows}
+        assert methods["acsr-exploration"] is True
+
+    def test_rows_render(self):
+        rows = compare_with_baselines(two_periodic_threads())
+        for row in rows:
+            text = repr(row)
+            assert row.method in text
+            assert "ms" in text

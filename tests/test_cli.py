@@ -1,0 +1,190 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.aadl.gallery import cruise_control_text
+
+MODAL = """
+processor CPU
+  properties
+    Scheduling_Protocol => RMS;
+end CPU;
+thread T
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 8 ms;
+    Compute_Execution_Time => 2 ms .. 2 ms;
+    Compute_Deadline => 8 ms;
+end T;
+system S end S;
+system implementation S.impl
+  subcomponents
+    a: thread T;
+    b: thread T in modes (busy);
+  modes
+    quiet: initial mode;
+    busy: mode;
+  properties
+    Actual_Processor_Binding => reference(cpu) applies to a;
+    Actual_Processor_Binding => reference(cpu) applies to b;
+end S.impl;
+"""
+
+
+@pytest.fixture
+def cc_file(tmp_path):
+    path = tmp_path / "cc.aadl"
+    path.write_text(cruise_control_text())
+    return str(path)
+
+
+@pytest.fixture
+def cc_overloaded(tmp_path):
+    path = tmp_path / "cc_over.aadl"
+    path.write_text(cruise_control_text(overloaded=True))
+    return str(path)
+
+
+class TestAnalyze:
+    def test_schedulable_exit_zero(self, cc_file, capsys):
+        assert main(["analyze", cc_file]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: schedulable" in out
+
+    def test_unschedulable_exit_one(self, cc_overloaded, capsys):
+        assert main(["analyze", cc_overloaded]) == 1
+        out = capsys.readouterr().out
+        assert "DEADLINE MISS" in out
+
+    def test_explicit_root(self, cc_file, capsys):
+        assert main(["analyze", cc_file, "--root", "CruiseControl.impl"]) == 0
+
+    def test_baselines_flag(self, cc_file, capsys):
+        assert main(["analyze", cc_file, "--baselines"]) == 0
+        assert "acsr-exploration" in capsys.readouterr().out
+
+    def test_quantum_flag(self, cc_file, capsys):
+        # 5000 us = 5 ms quantum.
+        assert main(["analyze", cc_file, "--quantum", "5000"]) == 0
+        assert "quantum: 5000 us" in capsys.readouterr().out
+
+    def test_all_modes(self, tmp_path, capsys):
+        path = tmp_path / "modal.aadl"
+        # Complete the modal model with a processor subcomponent.
+        source = MODAL.replace(
+            "b: thread T in modes (busy);",
+            "b: thread T in modes (busy);\n    cpu: processor CPU;",
+        )
+        path.write_text(source)
+        assert main(["analyze", str(path), "--all-modes"]) == 0
+        out = capsys.readouterr().out
+        assert "mode quiet" in out and "mode busy" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent.aadl"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_valid_model(self, cc_file, capsys):
+        assert main(["validate", cc_file]) == 0
+        assert "satisfies" in capsys.readouterr().out
+
+    def test_invalid_model(self, tmp_path, capsys):
+        path = tmp_path / "bad.aadl"
+        path.write_text(
+            "thread T end T;\nsystem S end S;\n"
+            "system implementation S.impl\n"
+            "  subcomponents\n    t: thread T;\nend S.impl;"
+        )
+        assert main(["validate", str(path)]) == 1
+        assert "violation" in capsys.readouterr().out
+
+
+class TestTranslate:
+    def test_emit_to_stdout(self, cc_file, capsys):
+        assert main(["translate", cc_file]) == 0
+        out = capsys.readouterr().out
+        assert "process AD$" in out
+        assert out.strip().endswith(";")
+
+    def test_emitted_source_reparses_and_explores(self, cc_file, tmp_path, capsys):
+        out_path = tmp_path / "cc.acsr"
+        assert main(["translate", cc_file, "-o", str(out_path)]) == 0
+        assert main(["acsr", str(out_path), "--full"]) == 0
+        out = capsys.readouterr().out
+        assert "no deadlock found" in out
+
+    def test_root_inference_message(self, tmp_path, capsys):
+        # Two unrelated root systems: inference must fail helpfully.
+        path = tmp_path / "two.aadl"
+        path.write_text(
+            "system A end A;\nsystem implementation A.impl end A.impl;\n"
+            "system B end B;\nsystem implementation B.impl end B.impl;\n"
+        )
+        assert main(["translate", str(path)]) == 2
+        assert "candidate system implementations" in capsys.readouterr().err
+
+
+class TestAcsr:
+    def test_deadlocking_system(self, tmp_path, capsys):
+        path = tmp_path / "dead.acsr"
+        path.write_text(
+            "process P = {(cpu,1)} : NIL;\nsystem P;\n"
+        )
+        assert main(["acsr", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "deadlock after 1 time units" in out
+
+    def test_live_system(self, tmp_path, capsys):
+        path = tmp_path / "live.acsr"
+        path.write_text("process P = idle : P;\nsystem P;\n")
+        assert main(["acsr", str(path), "--full"]) == 0
+        assert "no deadlock" in capsys.readouterr().out
+
+    def test_missing_system_decl(self, tmp_path, capsys):
+        path = tmp_path / "nosys.acsr"
+        path.write_text("process P = idle : P;\n")
+        assert main(["acsr", str(path)]) == 2
+
+
+class TestSimulate:
+    def test_gantt_per_processor(self, cc_file, capsys):
+        assert main(["simulate", cc_file]) == 0
+        out = capsys.readouterr().out
+        assert "hci_processor" in out and "ccl_processor" in out
+        assert "|#" in out
+
+    def test_edf_policy(self, cc_file, capsys):
+        assert main(["simulate", cc_file, "--policy", "edf"]) == 0
+
+    def test_miss_reported(self, cc_overloaded, capsys):
+        assert main(["simulate", cc_overloaded]) == 1
+        assert "MISS" in capsys.readouterr().out
+
+
+class TestAcsrWalkAndDot:
+    @pytest.fixture
+    def acsr_file(self, cc_file, tmp_path):
+        out = tmp_path / "cc.acsr"
+        assert main(["translate", cc_file, "-o", str(out)]) == 0
+        return str(out)
+
+    def test_walk(self, acsr_file, capsys):
+        assert main(["acsr", acsr_file, "--walk", "5", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "walk of 5 step(s)" in out
+
+    def test_walk_hits_deadlock(self, tmp_path, capsys):
+        path = tmp_path / "dead.acsr"
+        path.write_text("process P = {(cpu,1)} : NIL;\nsystem P;\n")
+        assert main(["acsr", str(path), "--walk", "10"]) == 1
+        assert "deadlock" in capsys.readouterr().out
+
+    def test_dot_export(self, acsr_file, tmp_path, capsys):
+        dot = tmp_path / "out.dot"
+        assert main(["acsr", acsr_file, "--dot", str(dot)]) == 0
+        text = dot.read_text()
+        assert text.startswith("digraph lts {")
+        assert "doublecircle" in text

@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) of the ACSR core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.acsr import (
+    ProcessEnv,
+    format_term,
+    parse_term,
+    preempts,
+    prioritized,
+    transitions,
+)
+from repro.acsr.events import IN, OUT, EventLabel, tau_label
+from repro.acsr.resources import Action
+from repro.acsr.terms import (
+    NIL,
+    ActionPrefix,
+    EventPrefix,
+    choice,
+    parallel,
+    restrict,
+)
+
+# -- strategies -------------------------------------------------------------
+
+resources = st.sampled_from(["cpu", "bus", "mem", "net"])
+priorities = st.integers(min_value=0, max_value=4)
+
+actions = st.dictionaries(resources, priorities, max_size=3).map(
+    lambda d: Action(tuple(d.items()))
+)
+
+event_names = st.sampled_from(["a", "b", "c"])
+
+event_labels = st.one_of(
+    st.builds(
+        lambda n, d, p: EventLabel(n, d, p),
+        event_names,
+        st.sampled_from([IN, OUT]),
+        priorities,
+    ),
+    st.builds(tau_label, priorities),
+)
+
+labels = st.one_of(actions, event_labels)
+
+
+@st.composite
+def closed_terms(draw, depth=3):
+    """Random closed terms over prefixes, choice, parallel, restrict."""
+    if depth == 0:
+        return NIL
+    kind = draw(st.integers(min_value=0, max_value=4))
+    if kind == 0:
+        return NIL
+    if kind == 1:
+        return ActionPrefix(draw(actions), draw(closed_terms(depth - 1)))
+    if kind == 2:
+        return EventPrefix(
+            draw(event_labels), draw(closed_terms(depth - 1))
+        )
+    if kind == 3:
+        return choice(
+            draw(closed_terms(depth - 1)), draw(closed_terms(depth - 1))
+        )
+    return parallel(
+        draw(closed_terms(depth - 1)), draw(closed_terms(depth - 1))
+    )
+
+
+# -- preemption relation is a strict partial order ---------------------------
+
+
+class TestPreemptionOrder:
+    @given(labels)
+    def test_irreflexive(self, label):
+        assert not preempts(label, label)
+
+    @given(labels, labels)
+    def test_asymmetric(self, a, b):
+        if preempts(a, b):
+            assert not preempts(b, a)
+
+    @given(labels, labels, labels)
+    @settings(max_examples=300)
+    def test_transitive(self, a, b, c):
+        if preempts(a, b) and preempts(b, c):
+            assert preempts(a, c)
+
+    @given(actions)
+    def test_idle_preempted_by_positive_action(self, act):
+        has_positive = any(p > 0 for _, p in act.pairs)
+        assert preempts(Action(()), act) == has_positive
+
+
+# -- semantics invariants ---------------------------------------------------
+
+
+class TestSemanticsInvariants:
+    @given(closed_terms())
+    @settings(max_examples=200, deadline=None)
+    def test_prioritized_subset_of_unprioritized(self, term):
+        env = ProcessEnv()
+        all_steps = transitions(term, env)
+        pruned = prioritized(all_steps)
+        assert set(pruned) <= set(all_steps)
+
+    @given(closed_terms())
+    @settings(max_examples=200, deadline=None)
+    def test_prioritized_nonempty_iff_unprioritized_nonempty(self, term):
+        env = ProcessEnv()
+        all_steps = transitions(term, env)
+        pruned = prioritized(all_steps)
+        assert bool(all_steps) == bool(pruned)
+
+    @given(closed_terms())
+    @settings(max_examples=200, deadline=None)
+    def test_parallel_timed_steps_have_merged_resources(self, term):
+        """Every timed step of a parallel term uses pairwise-disjoint
+        child resources (Par3): labels never double-claim a resource --
+        guaranteed by Action construction, checked end-to-end here."""
+        env = ProcessEnv()
+        for label, _ in transitions(term, env):
+            if isinstance(label, Action):
+                names = [r for r, _ in label.pairs]
+                assert len(names) == len(set(names))
+
+    @given(closed_terms(), st.sets(event_names, max_size=2))
+    @settings(max_examples=200, deadline=None)
+    def test_restriction_blocks_named_events(self, term, names):
+        env = ProcessEnv()
+        restricted = restrict(term, names)
+        for label, _ in transitions(restricted, env):
+            if isinstance(label, EventLabel) and not label.is_tau:
+                assert label.name not in names
+
+    @given(closed_terms())
+    @settings(max_examples=100, deadline=None)
+    def test_transitions_deterministic(self, term):
+        env = ProcessEnv()
+        assert transitions(term, env) == transitions(term, env)
+
+    @given(closed_terms(), closed_terms())
+    @settings(max_examples=100, deadline=None)
+    def test_choice_commutative_semantics(self, a, b):
+        env = ProcessEnv()
+        left = set(transitions(choice(a, b), env))
+        right = set(transitions(choice(b, a), env))
+        assert left == right
+
+    @given(closed_terms(), closed_terms())
+    @settings(max_examples=60, deadline=None)
+    def test_parallel_commutative_semantics(self, a, b):
+        env = ProcessEnv()
+        left = {label for label, _ in transitions(parallel(a, b), env)}
+        right = {label for label, _ in transitions(parallel(b, a), env)}
+        assert left == right
+
+
+# -- printer/parser round-trip -----------------------------------------------
+
+
+class TestRoundTripProperty:
+    @given(closed_terms())
+    @settings(max_examples=300, deadline=None)
+    def test_parse_of_print_is_identity(self, term):
+        assert parse_term(format_term(term)) is term

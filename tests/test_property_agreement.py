@@ -1,0 +1,151 @@
+"""Cross-validation properties: the ACSR verdict vs classical oracles.
+
+The paper's S5 theorem -- deadlock-freedom iff all deadlines met -- implies
+that on the classical regime (synchronous periodic task sets,
+deterministic execution times) the exhaustive ACSR analysis must agree
+exactly with response-time analysis (fixed priority) and with the
+processor-demand criterion (EDF).  These hypothesis tests draw random
+integer task sets and check the agreement, plus internal consistency of
+the baselines themselves.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import Verdict, analyze_model
+from repro.aadl.properties import SchedulingProtocol
+from repro.sched import (
+    PeriodicTask,
+    TaskSet,
+    edf_schedulable,
+    hyperbolic_bound_test,
+    liu_layland_test,
+    rta_schedulable,
+    simulate,
+)
+from repro.workloads import task_set_to_system, uunifast
+
+# Small parameters keep hyperperiods (and ACSR state spaces) tractable.
+small_tasks = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=3),   # wcet
+        st.sampled_from([4, 6, 8, 12]),          # period
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+def build_task_set(specs):
+    tasks = []
+    for index, (wcet, period) in enumerate(specs):
+        tasks.append(PeriodicTask(f"t{index}", wcet=wcet, period=period))
+    return TaskSet(tasks)
+
+
+class TestAcsrAgreesWithOracles:
+    @given(small_tasks)
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_rm_agreement_with_rta(self, specs):
+        tasks = build_task_set(specs)
+        instance = task_set_to_system(
+            tasks, scheduling=SchedulingProtocol.RATE_MONOTONIC
+        )
+        expected = rta_schedulable(tasks, ordering="rate")
+        result = analyze_model(instance, max_states=300_000)
+        assert result.verdict is not Verdict.UNKNOWN
+        assert result.schedulable == expected
+
+    @given(small_tasks)
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_edf_agreement_with_demand(self, specs):
+        tasks = build_task_set(specs)
+        instance = task_set_to_system(
+            tasks, scheduling=SchedulingProtocol.EARLIEST_DEADLINE_FIRST
+        )
+        expected = edf_schedulable(tasks)
+        result = analyze_model(instance, max_states=300_000)
+        assert result.verdict is not Verdict.UNKNOWN
+        assert result.schedulable == expected
+
+
+class TestBaselineConsistency:
+    @given(small_tasks)
+    @settings(max_examples=100, deadline=None)
+    def test_ll_implies_rta(self, specs):
+        """The LL bound is sufficient: whatever it accepts, exact RTA
+        accepts too."""
+        tasks = build_task_set(specs)
+        if liu_layland_test(tasks):
+            assert rta_schedulable(tasks, ordering="rate")
+
+    @given(small_tasks)
+    @settings(max_examples=100, deadline=None)
+    def test_ll_implies_hyperbolic(self, specs):
+        tasks = build_task_set(specs)
+        if liu_layland_test(tasks):
+            assert hyperbolic_bound_test(tasks)
+
+    @given(small_tasks)
+    @settings(max_examples=100, deadline=None)
+    def test_hyperbolic_implies_rta(self, specs):
+        tasks = build_task_set(specs)
+        if hyperbolic_bound_test(tasks):
+            assert rta_schedulable(tasks, ordering="rate")
+
+    @given(small_tasks)
+    @settings(max_examples=100, deadline=None)
+    def test_rm_implies_edf(self, specs):
+        """EDF is optimal: anything RM schedules, EDF schedules."""
+        tasks = build_task_set(specs)
+        if rta_schedulable(tasks, ordering="rate"):
+            assert edf_schedulable(tasks)
+
+    @given(small_tasks)
+    @settings(max_examples=100, deadline=None)
+    def test_simulation_matches_rta(self, specs):
+        """Synchronous deterministic sets: one simulated hyperperiod is
+        the worst case, so sim and RTA agree."""
+        tasks = build_task_set(specs)
+        assert simulate(tasks, policy="rate").schedulable == rta_schedulable(
+            tasks, ordering="rate"
+        )
+
+    @given(small_tasks)
+    @settings(max_examples=100, deadline=None)
+    def test_simulation_matches_demand_for_edf(self, specs):
+        tasks = build_task_set(specs)
+        assert simulate(tasks, policy="edf").schedulable == edf_schedulable(
+            tasks
+        )
+
+    @given(small_tasks)
+    @settings(max_examples=100, deadline=None)
+    def test_overutilized_never_schedulable(self, specs):
+        tasks = build_task_set(specs)
+        if tasks.utilization > 1.0 + 1e-9:
+            assert not edf_schedulable(tasks)
+            assert not rta_schedulable(tasks, ordering="rate")
+
+
+class TestUUniFastProperties:
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.floats(min_value=0.05, max_value=1.0),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=200)
+    def test_sums_and_positivity(self, n, total, seed):
+        values = uunifast(n, total, np.random.default_rng(seed))
+        assert len(values) == n
+        assert abs(sum(values) - total) < 1e-9
+        assert all(v >= 0 for v in values)

@@ -1,0 +1,85 @@
+"""Property-based tests for the weak quotient and walk invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.acsr.events import EventLabel, OUT, event_label, tau_label
+from repro.versa import (
+    LTS,
+    bisimulation_quotient,
+    weak_bisimulation_quotient,
+)
+
+labels = st.one_of(
+    st.builds(lambda p: tau_label(p), st.integers(0, 2)),
+    st.builds(
+        lambda n, p: event_label(n, OUT, p),
+        st.sampled_from(["a", "b"]),
+        st.integers(0, 2),
+    ),
+)
+
+
+@st.composite
+def random_lts(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    n_edges = draw(st.integers(min_value=0, max_value=10))
+    edges = [
+        (
+            draw(st.integers(0, n - 1)),
+            draw(labels),
+            draw(st.integers(0, n - 1)),
+        )
+        for _ in range(n_edges)
+    ]
+    return LTS(n, 0, edges)
+
+
+class TestQuotientProperties:
+    @given(random_lts())
+    @settings(max_examples=200, deadline=None)
+    def test_weak_no_larger_than_strong(self, lts):
+        strong, _ = bisimulation_quotient(lts)
+        weak, _ = weak_bisimulation_quotient(lts)
+        assert weak.num_states <= strong.num_states
+
+    @given(random_lts())
+    @settings(max_examples=200, deadline=None)
+    def test_block_maps_total_and_consistent(self, lts):
+        weak, block_of = weak_bisimulation_quotient(lts)
+        assert len(block_of) == lts.num_states
+        assert all(0 <= b < weak.num_states for b in block_of)
+        assert weak.initial == block_of[lts.initial]
+
+    @given(random_lts())
+    @settings(max_examples=200, deadline=None)
+    def test_visible_labels_preserved(self, lts):
+        """Every visible label reachable in the original appears in the
+        quotient and vice versa (weak moves only erase tau)."""
+        weak, _ = weak_bisimulation_quotient(lts)
+        original_visible = {
+            label
+            for _, label, _ in lts.edges
+            if not (isinstance(label, EventLabel) and label.is_tau)
+        }
+        quotient_visible = {
+            label for _, label, _ in weak.edges if label != "tau"
+        }
+        assert quotient_visible <= original_visible
+        # A visible edge out of a reachable state survives quotienting;
+        # over the whole graph (all states considered roots here) the
+        # label sets coincide.
+        assert original_visible <= quotient_visible
+
+    @given(random_lts())
+    @settings(max_examples=200, deadline=None)
+    def test_strong_quotient_idempotent(self, lts):
+        once, block_of = bisimulation_quotient(lts)
+        twice, _ = bisimulation_quotient(once)
+        assert twice.num_states == once.num_states
+
+    @given(random_lts())
+    @settings(max_examples=100, deadline=None)
+    def test_weak_quotient_idempotent_in_size(self, lts):
+        once, _ = weak_bisimulation_quotient(lts)
+        twice, _ = weak_bisimulation_quotient(once)
+        assert twice.num_states == once.num_states

@@ -1,0 +1,177 @@
+"""Tests of the scheduling-policy priority encodings (paper S5)."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.acsr.expressions import var
+from repro.aadl.builder import SystemBuilder
+from repro.aadl.properties import SchedulingProtocol, ms
+from repro.translate.priorities import (
+    EdfPriority,
+    LlfPriority,
+    StaticPriority,
+    priority_assignment,
+)
+from repro.translate.quantum import TimingQuantizer
+
+
+def build_threads(specs):
+    """specs: list of (name, period, wcet, deadline, priority)."""
+    b = SystemBuilder("P")
+    cpu = b.processor("cpu")
+    for name, period, wcet, deadline, prio in specs:
+        b.thread(
+            name,
+            dispatch="periodic",
+            period=ms(period),
+            compute_time=(ms(wcet), ms(wcet)),
+            deadline=ms(deadline),
+            processor=cpu,
+            priority=prio,
+        )
+    inst = b.instantiate()
+    quantizer = TimingQuantizer(ms(1))
+    return [
+        (t, quantizer.thread_timing(t))
+        for t in sorted(inst.threads(), key=lambda t: t.name)
+    ]
+
+
+class TestRateMonotonic:
+    def test_shorter_period_higher_priority(self):
+        threads = build_threads(
+            [("a", 20, 1, 20, None), ("b", 10, 1, 10, None)]
+        )
+        assignment = priority_assignment(
+            SchedulingProtocol.RATE_MONOTONIC, threads
+        )
+        assert assignment["P.b"].value > assignment["P.a"].value
+
+    def test_priorities_are_distinct_and_positive(self):
+        threads = build_threads(
+            [(f"t{i}", 10 * (i + 1), 1, 10 * (i + 1), None) for i in range(5)]
+        )
+        assignment = priority_assignment(
+            SchedulingProtocol.RATE_MONOTONIC, threads
+        )
+        values = sorted(p.value for p in assignment.values())
+        assert values == [1, 2, 3, 4, 5]
+
+    def test_tie_broken_by_name(self):
+        threads = build_threads(
+            [("z", 10, 1, 10, None), ("a", 10, 1, 10, None)]
+        )
+        assignment = priority_assignment(
+            SchedulingProtocol.RATE_MONOTONIC, threads
+        )
+        assert assignment["P.a"].value > assignment["P.z"].value
+
+
+class TestDeadlineMonotonic:
+    def test_shorter_deadline_higher_priority(self):
+        threads = build_threads(
+            [("a", 20, 1, 20, None), ("b", 20, 1, 5, None)]
+        )
+        assignment = priority_assignment(
+            SchedulingProtocol.DEADLINE_MONOTONIC, threads
+        )
+        assert assignment["P.b"].value > assignment["P.a"].value
+
+
+class TestExplicit:
+    def test_larger_priority_property_wins(self):
+        threads = build_threads(
+            [("a", 10, 1, 10, 5), ("b", 10, 1, 10, 9)]
+        )
+        assignment = priority_assignment(
+            SchedulingProtocol.HIGHEST_PRIORITY_FIRST, threads
+        )
+        assert assignment["P.b"].value > assignment["P.a"].value
+
+    def test_shifted_to_at_least_one(self):
+        threads = build_threads(
+            [("a", 10, 1, 10, 0), ("b", 10, 1, 10, 3)]
+        )
+        assignment = priority_assignment(
+            SchedulingProtocol.HIGHEST_PRIORITY_FIRST, threads
+        )
+        assert min(p.value for p in assignment.values()) == 1
+
+    def test_missing_priority_rejected(self):
+        threads = build_threads([("a", 10, 1, 10, None)])
+        with pytest.raises(TranslationError):
+            priority_assignment(
+                SchedulingProtocol.HIGHEST_PRIORITY_FIRST, threads
+            )
+
+
+class TestEdf:
+    def test_expression_grows_with_elapsed_time(self):
+        """The paper's pi = dmax - (d - t): priority rises as the
+        absolute deadline approaches."""
+        pri = EdfPriority(deadline=5, dmax=10)
+        e, s = var("e"), var("s")
+        expr = pri.expr(e, s)
+        assert expr.evaluate({"e": 0, "s": 0}) == 6
+        assert expr.evaluate({"e": 0, "s": 3}) == 9
+
+    def test_always_strictly_positive(self):
+        pri = EdfPriority(deadline=10, dmax=10)
+        expr = pri.expr(var("e"), var("s"))
+        assert expr.evaluate({"e": 0, "s": 0}) == 1
+
+    def test_earlier_deadline_dominates_at_same_elapsed(self):
+        dmax = 10
+        tight = EdfPriority(deadline=3, dmax=dmax)
+        loose = EdfPriority(deadline=10, dmax=dmax)
+        env = {"e": 0, "s": 2}
+        e, s = var("e"), var("s")
+        assert tight.expr(e, s).evaluate(env) > loose.expr(e, s).evaluate(env)
+
+    def test_assignment_returns_edf(self):
+        threads = build_threads(
+            [("a", 10, 1, 10, None), ("b", 20, 1, 20, None)]
+        )
+        assignment = priority_assignment(
+            SchedulingProtocol.EARLIEST_DEADLINE_FIRST, threads
+        )
+        assert all(isinstance(p, EdfPriority) for p in assignment.values())
+        assert assignment["P.a"].dmax == 20
+
+
+class TestLlf:
+    def test_priority_rises_as_laxity_falls(self):
+        pri = LlfPriority(deadline=10, cmax=3, dmax=10)
+        e, s = var("e"), var("s")
+        expr = pri.expr(e, s)
+        relaxed = expr.evaluate({"e": 2, "s": 0})   # laxity 10-1=9
+        urgent = expr.evaluate({"e": 0, "s": 7})    # laxity 3-3=0
+        assert urgent > relaxed
+
+    def test_positive_at_max_laxity(self):
+        pri = LlfPriority(deadline=10, cmax=3, dmax=10)
+        expr = pri.expr(var("e"), var("s"))
+        # Maximum laxity: just dispatched with full budget remaining.
+        assert expr.evaluate({"e": 0, "s": 0}) >= 1
+
+    def test_assignment_returns_llf(self):
+        threads = build_threads([("a", 10, 2, 10, None)])
+        assignment = priority_assignment(
+            SchedulingProtocol.LEAST_LAXITY_FIRST, threads
+        )
+        assert isinstance(assignment["P.a"], LlfPriority)
+
+
+class TestStatic:
+    def test_rejects_zero(self):
+        with pytest.raises(TranslationError):
+            StaticPriority(0)
+
+    def test_expr_is_constant(self):
+        assert StaticPriority(3).expr(var("e"), var("s")) == 3
+        assert StaticPriority(3).is_static
+
+    def test_empty_assignment(self):
+        assert priority_assignment(
+            SchedulingProtocol.RATE_MONOTONIC, []
+        ) == {}
