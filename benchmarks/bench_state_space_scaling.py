@@ -7,6 +7,11 @@ Two sweeps:
 * states vs quantum size on the cruise-control model -- 'precision of
   the timing analysis can be improved by making scheduling quanta
   smaller, which tends to increase the size of the state space.'
+
+Both sweeps, and the memoization check, report the engine's own
+statistics (states/sec, cache hit rate) from the
+:class:`repro.engine.EngineStats` snapshot attached to every
+exploration result.
 """
 
 import time
@@ -40,15 +45,24 @@ def test_states_vs_thread_count(benchmark):
             )
             elapsed = time.perf_counter() - t0
             assert result.verdict is not Verdict.UNKNOWN
-            rows.append((n, result.num_states, f"{elapsed * 1000:.1f}"))
+            stats = result.exploration.stats
+            rows.append(
+                (
+                    n,
+                    result.num_states,
+                    f"{elapsed * 1000:.1f}",
+                    f"{stats.states_per_second:,.0f}",
+                    f"{stats.cache_hit_rate:.1%}",
+                )
+            )
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    sizes = [states for _, states, _ in rows]
+    sizes = [states for _, states, _, _, _ in rows]
     assert sizes == sorted(sizes)
     print_table(
         "T-SCALE states vs thread count (U = 0.12/thread)",
-        ["threads", "states", "ms"],
+        ["threads", "states", "ms", "states/s", "cache hit"],
         rows,
     )
 
@@ -68,43 +82,61 @@ def test_states_vs_quantum(benchmark):
             )
             elapsed = time.perf_counter() - t0
             assert result.verdict is Verdict.SCHEDULABLE
+            stats = result.exploration.stats
             rows.append(
-                (f"{quantum} ms", result.num_states, f"{elapsed * 1000:.1f}")
+                (
+                    f"{quantum} ms",
+                    result.num_states,
+                    f"{elapsed * 1000:.1f}",
+                    f"{stats.states_per_second:,.0f}",
+                    f"{stats.cache_hit_rate:.1%}",
+                )
             )
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    sizes = [states for _, states, _ in rows]
+    sizes = [states for _, states, _, _, _ in rows]
     # Tendency, not strict monotonicity: finest >> coarsest.
     assert sizes[-1] > sizes[0]
     print_table(
         "T-SCALE cruise control states vs quantum",
-        ["quantum", "states", "ms"],
+        ["quantum", "states", "ms", "states/s", "cache hit"],
         rows,
     )
 
 
 def test_memoization_effectiveness(benchmark):
     """The step cache is the engine's hot path: re-exploring a system is
-    dramatically cheaper than the first pass."""
+    dramatically cheaper than the first pass, and the engine's per-run
+    cache counters make the effect directly observable."""
+    from repro.engine import Budget, explore
     from repro.translate import translate
-    from repro.versa import Explorer
 
     translation = translate(cruise_control())
 
     def first_and_second():
-        t0 = time.perf_counter()
-        Explorer(translation.system, max_states=1_000_000).run()
-        cold = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        Explorer(translation.system, max_states=1_000_000).run()
-        warm = time.perf_counter() - t0
-        return cold, warm
+        budget = Budget(max_states=1_000_000)
+        cold_result = explore(translation.system, budget=budget)
+        warm_result = explore(translation.system, budget=budget)
+        return cold_result.stats, warm_result.stats
 
-    cold, warm = benchmark.pedantic(first_and_second, rounds=1, iterations=1)
-    assert warm < cold
+    cold, warm = benchmark.pedantic(
+        first_and_second, rounds=1, iterations=1
+    )
+    assert warm.elapsed < cold.elapsed
+    # The warm pass finds every successor set already memoized.
+    assert warm.cache_hit_rate > cold.cache_hit_rate
+    assert warm.cache_hit_rate > 0.99
     print_table(
         "T-SCALE transition-memo effectiveness (same system twice)",
-        ["cold ms", "warm ms", "speedup"],
-        [[f"{cold*1000:.1f}", f"{warm*1000:.1f}", f"{cold/warm:.1f}x"]],
+        ["cold ms", "warm ms", "speedup", "cold hit", "warm hit"],
+        [
+            [
+                f"{cold.elapsed * 1000:.1f}",
+                f"{warm.elapsed * 1000:.1f}",
+                f"{cold.elapsed / warm.elapsed:.1f}x",
+                f"{cold.cache_hit_rate:.1%}",
+                f"{warm.cache_hit_rate:.1%}",
+            ]
+        ],
     )

@@ -7,8 +7,11 @@ A from-scratch reproduction of *Schedulability Analysis of AADL Models*
   and binding resolution;
 * :mod:`repro.acsr` -- the ACSR real-time process algebra with prioritized
   operational semantics;
-* :mod:`repro.versa` -- a VERSA-style state-space explorer with deadlock
-  detection and counterexample traces;
+* :mod:`repro.engine` -- the unified exploration engine: pluggable
+  search strategies (BFS/DFS/random walk), explicit transition caches,
+  budgets and observer instrumentation (see ``docs/engine.md``);
+* :mod:`repro.versa` -- the VERSA-style analysis surface over the engine:
+  deadlock detection, counterexample traces, LTS export, minimization;
 * :mod:`repro.translate` -- the paper's Algorithm 1 translation of AADL
   models into ACSR;
 * :mod:`repro.sched` -- classical schedulability baselines (utilization

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import AcsrDefinitionError
+from repro.engine.cache import TransitionCache
 from repro.acsr.expressions import Expr
 from repro.acsr.terms import ProcRef, Term
 
@@ -72,11 +73,22 @@ class ProcessDef:
 
 
 class ProcessEnv:
-    """A mutable collection of process definitions with memoized unfolding."""
+    """A mutable collection of process definitions with memoized unfolding.
+
+    The environment also owns the semantics-level transition memo
+    (``trans_cache``): subterm transition sets depend only on the term
+    and the definitions, so the cache lives here and is shared by every
+    :class:`ClosedSystem` built over this environment.
+    """
+
+    __slots__ = ("_defs", "_unfold_cache", "trans_cache")
 
     def __init__(self) -> None:
         self._defs: Dict[str, ProcessDef] = {}
         self._unfold_cache: Dict[ProcRef, Term] = {}
+        #: explicit subterm-transition memo (was a monkey-patched
+        #: ``_trans_memo`` dict); consulted by ``repro.acsr.semantics``.
+        self.trans_cache = TransitionCache(name="semantics")
 
     def define(
         self,
@@ -100,7 +112,7 @@ class ProcessEnv:
                 for ref, term in self._unfold_cache.items()
                 if ref.name != name
             }
-            self._trans_memo = {}
+            self.trans_cache.clear()
         return definition
 
     def __contains__(self, name: str) -> bool:
@@ -152,9 +164,33 @@ class ProcessEnv:
                         f"argument(s); definition has {expected}"
                     )
 
-    def close(self, root: Term, *, validate: bool = True) -> "ClosedSystem":
-        """Pair the environment with a closed root term for analysis."""
-        return ClosedSystem(self, root, validate=validate)
+    def close(
+        self,
+        root: Term,
+        *,
+        validate: bool = True,
+        cache_maxsize: Optional[int] = None,
+    ) -> "ClosedSystem":
+        """Pair the environment with a closed root term for analysis.
+
+        ``cache_maxsize`` bounds the system's step caches (LRU); the
+        default ``None`` keeps them unbounded.
+        """
+        return ClosedSystem(
+            self, root, validate=validate, cache_maxsize=cache_maxsize
+        )
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Counters of the environment-level caches."""
+        return {
+            "unfold_cache": len(self._unfold_cache),
+            "trans_cache": self.trans_cache.stats(),
+        }
+
+    def clear_cache(self) -> None:
+        """Drop the unfold and transition memos (long-lived sessions)."""
+        self._unfold_cache.clear()
+        self.trans_cache.clear()
 
 
 def _collect_refs(term: Term) -> List[Tuple[str, int]]:
@@ -199,8 +235,15 @@ class ClosedSystem:
     from the HPC notes: this *is* the measured hot path).
     """
 
+    __slots__ = ("env", "root", "_step_cache", "_prio_cache")
+
     def __init__(
-        self, env: ProcessEnv, root: Term, *, validate: bool = True
+        self,
+        env: ProcessEnv,
+        root: Term,
+        *,
+        validate: bool = True,
+        cache_maxsize: Optional[int] = None,
     ) -> None:
         if not isinstance(root, Term):
             raise AcsrDefinitionError(f"system root must be a Term, got {root!r}")
@@ -213,8 +256,8 @@ class ClosedSystem:
             env.validate()
         self.env = env
         self.root = root
-        self._step_cache: Dict[Term, Tuple] = {}
-        self._prio_cache: Dict[Term, Tuple] = {}
+        self._step_cache = TransitionCache(cache_maxsize, name="steps")
+        self._prio_cache = TransitionCache(cache_maxsize, name="prioritized")
 
     def steps(self, term: Optional[Term] = None) -> Tuple:
         """Unprioritized transitions ``(label, successor)`` of ``term``."""
@@ -225,7 +268,7 @@ class ClosedSystem:
         cached = self._step_cache.get(term)
         if cached is None:
             cached = transitions(term, self.env)
-            self._step_cache[term] = cached
+            self._step_cache.put(term, cached)
         return cached
 
     def prioritized_steps(self, term: Optional[Term] = None) -> Tuple:
@@ -237,13 +280,39 @@ class ClosedSystem:
         cached = self._prio_cache.get(term)
         if cached is None:
             cached = prioritized(self.steps(term))
-            self._prio_cache[term] = cached
+            self._prio_cache.put(term, cached)
         return cached
 
-    def cache_stats(self) -> Dict[str, int]:
-        """Sizes of the memo tables (diagnostics)."""
+    def caches(self) -> Tuple[TransitionCache, ...]:
+        """Every transition cache feeding this system's successor
+        computation (step, prioritization, and the environment's
+        semantics memo)."""
+        return (self._step_cache, self._prio_cache, self.env.trans_cache)
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Sizes and hit/miss/eviction counters of the memo tables.
+
+        The historical size keys (``step_cache``, ``prio_cache``,
+        ``unfold_cache``) are preserved; ``detail`` carries the full
+        per-cache counters.
+        """
         return {
             "step_cache": len(self._step_cache),
             "prio_cache": len(self._prio_cache),
+            "trans_cache": len(self.env.trans_cache),
             "unfold_cache": len(self.env._unfold_cache),
+            "detail": {
+                cache.name: cache.stats() for cache in self.caches()
+            },
         }
+
+    def clear_cache(self) -> None:
+        """Drop every memo table so long-lived sessions can bound memory.
+
+        Clears the step and prioritization caches of this system plus
+        the shared environment caches (semantics memo and unfoldings).
+        Subsequent explorations rebuild them on demand.
+        """
+        self._step_cache.clear()
+        self._prio_cache.clear()
+        self.env.clear_cache()

@@ -67,15 +67,16 @@ def _trans(
     # ``active`` (the guard only detects unguarded recursion, which
     # raises instead of returning), so caching finished results by term
     # is sound.  Terms are interned, making the dict lookup an identity
-    # hash.
-    memo = getattr(env, "_trans_memo", None)
-    if memo is None:
-        memo = env._trans_memo = {}
-    cached = memo.get(term)
+    # hash.  The cache is the environment's explicit
+    # :class:`~repro.engine.cache.TransitionCache` (``env.trans_cache``),
+    # created in ``ProcessEnv.__init__`` -- observable and clearable,
+    # not a monkey-patched attribute.
+    cache = env.trans_cache
+    cached = cache.get(term)
     if cached is not None:
         return cached
     result = _trans_uncached(term, env, active)
-    memo[term] = result
+    cache.put(term, result)
     return result
 
 

@@ -18,9 +18,10 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.errors import AnalysisError
+from repro.engine.budget import Budget
+from repro.engine.core import explore
 from repro.acsr.events import EventLabel
 from repro.translate.translator import TranslationResult
-from repro.versa.explorer import Explorer
 
 
 def observed_response_times(
@@ -35,10 +36,11 @@ def observed_response_times(
     stops the clock are meaningless).  Threads never observed completing
     (never dispatched) map to ``None``.
     """
-    explorer = Explorer(
-        translation.system, max_states=max_states, store_transitions=True
+    result = explore(
+        translation.system,
+        budget=Budget(max_states=max_states),
+        store_transitions=True,
     )
-    result = explorer.run()
     if not result.completed:
         raise AnalysisError(
             "state budget exhausted; response times would be partial"

@@ -16,9 +16,14 @@ The verdict is
 from __future__ import annotations
 
 import enum
-from typing import Optional, Union
+from typing import Iterable, Optional, Union
 
 from repro.errors import ExplorationLimitError
+from repro.engine.budget import Budget
+from repro.engine.core import explore
+from repro.engine.observers import Observer
+from repro.engine.result import ExplorationResult
+from repro.engine.strategies import SearchStrategy
 from repro.aadl.components import DeclarativeModel
 from repro.aadl.instance import SystemInstance, instantiate
 from repro.aadl.properties import TimeValue
@@ -28,7 +33,6 @@ from repro.translate.translator import (
     TranslationResult,
     translate,
 )
-from repro.versa.explorer import ExplorationResult, Explorer
 
 
 class Verdict(enum.Enum):
@@ -70,13 +74,17 @@ class AnalysisResult:
     def elapsed(self) -> float:
         return self.exploration.elapsed
 
-    def format(self) -> str:
+    def format(self, *, show_stats: bool = False) -> str:
         lines = [
             f"verdict: {self.verdict.value}",
             f"states explored: {self.exploration.num_states} "
             f"({self.exploration.elapsed:.3f}s)",
             f"quantum: {self.translation.quantizer.quantum}",
         ]
+        if show_stats and self.exploration.stats is not None:
+            lines.append("engine stats:")
+            for stat_line in self.exploration.stats.format().splitlines():
+                lines.append(f"  {stat_line}")
         if self.scenario is not None:
             lines.append("failing scenario:")
             lines.append(self.scenario.format())
@@ -98,12 +106,17 @@ def analyze_model(
     max_states: int = 1_000_000,
     max_seconds: Optional[float] = None,
     stop_at_first_deadlock: bool = True,
+    strategy: Union[SearchStrategy, str, None] = None,
+    observers: Union[Observer, Iterable[Observer], None] = None,
 ) -> AnalysisResult:
     """Analyze a bound AADL model for schedulability.
 
     Accepts either an instantiated system or a declarative model plus
     ``root_impl``.  ``quantum`` overrides the default exact (GCD)
     quantization; ``options`` gives full control over the translation.
+    ``strategy`` selects the engine search order (BFS by default, which
+    keeps counterexamples shortest) and ``observers`` attaches engine
+    instrumentation hooks to the run.
     """
     if isinstance(model, DeclarativeModel):
         if root_impl is None:
@@ -120,32 +133,30 @@ def analyze_model(
         options.quantum = quantum
 
     translation = translate(instance, options)
-    explorer = Explorer(
+    exploration = explore(
         translation.system,
-        max_states=max_states,
-        max_seconds=max_seconds,
-        on_limit="truncate",
-    )
-    exploration = explorer.run(
-        stop_at_first_deadlock=stop_at_first_deadlock
+        strategy=strategy,
+        budget=Budget(
+            max_states=max_states,
+            max_seconds=max_seconds,
+            on_limit="truncate",
+        ),
+        stop_at_first_deadlock=stop_at_first_deadlock,
+        observers=observers,
     )
 
     trace = exploration.first_deadlock_trace()
     if trace is not None:
+        # A deadlock witness is definitive even on a truncated run.
         scenario = raise_trace(translation, trace, deadlocked=True)
         return AnalysisResult(
             Verdict.UNSCHEDULABLE, translation, exploration, scenario
         )
-    if exploration.completed or (
-        not stop_at_first_deadlock and exploration.deadlock_free
-        and exploration.completed
-    ):
+    if exploration.completed:
         return AnalysisResult(
             Verdict.SCHEDULABLE, translation, exploration, None
         )
-    if stop_at_first_deadlock and not exploration.completed:
-        # The search stopped without a deadlock only if a budget hit.
-        return AnalysisResult(
-            Verdict.UNKNOWN, translation, exploration, None
-        )
-    return AnalysisResult(Verdict.SCHEDULABLE, translation, exploration, None)
+    # Truncated and deadlock-less: the budget was exhausted before the
+    # space was covered, so nothing was proved either way.  (Previously
+    # a truncated full-space run could silently read as schedulable.)
+    return AnalysisResult(Verdict.UNKNOWN, translation, exploration, None)

@@ -77,7 +77,7 @@ def cmd_analyze(args) -> int:
     result = analyze_model(
         instance, quantum=_quantum(args), max_states=args.max_states
     )
-    print(result.format())
+    print(result.format(show_stats=args.stats))
     if args.response_times and result.verdict is Verdict.SCHEDULABLE:
         from repro.analysis.response import response_time_report
 
@@ -136,8 +136,8 @@ def cmd_translate(args) -> int:
 
 
 def cmd_acsr(args) -> int:
+    from repro.engine import Budget, ProgressObserver, explore
     from repro.acsr import parse_env
-    from repro.versa import Explorer
 
     env, root = parse_env(_read(args.file))
     if root is None:
@@ -155,17 +155,25 @@ def cmd_acsr(args) -> int:
             print("walk ended in a deadlock")
             return 1
         return 0
-    explorer = Explorer(
-        system, max_states=args.max_states, on_limit="truncate",
+    observers = []
+    if args.progress:
+        observers.append(ProgressObserver(every_states=args.progress))
+    result = explore(
+        system,
+        strategy=args.strategy,
+        budget=Budget(max_states=args.max_states, on_limit="truncate"),
         store_transitions=bool(args.dot),
-    )
-    result = explorer.run(
-        stop_at_first_deadlock=not args.full and not args.dot
+        stop_at_first_deadlock=not args.full and not args.dot,
+        observers=observers,
     )
     print(
         f"states: {result.num_states}  transitions: "
         f"{result.num_transitions}  completed: {result.completed}"
     )
+    if args.stats and result.stats is not None:
+        print("engine stats:")
+        for line in result.stats.format().splitlines():
+            print(f"  {line}")
     if args.dot:
         from repro.versa import LTS
 
@@ -262,6 +270,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="report observed worst-case response times (schedulable "
         "models only)",
     )
+    p_analyze.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine statistics (states/sec, cache hit rate, ...)",
+    )
     p_analyze.set_defaults(func=cmd_analyze)
 
     p_validate = sub.add_parser(
@@ -308,6 +321,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--dot",
         metavar="FILE",
         help="export the explored state space as a Graphviz DOT file",
+    )
+    p_acsr.add_argument(
+        "--strategy",
+        default="bfs",
+        choices=["bfs", "dfs"],
+        help="search strategy (bfs finds shortest counterexamples)",
+    )
+    p_acsr.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine statistics (states/sec, cache hit rate, ...)",
+    )
+    p_acsr.add_argument(
+        "--progress",
+        type=int,
+        default=0,
+        metavar="N",
+        help="report progress to stderr every N expanded states",
     )
     p_acsr.set_defaults(func=cmd_acsr)
 

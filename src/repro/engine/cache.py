@@ -1,0 +1,113 @@
+"""Explicit, bounded, stat-tracking transition caches.
+
+Transition memoization is the measured hot path of the whole analysis
+(see DESIGN.md): during exploration the same component subterms recur
+under thousands of parent states, and a cache turns the structural
+semantics into an amortized table lookup.  Historically the memo lived
+as a monkey-patched ``env._trans_memo`` dict; :class:`TransitionCache`
+makes it a first-class object with observable statistics (hits, misses,
+evictions, size) and an optional bound so long-lived sessions do not
+grow memory without limit.
+
+Keys are hash-consed terms, so lookups are identity-hash dict
+operations -- the cheapest thing Python can do.  The unbounded
+configuration (the default, and the right choice for one-shot analyses)
+adds only two counter increments to the old raw-dict behaviour; the
+bounded configuration maintains LRU order by re-inserting on hit and
+evicting the least recently used entry when full.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional
+
+
+class TransitionCache:
+    """A bounded memo table with hit/miss/eviction accounting.
+
+    Args:
+        maxsize: maximum number of entries, or ``None`` (default) for an
+            unbounded cache.  When bounded, the least recently used
+            entry is evicted to make room.
+        name: diagnostic label used in :meth:`stats` output.
+    """
+
+    __slots__ = ("name", "maxsize", "hits", "misses", "evictions", "_data")
+
+    def __init__(
+        self, maxsize: Optional[int] = None, *, name: str = "cache"
+    ) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be positive or None: {maxsize}")
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: Dict[Hashable, Any] = {}
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, counting a hit or a miss."""
+        data = self._data
+        try:
+            value = data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self.hits += 1
+        if self.maxsize is not None:
+            # Maintain LRU order: move the hit entry to the young end.
+            del data[key]
+            data[key] = value
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``key``, evicting the LRU entry when full."""
+        data = self._data
+        if key not in data and (
+            self.maxsize is not None and len(data) >= self.maxsize
+        ):
+            data.pop(next(iter(data)))
+            self.evictions += 1
+        data[key] = value
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        """Drop every entry (statistics counters are kept)."""
+        self._data.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """Snapshot of the cache counters."""
+        return {
+            "name": self.name,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        bound = "unbounded" if self.maxsize is None else f"max={self.maxsize}"
+        return (
+            f"TransitionCache({self.name!r}, {bound}, size={len(self._data)}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )

@@ -1,0 +1,202 @@
+"""Instrumentation hooks for the exploration engine.
+
+Observers let callers watch a search without forking the search loop:
+progress reporting, statistics collection, state-space dumps, abort
+buttons -- anything that reads the stream of exploration events.  The
+engine invokes the hooks synchronously; observers must be cheap (the
+default :class:`Observer` base is all no-ops, so subclasses pay only
+for the hooks they override).
+
+Events, in order of occurrence:
+
+* ``on_start(initial)`` -- once, before the first expansion;
+* ``on_state(state, discovered)`` -- a state is *expanded* (popped from
+  the frontier and its successors computed); ``discovered`` is the
+  number of distinct states known so far;
+* ``on_transition(state, label, successor, is_new)`` -- one outgoing
+  transition of the expanded state; ``is_new`` marks first discovery of
+  the successor;
+* ``on_deadlock(state)`` -- the expanded state has no successors;
+* ``on_target(state)`` -- the state satisfied the target predicate;
+* ``on_limit(kind, states_explored)`` -- a budget was exhausted
+  (``kind`` is ``"states"``, ``"transitions"`` or ``"seconds"``); fires
+  under both the raise and the truncate policies, before the error is
+  raised in the former;
+* ``on_finish(result)`` -- once, with the final
+  :class:`~repro.engine.result.ExplorationResult` (not called when a
+  budget raises).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Iterable, Optional, Sequence
+
+
+class Observer:
+    """Base observer: every hook is a no-op; override what you need."""
+
+    def on_start(self, initial) -> None:  # pragma: no cover - trivial
+        pass
+
+    def on_state(self, state, discovered: int) -> None:
+        pass
+
+    def on_transition(self, state, label, successor, is_new: bool) -> None:
+        pass
+
+    def on_deadlock(self, state) -> None:
+        pass
+
+    def on_target(self, state) -> None:
+        pass
+
+    def on_limit(self, kind: str, states_explored: int) -> None:
+        pass
+
+    def on_finish(self, result) -> None:
+        pass
+
+
+class CompositeObserver(Observer):
+    """Fan one event stream out to several observers, in order."""
+
+    def __init__(self, observers: Sequence[Observer]) -> None:
+        self.observers = list(observers)
+
+    def on_start(self, initial) -> None:
+        for obs in self.observers:
+            obs.on_start(initial)
+
+    def on_state(self, state, discovered: int) -> None:
+        for obs in self.observers:
+            obs.on_state(state, discovered)
+
+    def on_transition(self, state, label, successor, is_new: bool) -> None:
+        for obs in self.observers:
+            obs.on_transition(state, label, successor, is_new)
+
+    def on_deadlock(self, state) -> None:
+        for obs in self.observers:
+            obs.on_deadlock(state)
+
+    def on_target(self, state) -> None:
+        for obs in self.observers:
+            obs.on_target(state)
+
+    def on_limit(self, kind: str, states_explored: int) -> None:
+        for obs in self.observers:
+            obs.on_limit(kind, states_explored)
+
+    def on_finish(self, result) -> None:
+        for obs in self.observers:
+            obs.on_finish(result)
+
+
+class ProgressObserver(Observer):
+    """Periodic progress callbacks (every N expansions and/or T seconds).
+
+    Args:
+        every_states: invoke the callback every this many expansions
+            (``None`` disables the count trigger).
+        every_seconds: minimum seconds between callbacks (``None``
+            disables the time trigger).
+        callback: ``callback(expanded, discovered, elapsed)``; defaults
+            to a single status line on stderr.
+    """
+
+    def __init__(
+        self,
+        *,
+        every_states: Optional[int] = 10_000,
+        every_seconds: Optional[float] = None,
+        callback: Optional[Callable[[int, int, float], None]] = None,
+    ) -> None:
+        if every_states is None and every_seconds is None:
+            raise ValueError(
+                "at least one of every_states / every_seconds is required"
+            )
+        self.every_states = every_states
+        self.every_seconds = every_seconds
+        self.callback = callback or self._default_callback
+        self._expanded = 0
+        self._start = 0.0
+        self._last_report = 0.0
+
+    @staticmethod
+    def _default_callback(
+        expanded: int, discovered: int, elapsed: float
+    ) -> None:
+        rate = discovered / elapsed if elapsed > 0 else 0.0
+        print(
+            f"  ... {discovered} states ({expanded} expanded, "
+            f"{rate:,.0f} states/s)",
+            file=sys.stderr,
+        )
+
+    def on_start(self, initial) -> None:
+        self._expanded = 0
+        self._start = time.perf_counter()
+        self._last_report = self._start
+
+    def on_state(self, state, discovered: int) -> None:
+        self._expanded += 1
+        now = time.perf_counter()
+        due = (
+            self.every_states is not None
+            and self._expanded % self.every_states == 0
+        ) or (
+            self.every_seconds is not None
+            and now - self._last_report >= self.every_seconds
+        )
+        if due:
+            self._last_report = now
+            self.callback(self._expanded, discovered, now - self._start)
+
+
+class RecordingObserver(Observer):
+    """Record every event as ``(name, payload)`` tuples (tests, debugging)."""
+
+    def __init__(self) -> None:
+        self.events: list = []
+
+    def on_start(self, initial) -> None:
+        self.events.append(("start", initial))
+
+    def on_state(self, state, discovered: int) -> None:
+        self.events.append(("state", state, discovered))
+
+    def on_transition(self, state, label, successor, is_new: bool) -> None:
+        self.events.append(("transition", state, label, successor, is_new))
+
+    def on_deadlock(self, state) -> None:
+        self.events.append(("deadlock", state))
+
+    def on_target(self, state) -> None:
+        self.events.append(("target", state))
+
+    def on_limit(self, kind: str, states_explored: int) -> None:
+        self.events.append(("limit", kind, states_explored))
+
+    def on_finish(self, result) -> None:
+        self.events.append(("finish", result))
+
+    def of_kind(self, name: str) -> list:
+        return [event for event in self.events if event[0] == name]
+
+
+def combine(
+    observers: Optional[Iterable[Observer]],
+) -> Optional[Observer]:
+    """Normalize an observer collection to a single observer (or None)."""
+    if observers is None:
+        return None
+    if isinstance(observers, Observer):
+        return observers
+    observers = [obs for obs in observers if obs is not None]
+    if not observers:
+        return None
+    if len(observers) == 1:
+        return observers[0]
+    return CompositeObserver(observers)

@@ -1,0 +1,81 @@
+"""Successor provision: the engine's view of a transition relation.
+
+A :class:`SuccessorProvider` is the single seam between the search loop
+and the ACSR semantics.  It selects the prioritized or unprioritized
+relation of a :class:`~repro.acsr.definitions.ClosedSystem`, counts how
+often it is consulted, and owns access to the system's transition
+caches (explicit :class:`~repro.engine.cache.TransitionCache` objects
+-- see ``ClosedSystem.cache_stats()`` / ``clear_cache()``).
+
+Because the provider is an object rather than a bound method, future
+backends -- sharded successor servers, precomputed LTS replay, fault
+injection for tests -- implement the same two-method surface
+(``successors``, ``cache_stats``) without touching the search loop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.acsr.definitions import ClosedSystem
+    from repro.acsr.terms import Term
+
+
+class SuccessorProvider:
+    """Successor function over a closed system.
+
+    Args:
+        system: the closed ACSR system to explore.
+        prioritized: use the prioritized transition relation (the
+            paper's semantics) or, for ablations, the unprioritized one.
+    """
+
+    __slots__ = ("system", "prioritized", "calls", "_successors")
+
+    def __init__(
+        self, system: "ClosedSystem", *, prioritized: bool = True
+    ) -> None:
+        self.system = system
+        self.prioritized = prioritized
+        self.calls = 0
+        # Bind once: the per-call branch was measurable on hot loops.
+        self._successors = (
+            system.prioritized_steps if prioritized else system.steps
+        )
+
+    @property
+    def root(self) -> "Term":
+        return self.system.root
+
+    def successors(self, state: "Term") -> Tuple:
+        """Outgoing ``(label, successor)`` pairs of ``state``."""
+        self.calls += 1
+        return self._successors(state)
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Statistics of the system's transition caches."""
+        return self.system.cache_stats()
+
+    def cache_counters(self) -> Tuple[int, int, int]:
+        """Aggregated (hits, misses, evictions) over the system caches.
+
+        Used by the engine to attribute cache traffic to a single run:
+        the caches persist across runs (that persistence *is* the warm
+        re-exploration speedup), so per-run rates are deltas of these
+        counters.
+        """
+        hits = misses = evictions = 0
+        for cache in self.system.caches():
+            hits += cache.hits
+            misses += cache.misses
+            evictions += cache.evictions
+        return hits, misses, evictions
+
+    def clear_cache(self) -> None:
+        """Drop the system's memo tables (long-lived session hygiene)."""
+        self.system.clear_cache()
+
+    def __repr__(self) -> str:
+        relation = "prioritized" if self.prioritized else "unprioritized"
+        return f"SuccessorProvider({relation}, calls={self.calls})"

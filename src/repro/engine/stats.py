@@ -1,0 +1,129 @@
+"""Engine statistics: the observable health of an exploration run.
+
+Mature model-checking backends expose state-space statistics (states per
+second, frontier depth, cache effectiveness) because they are the only
+way to reason about why an analysis is slow or large.  The engine
+captures them in one :class:`EngineStats` snapshot attached to every
+:class:`~repro.engine.result.ExplorationResult` and rendered by the CLI
+``--stats`` flag and the scaling benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class EngineStats:
+    """Snapshot of one exploration run.
+
+    Attributes:
+        strategy: name of the search strategy used.
+        states: distinct states discovered (including the initial one).
+        transitions: transitions enumerated.
+        expanded: states whose successor set was computed (a random walk
+            may expand fewer -- or, revisiting, more -- than it
+            discovers).
+        elapsed: wall-clock seconds.
+        states_per_second: discovery throughput (0.0 for instant runs).
+        frontier_peak: largest frontier size observed.
+        parent_map_bytes: memory footprint of the parent (BFS-tree) map
+            itself, excluding the interned terms it references.
+        cache_hits / cache_misses / cache_evictions: aggregated over the
+            provider's step, prioritization and semantics caches for
+            the duration of this run only.
+        limit_hit: which budget stopped the run (``"states"``,
+            ``"transitions"``, ``"seconds"``) or ``None``.
+    """
+
+    __slots__ = (
+        "strategy",
+        "states",
+        "transitions",
+        "expanded",
+        "elapsed",
+        "frontier_peak",
+        "parent_map_bytes",
+        "cache_hits",
+        "cache_misses",
+        "cache_evictions",
+        "limit_hit",
+    )
+
+    def __init__(
+        self,
+        *,
+        strategy: str,
+        states: int,
+        transitions: int,
+        expanded: int,
+        elapsed: float,
+        frontier_peak: int,
+        parent_map_bytes: int,
+        cache_hits: int,
+        cache_misses: int,
+        cache_evictions: int,
+        limit_hit: Optional[str],
+    ) -> None:
+        self.strategy = strategy
+        self.states = states
+        self.transitions = transitions
+        self.expanded = expanded
+        self.elapsed = elapsed
+        self.frontier_peak = frontier_peak
+        self.parent_map_bytes = parent_map_bytes
+        self.cache_hits = cache_hits
+        self.cache_misses = cache_misses
+        self.cache_evictions = cache_evictions
+        self.limit_hit = limit_hit
+
+    @property
+    def states_per_second(self) -> float:
+        return self.states / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "strategy": self.strategy,
+            "states": self.states,
+            "transitions": self.transitions,
+            "expanded": self.expanded,
+            "elapsed": self.elapsed,
+            "states_per_second": self.states_per_second,
+            "frontier_peak": self.frontier_peak,
+            "parent_map_bytes": self.parent_map_bytes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_hit_rate": self.cache_hit_rate,
+            "limit_hit": self.limit_hit,
+        }
+
+    def format(self) -> str:
+        """Multi-line rendering for the CLI."""
+        lines = [
+            f"strategy: {self.strategy}",
+            f"states: {self.states}  transitions: {self.transitions}  "
+            f"expanded: {self.expanded}",
+            f"elapsed: {self.elapsed:.3f}s  "
+            f"({self.states_per_second:,.0f} states/s)",
+            f"frontier peak: {self.frontier_peak}  "
+            f"parent map: {self.parent_map_bytes / 1024:.1f} KiB",
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
+            f"({self.cache_hit_rate:.1%} hit rate, "
+            f"{self.cache_evictions} evictions)",
+        ]
+        if self.limit_hit is not None:
+            lines.append(f"budget exhausted: {self.limit_hit}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineStats(strategy={self.strategy!r}, states={self.states}, "
+            f"transitions={self.transitions}, "
+            f"states_per_second={self.states_per_second:.0f}, "
+            f"cache_hit_rate={self.cache_hit_rate:.3f})"
+        )

@@ -1,20 +1,26 @@
-"""VERSA-style analysis engine: state-space exploration of ACSR systems.
+"""VERSA-style analysis surface: state-space queries over ACSR systems.
 
 The original VERSA tool (Clarke, Lee & Xie 1995) performs state-space
-exploration and deadlock detection over the prioritized transition relation
-of an ACSR model; the paper (S5) reduces schedulability to exactly that
-question.  This subpackage reimplements the analysis core:
+exploration and deadlock detection over the prioritized transition
+relation of an ACSR model; the paper (S5) reduces schedulability to
+exactly that question.  The exploration loop itself lives in
+:mod:`repro.engine` (pluggable search strategies, explicit transition
+cache, observer hooks); this subpackage is the analysis-facing surface
+over it:
 
-* :class:`~repro.versa.explorer.Explorer` -- breadth-first exploration with
-  state interning, budget limits and early deadlock exit;
-* :class:`~repro.versa.traces.Trace` -- counterexample traces (the "failing
-  scenarios" of the paper);
+* :class:`~repro.versa.explorer.Explorer` -- compatibility facade over
+  :func:`repro.engine.explore` (BFS by default: state interning, budget
+  limits and early deadlock exit);
+* :class:`~repro.versa.traces.Trace` -- counterexample traces (the
+  "failing scenarios" of the paper);
 * :mod:`~repro.versa.queries` -- deadlock-freedom, reachability and
   observer-style queries;
 * :class:`~repro.versa.lts.LTS` -- an explicit labelled transition system
   for export (networkx) and minimization;
 * :mod:`~repro.versa.minimize` -- strong-bisimulation quotient via
-  partition refinement.
+  partition refinement;
+* :mod:`~repro.versa.walk` -- bounded random walks (the engine's
+  random-walk strategy wearing its trace-producing API).
 """
 
 from repro.versa.explorer import Explorer, ExplorationResult
@@ -26,7 +32,7 @@ from repro.versa.queries import (
     find_reachable,
     reachable_states,
 )
-from repro.versa.minimize import bisimulation_quotient
+from repro.versa.minimize import bisimulation_quotient, minimized_lts
 from repro.versa.weak import weak_bisimulation_quotient
 from repro.versa.walk import random_walk, walk_statistics, uniform_policy, event_first_policy
 
@@ -39,6 +45,7 @@ __all__ = [
     "bisimulation_quotient",
     "deadlock_free",
     "event_first_policy",
+    "minimized_lts",
     "random_walk",
     "uniform_policy",
     "walk_statistics",

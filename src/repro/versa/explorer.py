@@ -1,128 +1,43 @@
-"""Breadth-first state-space exploration with deadlock detection.
+"""State-space exploration with deadlock detection (compatibility shim).
 
-The explorer walks the (by default prioritized) transition relation of a
-:class:`~repro.acsr.definitions.ClosedSystem` from its root term.  States
-are ACSR terms; because terms are hash-consed, the visited set is a plain
-identity-keyed dict and state comparison is pointer equality -- this is the
-single most important performance property of the engine (the HPC guides'
-"optimize the measured bottleneck": state dedup dominates exploration).
+The exploration loop itself now lives in :mod:`repro.engine` -- one
+generic :func:`~repro.engine.core.explore` driven by pluggable search
+strategies, an explicit transition cache and observer hooks.  This
+module keeps the historical public surface (:class:`Explorer`,
+:class:`ExplorationResult`) as a thin layer over the engine so existing
+callers and scripts keep working unchanged.
 
-BFS (rather than DFS) is used so that the first deadlock found yields a
-*shortest* counterexample trace, which makes the raised AADL scenarios
-minimal and readable.
+BFS (rather than DFS) remains the default so that the first deadlock
+found yields a *shortest* counterexample trace, which makes the raised
+AADL scenarios minimal and readable.  States are hash-consed ACSR
+terms; the engine's visited set is an identity-keyed dict and state
+comparison is pointer equality -- the single most important performance
+property of the engine.
 """
 
 from __future__ import annotations
 
-import time
-from collections import deque
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Iterable, Optional, Union
 
-from repro.errors import ExplorationLimitError
+from repro.engine.budget import Budget
+from repro.engine.core import explore
+from repro.engine.observers import Observer
+from repro.engine.result import ExplorationResult
+from repro.engine.strategies import SearchStrategy
 from repro.acsr.definitions import ClosedSystem
 from repro.acsr.terms import Term
-from repro.versa.traces import Step, Trace
 
-
-class ExplorationResult:
-    """Outcome of a state-space exploration.
-
-    Attributes:
-        initial: the root state.
-        num_states: states discovered (including the initial one).
-        num_transitions: transitions traversed.
-        deadlock_states: states with no outgoing (prioritized) transition.
-        target_states: states satisfying the optional target predicate.
-        completed: True when the full reachable space was explored (i.e.
-            the search was not stopped early by a budget, a first-deadlock
-            request, or a target hit).
-        elapsed: wall-clock seconds.
-    """
-
-    def __init__(
-        self,
-        initial: Term,
-        *,
-        num_states: int,
-        num_transitions: int,
-        deadlock_states: List[Term],
-        target_states: List[Term],
-        completed: bool,
-        elapsed: float,
-        parent: Dict[Term, Tuple[Optional[Term], Optional[object]]],
-        transitions: Optional[Dict[Term, Tuple[Tuple[object, Term], ...]]],
-    ) -> None:
-        self.initial = initial
-        self.num_states = num_states
-        self.num_transitions = num_transitions
-        self.deadlock_states = deadlock_states
-        self.target_states = target_states
-        self.completed = completed
-        self.elapsed = elapsed
-        self._parent = parent
-        self._transitions = transitions
-
-    @property
-    def deadlock_free(self) -> bool:
-        """True when the explored space contains no deadlock.
-
-        Only meaningful when :attr:`completed` is True (or a first-deadlock
-        search returned no deadlock and completed).
-        """
-        return not self.deadlock_states
-
-    def trace_to(self, state: Term) -> Trace:
-        """Shortest trace (along the BFS tree) from the initial state."""
-        if state not in self._parent:
-            raise KeyError(f"state was not discovered: {state!r}")
-        steps: List[Step] = []
-        current: Optional[Term] = state
-        while current is not None:
-            parent, label = self._parent[current]
-            if parent is None:
-                break
-            steps.append(Step(label, current))
-            current = parent
-        steps.reverse()
-        return Trace(self.initial, steps)
-
-    def first_deadlock_trace(self) -> Optional[Trace]:
-        """Trace to the first (shallowest) deadlock, if any."""
-        if not self.deadlock_states:
-            return None
-        return self.trace_to(self.deadlock_states[0])
-
-    def transitions_of(self, state: Term) -> Tuple[Tuple[object, Term], ...]:
-        """Outgoing transitions of an explored state (requires the explorer
-        to have been run with ``store_transitions=True``)."""
-        if self._transitions is None:
-            raise ValueError(
-                "exploration did not store transitions; "
-                "pass store_transitions=True"
-            )
-        return self._transitions[state]
-
-    @property
-    def stored_transitions(
-        self,
-    ) -> Optional[Dict[Term, Tuple[Tuple[object, Term], ...]]]:
-        return self._transitions
-
-    def states(self) -> List[Term]:
-        """All discovered states, in BFS discovery order."""
-        return list(self._parent)
-
-    def __repr__(self) -> str:
-        return (
-            f"ExplorationResult(states={self.num_states}, "
-            f"transitions={self.num_transitions}, "
-            f"deadlocks={len(self.deadlock_states)}, "
-            f"completed={self.completed})"
-        )
+__all__ = ["Explorer", "ExplorationResult"]
 
 
 class Explorer:
     """State-space explorer over a closed ACSR system.
+
+    A compatibility facade over :func:`repro.engine.explore`: the
+    constructor arguments map onto an engine :class:`Budget` and the
+    BFS strategy.  New code should call the engine directly, which also
+    exposes DFS / random-walk strategies and observer instrumentation;
+    ``strategy`` and ``observers`` are accepted here for convenience.
 
     Args:
         system: the closed system to explore.
@@ -136,6 +51,9 @@ class Explorer:
             export and minimization; costs memory).
         on_limit: ``"raise"`` (default) or ``"truncate"`` -- truncation
             returns a result with ``completed=False``.
+        strategy: optional engine search strategy (name or instance);
+            defaults to BFS.
+        observers: optional engine observers to notify during the run.
     """
 
     def __init__(
@@ -147,6 +65,8 @@ class Explorer:
         max_seconds: Optional[float] = None,
         store_transitions: bool = False,
         on_limit: str = "raise",
+        strategy: Union[SearchStrategy, str, None] = None,
+        observers: Union[Observer, Iterable[Observer], None] = None,
     ) -> None:
         if on_limit not in ("raise", "truncate"):
             raise ValueError("on_limit must be 'raise' or 'truncate'")
@@ -156,11 +76,16 @@ class Explorer:
         self.max_seconds = max_seconds
         self.store_transitions = store_transitions
         self.on_limit = on_limit
+        self.strategy = strategy
+        self.observers = observers
 
-    def _steps(self, state: Term) -> Tuple[Tuple[object, Term], ...]:
-        if self.prioritized:
-            return self.system.prioritized_steps(state)
-        return self.system.steps(state)
+    def budget(self) -> Budget:
+        """The engine budget equivalent to this explorer's limits."""
+        return Budget(
+            max_states=self.max_states,
+            max_seconds=self.max_seconds,
+            on_limit=self.on_limit,
+        )
 
     def run(
         self,
@@ -169,7 +94,7 @@ class Explorer:
         target: Optional[Callable[[Term], bool]] = None,
         stop_at_target: bool = False,
     ) -> ExplorationResult:
-        """Explore breadth-first from the system root.
+        """Explore from the system root (BFS unless a strategy was given).
 
         Args:
             stop_at_first_deadlock: return as soon as a deadlock is found
@@ -179,81 +104,14 @@ class Explorer:
                 ``target_states``.
             stop_at_target: stop as soon as the predicate matches.
         """
-        start = time.perf_counter()
-        initial = self.system.root
-        parent: Dict[Term, Tuple[Optional[Term], Optional[object]]] = {
-            initial: (None, None)
-        }
-        transitions: Optional[Dict[Term, Tuple[Tuple[object, Term], ...]]] = (
-            {} if self.store_transitions else None
-        )
-        deadlocks: List[Term] = []
-        targets: List[Term] = []
-        num_transitions = 0
-        stopped_early = False
-
-        queue: deque = deque((initial,))
-        if target is not None and target(initial):
-            targets.append(initial)
-            if stop_at_target:
-                queue.clear()
-                stopped_early = True
-
-        while queue:
-            if self.max_seconds is not None and (
-                time.perf_counter() - start > self.max_seconds
-            ):
-                if self.on_limit == "raise":
-                    raise ExplorationLimitError(
-                        f"time budget {self.max_seconds}s exhausted after "
-                        f"{len(parent)} states",
-                        states_explored=len(parent),
-                    )
-                stopped_early = True
-                break
-            state = queue.popleft()
-            steps = self._steps(state)
-            if transitions is not None:
-                transitions[state] = steps
-            if not steps:
-                deadlocks.append(state)
-                if stop_at_first_deadlock:
-                    stopped_early = True
-                    break
-                continue
-            num_transitions += len(steps)
-            for label, successor in steps:
-                if successor not in parent:
-                    if len(parent) >= self.max_states:
-                        if self.on_limit == "raise":
-                            raise ExplorationLimitError(
-                                f"state budget {self.max_states} exhausted",
-                                states_explored=len(parent),
-                            )
-                        stopped_early = True
-                        queue.clear()
-                        break
-                    parent[successor] = (state, label)
-                    if target is not None and target(successor):
-                        targets.append(successor)
-                        if stop_at_target:
-                            stopped_early = True
-                            queue.clear()
-                            break
-                    queue.append(successor)
-            else:
-                continue
-            break
-
-        completed = not stopped_early and not queue
-        return ExplorationResult(
-            initial,
-            num_states=len(parent),
-            num_transitions=num_transitions,
-            deadlock_states=deadlocks,
-            target_states=targets,
-            completed=completed,
-            elapsed=time.perf_counter() - start,
-            parent=parent,
-            transitions=transitions,
+        return explore(
+            self.system,
+            strategy=self.strategy,
+            prioritized=self.prioritized,
+            budget=self.budget(),
+            store_transitions=self.store_transitions,
+            stop_at_first_deadlock=stop_at_first_deadlock,
+            target=target,
+            stop_at_target=stop_at_target,
+            observers=self.observers,
         )

@@ -13,9 +13,11 @@ from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
+from repro.engine.budget import Budget
+from repro.engine.core import explore
+from repro.engine.result import ExplorationResult
 from repro.acsr.printer import format_label, format_term
 from repro.acsr.terms import Term
-from repro.versa.explorer import ExplorationResult
 
 
 class LTS:
@@ -56,6 +58,31 @@ class LTS:
                 edges.append((src, label, index[successor]))
         names = {idx: format_term(state) for state, idx in index.items()}
         return cls(len(index), index[result.initial], edges, names)
+
+    @classmethod
+    def explore(
+        cls,
+        system,
+        *,
+        max_states: int = 1_000_000,
+        prioritized: bool = True,
+        strategy=None,
+    ) -> "LTS":
+        """Explore ``system`` through the engine and build its LTS.
+
+        Convenience for the common export pipeline: one engine run with
+        ``store_transitions=True`` (raising on budget exhaustion -- a
+        partial graph would be silently misleading) followed by
+        :meth:`from_exploration`.
+        """
+        result = explore(
+            system,
+            strategy=strategy,
+            prioritized=prioritized,
+            budget=Budget(max_states=max_states),
+            store_transitions=True,
+        )
+        return cls.from_exploration(result)
 
     def successors(self, state: int) -> List[Tuple[Hashable, int]]:
         return [

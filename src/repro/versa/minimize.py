@@ -15,6 +15,28 @@ from typing import Dict, Hashable, List, Tuple
 from repro.versa.lts import LTS
 
 
+def minimized_lts(
+    system,
+    *,
+    max_states: int = 1_000_000,
+    prioritized: bool = True,
+    strategy=None,
+) -> Tuple[LTS, List[int]]:
+    """Explore ``system`` through the engine and quotient the result.
+
+    One-stop pipeline for the common diagnostic use: engine exploration
+    (``store_transitions=True``) -> LTS -> strong-bisimulation quotient.
+    Returns ``(quotient, block_of)`` as :func:`bisimulation_quotient`.
+    """
+    lts = LTS.explore(
+        system,
+        max_states=max_states,
+        prioritized=prioritized,
+        strategy=strategy,
+    )
+    return bisimulation_quotient(lts)
+
+
 def bisimulation_quotient(lts: LTS) -> Tuple[LTS, List[int]]:
     """Quotient the LTS by strong bisimilarity.
 

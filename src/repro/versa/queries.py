@@ -3,16 +3,22 @@
 These are the operations the paper's toolchain exposes: deadlock-freedom
 (= schedulability after translation, S5), first-deadlock counterexamples,
 and reachability of marked states (used for queue-overflow errors and
-latency observers).
+latency observers).  All of them drive the unified
+:func:`repro.engine.explore` loop; the ``strategy`` argument picks the
+search order (BFS by default -- shortest counterexamples).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, List, Optional, Union
 
+from repro.engine.budget import Budget
+from repro.engine.core import explore
+from repro.engine.observers import Observer
+from repro.engine.result import ExplorationResult
+from repro.engine.strategies import SearchStrategy
 from repro.acsr.definitions import ClosedSystem
 from repro.acsr.terms import ProcRef, Term
-from repro.versa.explorer import ExplorationResult, Explorer
 from repro.versa.traces import Trace
 
 
@@ -21,11 +27,15 @@ def deadlock_free(
     *,
     max_states: int = 1_000_000,
     prioritized: bool = True,
+    strategy: Union[SearchStrategy, str, None] = None,
 ) -> bool:
     """Exhaustively check deadlock-freedom of the system."""
-    result = Explorer(
-        system, prioritized=prioritized, max_states=max_states
-    ).run()
+    result = explore(
+        system,
+        strategy=strategy,
+        prioritized=prioritized,
+        budget=Budget(max_states=max_states),
+    )
     return result.deadlock_free
 
 
@@ -34,12 +44,17 @@ def find_deadlock(
     *,
     max_states: int = 1_000_000,
     prioritized: bool = True,
+    strategy: Union[SearchStrategy, str, None] = None,
 ) -> Optional[Trace]:
-    """Shortest trace to a deadlock, or None when the system is
-    deadlock-free."""
-    result = Explorer(
-        system, prioritized=prioritized, max_states=max_states
-    ).run(stop_at_first_deadlock=True)
+    """Shortest trace to a deadlock (under the default BFS), or None when
+    the system is deadlock-free."""
+    result = explore(
+        system,
+        strategy=strategy,
+        prioritized=prioritized,
+        budget=Budget(max_states=max_states),
+        stop_at_first_deadlock=True,
+    )
     return result.first_deadlock_trace()
 
 
@@ -49,11 +64,17 @@ def find_reachable(
     *,
     max_states: int = 1_000_000,
     prioritized: bool = True,
+    strategy: Union[SearchStrategy, str, None] = None,
 ) -> Optional[Trace]:
     """Shortest trace to a state satisfying ``predicate``, or None."""
-    result = Explorer(
-        system, prioritized=prioritized, max_states=max_states
-    ).run(target=predicate, stop_at_target=True)
+    result = explore(
+        system,
+        strategy=strategy,
+        prioritized=prioritized,
+        budget=Budget(max_states=max_states),
+        target=predicate,
+        stop_at_target=True,
+    )
     if not result.target_states:
         return None
     return result.trace_to(result.target_states[0])
@@ -64,11 +85,17 @@ def reachable_states(
     *,
     max_states: int = 1_000_000,
     prioritized: bool = True,
+    strategy: Union[SearchStrategy, str, None] = None,
+    observers: Union[Observer, Iterable[Observer], None] = None,
 ) -> ExplorationResult:
     """Full exploration result (all reachable states)."""
-    return Explorer(
-        system, prioritized=prioritized, max_states=max_states
-    ).run()
+    return explore(
+        system,
+        strategy=strategy,
+        prioritized=prioritized,
+        budget=Budget(max_states=max_states),
+        observers=observers,
+    )
 
 
 def contains_proc(name: str) -> Callable[[Term], bool]:

@@ -5,6 +5,13 @@ are the scripted equivalent -- useful for sanity-checking a model's
 behaviour, generating example schedules, and statistical smoke tests
 where the full space is too large.  A walk is *one* behaviour; only the
 explorer's verdicts are exhaustive.
+
+The walk itself is the engine's
+:class:`~repro.engine.strategies.RandomWalk` search strategy: this
+module keeps the trace-producing API and the transition-choice
+policies, and drives :func:`repro.engine.explore` underneath, so walks
+share the transition cache, budgets and observer hooks with every
+other search.
 """
 
 from __future__ import annotations
@@ -13,7 +20,9 @@ from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import AnalysisError
+from repro.engine.budget import Budget
+from repro.engine.core import explore
+from repro.engine.strategies import RandomWalk
 from repro.acsr.definitions import ClosedSystem
 from repro.acsr.terms import Term
 from repro.versa.traces import Step, Trace
@@ -58,27 +67,16 @@ def random_walk(
     Returns the trace actually taken; ``trace.final_state`` is deadlocked
     iff the walk stopped early.
     """
-    if max_steps < 0:
-        raise AnalysisError("max_steps must be non-negative")
-    rng = np.random.default_rng(seed)
-    state = system.root
-    steps = []
-    for _ in range(max_steps):
-        candidates = (
-            system.prioritized_steps(state)
-            if prioritized
-            else system.steps(state)
-        )
-        if not candidates:
-            break
-        index = policy(candidates, rng)
-        if not (0 <= index < len(candidates)):
-            raise AnalysisError(
-                f"walk policy returned out-of-range index {index}"
-            )
-        label, state = candidates[index]
-        steps.append(Step(label, state))
-    return Trace(system.root, steps)
+    strategy = RandomWalk(max_steps=max_steps, seed=seed, policy=policy)
+    explore(
+        system,
+        strategy=strategy,
+        prioritized=prioritized,
+        budget=Budget(max_states=None),
+    )
+    return Trace(
+        system.root, [Step(label, state) for label, state in strategy.path]
+    )
 
 
 def walk_statistics(
