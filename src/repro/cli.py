@@ -10,6 +10,8 @@ scenario.  The CLI exposes each step plus the baselines::
     repro translate model.aadl --root Sys.impl      # emit ACSR source
     repro acsr system.acsr                          # explore raw ACSR
     repro simulate model.aadl --root Sys.impl       # Cheddar-style Gantt
+    repro oracle run --seeds 200 --profile smoke    # differential campaign
+    repro oracle replay artifacts/oracle/x.json     # re-run a repro bundle
 
 (Equivalently: ``python -m repro ...``.)
 """
@@ -189,6 +191,35 @@ def cmd_acsr(args) -> int:
     return 1
 
 
+def cmd_oracle_run(args) -> int:
+    from repro.oracle import DEFAULT_ARTIFACTS_DIR, run_campaign
+
+    report = run_campaign(
+        seeds=args.seeds,
+        profile=args.profile,
+        base_seed=args.base_seed,
+        artifacts_dir=args.artifacts or DEFAULT_ARTIFACTS_DIR,
+        fault=args.fault,
+        max_states=args.max_states,
+        progress=args.progress,
+    )
+    print(report.format())
+    return 1 if report.disagreements else 0
+
+
+def cmd_oracle_replay(args) -> int:
+    from repro.oracle import ReproBundle, replay_bundle
+
+    bundle = ReproBundle.load(args.bundle)
+    result = replay_bundle(
+        bundle,
+        max_states=args.max_states,
+        fault=bundle.fault if args.with_fault else None,
+    )
+    print(result.format())
+    return 0 if result.verdict_matches else 1
+
+
 def cmd_simulate(args) -> int:
     from repro.aadl.properties import SCHEDULING_PROTOCOL
     from repro.sched import extract_task_set, simulate
@@ -341,6 +372,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="report progress to stderr every N expanded states",
     )
     p_acsr.set_defaults(func=cmd_acsr)
+
+    p_oracle = sub.add_parser(
+        "oracle",
+        help="differential-testing oracle: seeded campaigns against the "
+        "classical analyses, with shrinking and replayable bundles",
+    )
+    oracle_sub = p_oracle.add_subparsers(dest="oracle_command", required=True)
+
+    p_run = oracle_sub.add_parser(
+        "run", help="run a seeded differential campaign"
+    )
+    p_run.add_argument(
+        "--seeds",
+        type=int,
+        default=50,
+        help="number of seeded cases to draw (default 50)",
+    )
+    p_run.add_argument(
+        "--profile",
+        default="smoke",
+        choices=["smoke", "nightly"],
+        help="campaign parameter envelope (default smoke)",
+    )
+    p_run.add_argument(
+        "--base-seed",
+        type=int,
+        default=0,
+        help="first seed of the campaign (case i uses base-seed + i)",
+    )
+    p_run.add_argument(
+        "--artifacts",
+        default=None,
+        help="directory for disagreement bundles "
+        "(default artifacts/oracle)",
+    )
+    p_run.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        help="override the profile's per-case exploration budget",
+    )
+    p_run.add_argument(
+        "--fault",
+        default=None,
+        help="inject a known translator fault into the pipeline side "
+        "(harness self-test; see repro.oracle.faults)",
+    )
+    p_run.add_argument(
+        "--progress",
+        action="store_true",
+        help="report campaign progress to stderr",
+    )
+    p_run.set_defaults(func=cmd_oracle_run)
+
+    p_replay = oracle_sub.add_parser(
+        "replay", help="re-run a persisted repro bundle"
+    )
+    p_replay.add_argument("bundle", help="path to a bundle JSON file")
+    p_replay.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        help="override the bundle's recorded exploration budget",
+    )
+    p_replay.add_argument(
+        "--with-fault",
+        action="store_true",
+        help="re-inject the fault recorded in the bundle (reproduce the "
+        "historical failure instead of checking the fix)",
+    )
+    p_replay.set_defaults(func=cmd_oracle_replay)
 
     p_sim = sub.add_parser(
         "simulate",

@@ -1,0 +1,261 @@
+"""Replayable repro bundles: the oracle's persistent artifact format.
+
+A bundle freezes everything needed to re-run one case years later with
+no access to the original campaign: the (shrunk) case, the original
+pre-shrink case when there was one, both sides' verdicts, the agreement
+classification, the AADL source text, and the tool parameters.  Two
+kinds exist:
+
+* ``disagreement`` -- written by a campaign when the pipeline and an
+  oracle conflict; the bug report.
+* ``regression`` -- an *agreed* case interesting enough to pin forever
+  (boundary utilization, offset rescues, ...); the committed corpus
+  under ``tests/corpus/`` replays these on every CI run.
+
+``repro oracle replay <bundle>`` (and :func:`replay_bundle`) re-runs the
+pipeline and oracles on the stored case and reports whether the current
+code still produces the recorded verdict.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Union
+
+from repro.analysis.schedulability import Verdict
+from repro.errors import SchedError
+from repro.oracle.case import OracleCase
+from repro.oracle.verdicts import (
+    CaseClassification,
+    FaultFn,
+    OracleVerdict,
+    classical_verdicts,
+    classify,
+    run_pipeline,
+)
+
+SCHEMA_VERSION = 1
+
+#: Default artifact directory for campaign-written bundles.
+DEFAULT_ARTIFACTS_DIR = os.path.join("artifacts", "oracle")
+
+
+class ReproBundle:
+    """One frozen case plus both sides' verdicts and provenance."""
+
+    def __init__(
+        self,
+        *,
+        kind: str,
+        case: OracleCase,
+        pipeline_verdict: str,
+        pipeline_states: int,
+        pipeline_elapsed: float,
+        oracles: List[OracleVerdict],
+        classification: CaseClassification,
+        aadl: str,
+        max_states: int,
+        profile: Optional[str] = None,
+        fault: Optional[str] = None,
+        original_case: Optional[OracleCase] = None,
+        shrink_evaluations: int = 0,
+    ) -> None:
+        if kind not in ("disagreement", "regression"):
+            raise SchedError(f"unknown bundle kind {kind!r}")
+        Verdict(pipeline_verdict)  # validate early
+        self.kind = kind
+        self.case = case
+        self.pipeline_verdict = pipeline_verdict
+        self.pipeline_states = pipeline_states
+        self.pipeline_elapsed = pipeline_elapsed
+        self.oracles = list(oracles)
+        self.classification = classification
+        self.aadl = aadl
+        self.max_states = max_states
+        self.profile = profile
+        self.fault = fault
+        self.original_case = original_case
+        self.shrink_evaluations = shrink_evaluations
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_evaluation(
+        cls,
+        *,
+        kind: str,
+        case: OracleCase,
+        pipeline,
+        oracles: List[OracleVerdict],
+        classification: CaseClassification,
+        max_states: int,
+        profile: Optional[str] = None,
+        fault: Optional[str] = None,
+        original_case: Optional[OracleCase] = None,
+        shrink_evaluations: int = 0,
+    ) -> "ReproBundle":
+        """Build a bundle from an :func:`evaluate_case`-style result."""
+        return cls(
+            kind=kind,
+            case=case,
+            pipeline_verdict=pipeline.verdict.value,
+            pipeline_states=pipeline.num_states,
+            pipeline_elapsed=pipeline.elapsed,
+            oracles=oracles,
+            classification=classification,
+            aadl=case.aadl_text(),
+            max_states=max_states,
+            profile=profile,
+            fault=fault,
+            original_case=original_case,
+            shrink_evaluations=shrink_evaluations,
+        )
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": self.kind,
+            "case": self.case.to_dict(),
+            "pipeline": {
+                "verdict": self.pipeline_verdict,
+                "states": self.pipeline_states,
+                "elapsed": self.pipeline_elapsed,
+            },
+            "oracles": [oracle.to_dict() for oracle in self.oracles],
+            "classification": self.classification.to_dict(),
+            "aadl": self.aadl,
+            "tool": {
+                "max_states": self.max_states,
+                "profile": self.profile,
+                "fault": self.fault,
+                "shrink_evaluations": self.shrink_evaluations,
+            },
+        }
+        if self.original_case is not None:
+            data["original_case"] = self.original_case.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ReproBundle":
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise SchedError(
+                f"unsupported bundle schema version {version!r} "
+                f"(this tool reads version {SCHEMA_VERSION})"
+            )
+        tool = data.get("tool", {})
+        original = data.get("original_case")
+        return cls(
+            kind=data["kind"],
+            case=OracleCase.from_dict(data["case"]),
+            pipeline_verdict=data["pipeline"]["verdict"],
+            pipeline_states=data["pipeline"].get("states", 0),
+            pipeline_elapsed=data["pipeline"].get("elapsed", 0.0),
+            oracles=[
+                OracleVerdict.from_dict(entry)
+                for entry in data.get("oracles", [])
+            ],
+            classification=CaseClassification.from_dict(
+                data["classification"]
+            ),
+            aadl=data.get("aadl", ""),
+            max_states=tool.get("max_states", 300_000),
+            profile=tool.get("profile"),
+            fault=tool.get("fault"),
+            original_case=(
+                OracleCase.from_dict(original) if original else None
+            ),
+            shrink_evaluations=tool.get("shrink_evaluations", 0),
+        )
+
+    def save(self, directory: str) -> str:
+        """Write the bundle as ``<case_id>.json`` under ``directory``."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.case.case_id}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "ReproBundle":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def replay_command(self, path: Optional[str] = None) -> str:
+        """The CLI incantation that replays this bundle."""
+        where = path or os.path.join(
+            DEFAULT_ARTIFACTS_DIR, f"{self.case.case_id}.json"
+        )
+        return f"repro oracle replay {where}"
+
+    def __repr__(self) -> str:
+        return (
+            f"ReproBundle({self.kind}, {self.case.case_id!r}, "
+            f"pipeline={self.pipeline_verdict})"
+        )
+
+
+class ReplayResult:
+    """Outcome of re-running a bundle on the current code."""
+
+    __slots__ = ("bundle", "pipeline", "oracles", "classification")
+
+    def __init__(self, bundle, pipeline, oracles, classification) -> None:
+        self.bundle = bundle
+        self.pipeline = pipeline
+        self.oracles = oracles
+        self.classification = classification
+
+    @property
+    def verdict_matches(self) -> bool:
+        """Does the current pipeline verdict equal the recorded one?"""
+        return self.pipeline.verdict.value == self.bundle.pipeline_verdict
+
+    def format(self) -> str:
+        lines = [
+            f"bundle: {self.bundle.case.case_id} ({self.bundle.kind})",
+            f"recorded verdict: {self.bundle.pipeline_verdict}",
+            f"current verdict:  {self.pipeline.verdict.value} "
+            f"({self.pipeline.num_states} states, "
+            f"{self.pipeline.elapsed:.3f}s)",
+            f"current agreement: {self.classification.status.value}",
+        ]
+        if self.classification.conflicts:
+            lines.append(
+                "conflicting oracles: "
+                + ", ".join(self.classification.conflicts)
+            )
+        for note in self.classification.notes:
+            lines.append(f"note: {note}")
+        lines.append(
+            "verdict match: " + ("yes" if self.verdict_matches else "NO")
+        )
+        return "\n".join(lines)
+
+
+def replay_bundle(
+    bundle: ReproBundle,
+    *,
+    max_states: Optional[int] = None,
+    fault: Union[FaultFn, str, None] = None,
+) -> ReplayResult:
+    """Re-run the pipeline and oracles on a bundle's stored case.
+
+    ``fault`` defaults to none -- replaying a disagreement bundle on a
+    *fixed* pipeline is exactly how a fix is confirmed.  Pass the
+    original fault (name or callable) back in to reproduce the
+    historical failure.
+    """
+    if isinstance(fault, str):
+        from repro.oracle.faults import get_fault
+
+        fault = get_fault(fault)
+    budget = max_states if max_states is not None else bundle.max_states
+    pipeline = run_pipeline(bundle.case, max_states=budget, fault=fault)
+    oracles = classical_verdicts(bundle.case)
+    classification = classify(pipeline, oracles)
+    return ReplayResult(bundle, pipeline, oracles, classification)

@@ -1,0 +1,197 @@
+"""One differential-testing case: a task set plus its provenance.
+
+A case is the unit the oracle harness generates, analyzes, shrinks and
+persists.  Its single source of truth is the explicit task list (the
+shrinker mutates it); the generator name, seed and parameters are
+provenance metadata that make the original draw reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.aadl.instance import SystemInstance
+from repro.aadl.printer import format_model
+from repro.aadl.properties import SchedulingProtocol
+from repro.errors import SchedError
+from repro.sched.taskmodel import PeriodicTask, TaskSet
+from repro.workloads.generators import task_set_builder
+from repro.workloads.taskgen import generate_task_set
+
+
+def _task_to_dict(task: PeriodicTask) -> Dict[str, Any]:
+    return {
+        "name": task.name,
+        "wcet": task.wcet,
+        "period": task.period,
+        "deadline": task.deadline,
+        "priority": task.priority,
+        "bcet": task.bcet,
+        "offset": task.offset,
+    }
+
+
+def _task_from_dict(data: Dict[str, Any]) -> PeriodicTask:
+    return PeriodicTask(
+        data["name"],
+        wcet=data["wcet"],
+        period=data["period"],
+        deadline=data.get("deadline"),
+        priority=data.get("priority"),
+        bcet=data.get("bcet"),
+        offset=data.get("offset", 0),
+    )
+
+
+class OracleCase:
+    """A task set under a scheduling protocol, with reproducible origin.
+
+    Attributes:
+        case_id: stable identifier (``<generator>-<seed>`` for generated
+            cases); used as the repro-bundle file name.
+        generator: name in :data:`repro.workloads.GENERATORS`, or
+            ``"manual"`` for hand-built cases.
+        seed: the seed of the original draw (``None`` for manual cases).
+        params: keyword arguments of the original draw (``n``,
+            ``utilization``, period pool overrides, ...).
+        scheduling: AADL ``Scheduling_Protocol`` value (``"RMS"``,
+            ``"DMS"``, ``"EDF"``, ...).
+        tasks: the explicit task list (source of truth; survives
+            shrinking while the provenance fields describe the original).
+    """
+
+    def __init__(
+        self,
+        *,
+        case_id: str,
+        generator: str,
+        seed: Optional[int],
+        params: Dict[str, Any],
+        scheduling: str,
+        tasks: List[Dict[str, Any]],
+    ) -> None:
+        SchedulingProtocol(scheduling)  # validate early
+        self.case_id = case_id
+        self.generator = generator
+        self.seed = seed
+        self.params = dict(params)
+        self.scheduling = scheduling
+        self.tasks = [dict(task) for task in tasks]
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        generator: str,
+        seed: int,
+        *,
+        n: int,
+        utilization: float,
+        scheduling: str,
+        **params: Any,
+    ) -> "OracleCase":
+        """Draw a case from a named workload generator."""
+        tasks = generate_task_set(
+            generator,
+            n,
+            utilization,
+            rng=np.random.default_rng(seed),
+            **params,
+        )
+        return cls(
+            case_id=f"{generator}-{seed}",
+            generator=generator,
+            seed=seed,
+            params={"n": n, "utilization": utilization, **params},
+            scheduling=scheduling,
+            tasks=[_task_to_dict(task) for task in tasks],
+        )
+
+    @classmethod
+    def from_task_set(
+        cls,
+        tasks: TaskSet,
+        *,
+        scheduling: str,
+        case_id: str = "manual",
+    ) -> "OracleCase":
+        """Wrap an explicit task set (corpus seeding, tests)."""
+        return cls(
+            case_id=case_id,
+            generator="manual",
+            seed=None,
+            params={},
+            scheduling=scheduling,
+            tasks=[_task_to_dict(task) for task in tasks],
+        )
+
+    def with_tasks(self, tasks: TaskSet) -> "OracleCase":
+        """A copy of this case with a different task list (shrinking)."""
+        return OracleCase(
+            case_id=self.case_id,
+            generator=self.generator,
+            seed=self.seed,
+            params=self.params,
+            scheduling=self.scheduling,
+            tasks=[_task_to_dict(task) for task in tasks],
+        )
+
+    # -- materialization ------------------------------------------------
+
+    def task_set(self) -> TaskSet:
+        """The explicit task set (validates the task invariants)."""
+        return TaskSet([_task_from_dict(task) for task in self.tasks])
+
+    def protocol(self) -> SchedulingProtocol:
+        return SchedulingProtocol(self.scheduling)
+
+    def system(self) -> SystemInstance:
+        """The case as a bound single-processor AADL instance."""
+        return task_set_builder(
+            self.task_set(), scheduling=self.protocol()
+        ).instantiate()
+
+    def aadl_text(self) -> str:
+        """AADL source of the case (round-trips through the parser)."""
+        return format_model(
+            task_set_builder(
+                self.task_set(), scheduling=self.protocol()
+            ).declarative()
+        )
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "case_id": self.case_id,
+            "generator": self.generator,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "scheduling": self.scheduling,
+            "tasks": [dict(task) for task in self.tasks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "OracleCase":
+        missing = {"case_id", "generator", "scheduling", "tasks"} - set(data)
+        if missing:
+            raise SchedError(
+                f"oracle case is missing fields: {sorted(missing)}"
+            )
+        return cls(
+            case_id=data["case_id"],
+            generator=data["generator"],
+            seed=data.get("seed"),
+            params=data.get("params", {}),
+            scheduling=data["scheduling"],
+            tasks=data["tasks"],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"OracleCase({self.case_id!r}, {self.scheduling}, "
+            f"{len(self.tasks)} task(s))"
+        )

@@ -1,0 +1,192 @@
+"""Counterexample shrinking for oracle disagreements.
+
+When the pipeline and a classical oracle disagree, the raw random case
+is rarely the story: a 5-task draw usually hides a 1-2 task kernel.  The
+shrinker delta-debugs the task set toward a minimal reproducer with a
+fixed, deterministic reduction order:
+
+1. drop whole tasks (one at a time, first-to-last);
+2. shrink WCETs toward 1 (jump to 1, then halve, then decrement);
+3. shrink periods toward the smallest value in the case's period pool;
+4. normalize: deadline back to the period, offset to zero.
+
+A reduction is kept iff the caller's ``is_interesting`` predicate still
+holds (for campaigns: the disagreement persists).  Every candidate is
+validated through the task-model invariants; illegal mutants are simply
+skipped.  The number of predicate evaluations is capped so a pathological
+case cannot stall a campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.errors import SchedError
+from repro.oracle.case import OracleCase
+from repro.sched.taskmodel import PeriodicTask, TaskSet
+
+IsInteresting = Callable[[OracleCase], bool]
+
+
+class ShrinkResult:
+    """The minimal case found, with accounting of the search."""
+
+    __slots__ = ("case", "evaluations", "reductions", "exhausted")
+
+    def __init__(
+        self,
+        case: OracleCase,
+        evaluations: int,
+        reductions: int,
+        exhausted: bool,
+    ) -> None:
+        self.case = case
+        #: predicate evaluations spent
+        self.evaluations = evaluations
+        #: reductions accepted
+        self.reductions = reductions
+        #: True when the evaluation budget ran out before a fixpoint
+        self.exhausted = exhausted
+
+    def __repr__(self) -> str:
+        return (
+            f"ShrinkResult({len(self.case.tasks)} task(s), "
+            f"{self.reductions} reduction(s), "
+            f"{self.evaluations} evaluation(s))"
+        )
+
+
+def _wcet_candidates(wcet: int) -> List[int]:
+    candidates = []
+    for value in (1, wcet // 2, wcet - 1):
+        if 1 <= value < wcet and value not in candidates:
+            candidates.append(value)
+    return candidates
+
+
+def _period_candidates(period: int, pool: List[int]) -> List[int]:
+    return [value for value in pool if value < period]
+
+
+def _rebuild(task: PeriodicTask, **overrides) -> Optional[PeriodicTask]:
+    """A mutated copy of ``task``, or None when the mutation violates the
+    task-model invariants (deadline bounds, offset range, ...)."""
+    fields = {
+        "wcet": task.wcet,
+        "period": task.period,
+        "deadline": task.deadline,
+        "priority": task.priority,
+        "bcet": task.bcet,
+        "offset": task.offset,
+    }
+    fields.update(overrides)
+    # Mutations that change the period drag the dependent fields along.
+    fields["deadline"] = min(fields["deadline"], fields["period"])
+    fields["bcet"] = min(fields["bcet"], fields["wcet"])
+    if fields["offset"] >= fields["period"]:
+        fields["offset"] = 0
+    try:
+        return PeriodicTask(task.name, **fields)
+    except SchedError:
+        return None
+
+
+def shrink_case(
+    case: OracleCase,
+    is_interesting: IsInteresting,
+    *,
+    max_evaluations: int = 400,
+    period_pool: Optional[Iterable[int]] = None,
+) -> ShrinkResult:
+    """Delta-debug ``case`` to a minimal still-interesting reproducer.
+
+    ``case`` itself must satisfy ``is_interesting`` (the caller has just
+    observed the disagreement).  ``period_pool`` defaults to the set of
+    periods present in the case.
+    """
+    current = case
+    tasks = list(current.task_set())
+    pool = sorted(
+        set(period_pool) if period_pool is not None
+        else {task.period for task in tasks}
+    )
+
+    evaluations = 0
+    reductions = 0
+
+    def try_accept(candidate_tasks: List[PeriodicTask]) -> bool:
+        nonlocal current, evaluations, reductions
+        if not candidate_tasks:
+            return False
+        try:
+            candidate = current.with_tasks(TaskSet(candidate_tasks))
+        except SchedError:
+            return False
+        evaluations += 1
+        if is_interesting(candidate):
+            current = candidate
+            reductions += 1
+            return True
+        return False
+
+    def budget_left() -> bool:
+        return evaluations < max_evaluations
+
+    progress = True
+    while progress and budget_left():
+        progress = False
+        tasks = list(current.task_set())
+
+        # 1. Drop whole tasks.
+        index = 0
+        while index < len(tasks) and budget_left():
+            if try_accept(tasks[:index] + tasks[index + 1:]):
+                tasks = list(current.task_set())
+                progress = True
+            else:
+                index += 1
+
+        # 2. Shrink WCETs toward 1.
+        for index, task in enumerate(list(tasks)):
+            for wcet in _wcet_candidates(task.wcet):
+                if not budget_left():
+                    break
+                mutant = _rebuild(task, wcet=wcet)
+                if mutant is None:
+                    continue
+                if try_accept(tasks[:index] + [mutant] + tasks[index + 1:]):
+                    tasks = list(current.task_set())
+                    progress = True
+                    break
+
+        # 3. Shrink periods toward the pool minimum.
+        for index, task in enumerate(list(tasks)):
+            for period in _period_candidates(task.period, pool):
+                if not budget_left():
+                    break
+                mutant = _rebuild(task, period=period)
+                if mutant is None:
+                    continue
+                if try_accept(tasks[:index] + [mutant] + tasks[index + 1:]):
+                    tasks = list(current.task_set())
+                    progress = True
+                    break
+
+        # 4. Normalize deadlines and offsets.
+        for index, task in enumerate(list(tasks)):
+            if not budget_left():
+                break
+            simplified = []
+            if task.deadline != task.period:
+                simplified.append(_rebuild(task, deadline=task.period))
+            if task.offset != 0:
+                simplified.append(_rebuild(task, offset=0))
+            for mutant in simplified:
+                if mutant is None:
+                    continue
+                if try_accept(tasks[:index] + [mutant] + tasks[index + 1:]):
+                    tasks = list(current.task_set())
+                    progress = True
+                    break
+
+    return ShrinkResult(current, evaluations, reductions, not budget_left())

@@ -34,7 +34,13 @@ from repro.versa.queries import (
 )
 from repro.versa.minimize import bisimulation_quotient, minimized_lts
 from repro.versa.weak import weak_bisimulation_quotient
-from repro.versa.walk import random_walk, walk_statistics, uniform_policy, event_first_policy
+from repro.versa.walk import (
+    event_first_policy,
+    multi_walk,
+    random_walk,
+    uniform_policy,
+    walk_statistics,
+)
 
 __all__ = [
     "Explorer",
@@ -46,6 +52,7 @@ __all__ = [
     "deadlock_free",
     "event_first_policy",
     "minimized_lts",
+    "multi_walk",
     "random_walk",
     "uniform_policy",
     "walk_statistics",

@@ -16,7 +16,7 @@ other search.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -79,6 +79,35 @@ def random_walk(
     )
 
 
+def multi_walk(
+    system: ClosedSystem,
+    *,
+    walks: int = 20,
+    max_steps: int = 200,
+    seed: Optional[int] = None,
+    policy: Policy = uniform_policy,
+    prioritized: bool = True,
+) -> List[Trace]:
+    """``walks`` independent random walks, reproducibly seeded.
+
+    Every child walk's seed is drawn from one generator seeded with
+    ``seed``, so a fixed seed makes the whole batch -- every trace,
+    byte for byte -- deterministic.  The differential oracle and the
+    statistical smoke tests both rely on that determinism.
+    """
+    rng = np.random.default_rng(seed)
+    return [
+        random_walk(
+            system,
+            max_steps=max_steps,
+            seed=int(rng.integers(2**31)),
+            policy=policy,
+            prioritized=prioritized,
+        )
+        for _ in range(walks)
+    ]
+
+
 def walk_statistics(
     system: ClosedSystem,
     *,
@@ -92,15 +121,12 @@ def walk_statistics(
     unschedulability (witnessed), but zero proves nothing -- use the
     explorer for the real verdict.
     """
-    rng = np.random.default_rng(seed)
+    traces = multi_walk(
+        system, walks=walks, max_steps=max_steps, seed=seed
+    )
     deadlocks = 0
     durations = []
-    for _ in range(walks):
-        trace = random_walk(
-            system,
-            max_steps=max_steps,
-            seed=int(rng.integers(2**31)),
-        )
+    for trace in traces:
         durations.append(trace.duration)
         if len(trace) < max_steps:
             deadlocks += 1

@@ -1,18 +1,32 @@
 """Synthetic workload generation for benchmarks and property tests."""
 
 from repro.workloads.uunifast import uunifast, integer_task_set
+from repro.workloads.taskgen import (
+    GENERATORS,
+    constrained_deadline_task_set,
+    generate_task_set,
+    harmonic_task_set,
+    offset_task_set,
+)
 from repro.workloads.generators import (
     chain_system,
     multiprocessor_system,
     random_periodic_system,
+    task_set_builder,
     task_set_to_system,
 )
 
 __all__ = [
+    "GENERATORS",
     "chain_system",
+    "constrained_deadline_task_set",
+    "generate_task_set",
+    "harmonic_task_set",
     "integer_task_set",
     "multiprocessor_system",
+    "offset_task_set",
     "random_periodic_system",
+    "task_set_builder",
     "task_set_to_system",
     "uunifast",
 ]

@@ -18,13 +18,16 @@ from repro.sched.taskmodel import TaskSet
 from repro.workloads.uunifast import integer_task_set
 
 
-def task_set_to_system(
+def task_set_builder(
     tasks: TaskSet,
     *,
     scheduling: SchedulingProtocol = SchedulingProtocol.RATE_MONOTONIC,
     name: str = "Synthetic",
-) -> SystemInstance:
-    """Wrap a task set as a single-processor AADL system (1 ms quantum)."""
+) -> SystemBuilder:
+    """A builder wrapping a task set as a single-processor AADL system
+    (1 ms quantum); exposed separately so callers can also reach the
+    declarative model (e.g. the oracle's repro bundles persist its AADL
+    text)."""
     builder = SystemBuilder(name)
     cpu = builder.processor("cpu", scheduling=scheduling)
     for task in tasks:
@@ -36,8 +39,21 @@ def task_set_to_system(
             deadline=ms(task.deadline),
             processor=cpu,
             priority=task.priority,
+            offset=ms(task.offset) if task.offset else None,
         )
-    return builder.instantiate()
+    return builder
+
+
+def task_set_to_system(
+    tasks: TaskSet,
+    *,
+    scheduling: SchedulingProtocol = SchedulingProtocol.RATE_MONOTONIC,
+    name: str = "Synthetic",
+) -> SystemInstance:
+    """Wrap a task set as a single-processor AADL system (1 ms quantum)."""
+    return task_set_builder(
+        tasks, scheduling=scheduling, name=name
+    ).instantiate()
 
 
 def random_periodic_system(

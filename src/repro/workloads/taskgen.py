@@ -1,0 +1,173 @@
+"""Parameterized random task-set generators for differential testing.
+
+The oracle campaigns (:mod:`repro.oracle`) need workload families that
+probe *different* corners of the schedulability landscape, each with a
+known relationship to the classical analyses:
+
+* ``uniform`` -- :func:`repro.workloads.uunifast.integer_task_set`:
+  implicit deadlines, synchronous release.  RTA / the EDF demand
+  criterion / one simulated hyperperiod are all *exact* here.
+* ``harmonic`` -- periods form a divisibility chain, where RM is
+  optimal (schedulable iff U <= 1) and full-utilization boundary cases
+  are common rather than exceptional.
+* ``constrained`` -- deadlines drawn uniformly in ``[C, T]``; the
+  utilization bounds no longer apply, RTA under deadline-monotonic
+  ordering and the demand criterion stay exact.
+* ``offset`` -- release offsets drawn in ``[0, T)``; the synchronous
+  analyses (RTA, demand) become *sufficient only* (the critical-instant
+  worst case may never occur), and a simulated ``O_max + 2H`` window is
+  the exact reference.
+
+Every generator is a pure function of an explicit numpy generator, so a
+``(generator name, seed, params)`` triple reproduces its task set
+byte-for-byte -- the contract the oracle's repro bundles rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SchedError
+from repro.sched.taskmodel import PeriodicTask, TaskSet
+from repro.workloads.uunifast import DEFAULT_PERIODS, integer_task_set, uunifast
+
+#: Default harmonic chain: every period divides every larger one, so the
+#: hyperperiod equals the largest period.
+HARMONIC_PERIODS: Tuple[int, ...] = (4, 8, 16)
+
+#: Generator signature shared by every entry in :data:`GENERATORS`.
+GeneratorFn = Callable[..., TaskSet]
+
+
+def harmonic_task_set(
+    n: int,
+    total_utilization: float,
+    *,
+    periods: Sequence[int] = HARMONIC_PERIODS,
+    rng: Optional[np.random.Generator] = None,
+    name_prefix: str = "t",
+) -> TaskSet:
+    """Integer task set over a harmonic period chain.
+
+    ``periods`` must form a divisibility chain (each divides the next);
+    RM is an optimal priority assignment on such sets, so schedulable
+    boundary cases sit exactly at U = 1.
+    """
+    ordered = sorted(periods)
+    for small, large in zip(ordered, ordered[1:]):
+        if large % small != 0:
+            raise SchedError(
+                f"harmonic period pool must form a divisibility chain, "
+                f"got {small} and {large}"
+            )
+    return integer_task_set(
+        n,
+        total_utilization,
+        periods=ordered,
+        rng=rng or np.random.default_rng(),
+        name_prefix=name_prefix,
+    )
+
+
+def constrained_deadline_task_set(
+    n: int,
+    total_utilization: float,
+    *,
+    periods: Sequence[int] = DEFAULT_PERIODS,
+    rng: Optional[np.random.Generator] = None,
+    name_prefix: str = "t",
+) -> TaskSet:
+    """Integer task set with deadlines drawn uniformly in ``[C, T]``.
+
+    Exercises the constrained-deadline regime where the utilization
+    bounds are inapplicable and deadline-monotonic ordering (not RM) is
+    the optimal fixed-priority assignment.
+    """
+    rng = rng or np.random.default_rng()
+    base = integer_task_set(
+        n, total_utilization, periods=periods, rng=rng,
+        name_prefix=name_prefix,
+    )
+    tasks: List[PeriodicTask] = []
+    for task in base:
+        deadline = int(rng.integers(task.wcet, task.period + 1))
+        tasks.append(
+            PeriodicTask(
+                task.name,
+                wcet=task.wcet,
+                period=task.period,
+                deadline=deadline,
+            )
+        )
+    return TaskSet(tasks)
+
+
+def offset_task_set(
+    n: int,
+    total_utilization: float,
+    *,
+    periods: Sequence[int] = DEFAULT_PERIODS,
+    rng: Optional[np.random.Generator] = None,
+    name_prefix: str = "t",
+) -> TaskSet:
+    """Integer task set with release offsets drawn uniformly in ``[0, T)``.
+
+    Offsets break the synchronous critical instant: RTA and the demand
+    criterion become sufficient-only, and a simulation over
+    ``max(offset) + 2 * hyperperiod`` is the exact reference.
+    """
+    rng = rng or np.random.default_rng()
+    base = integer_task_set(
+        n, total_utilization, periods=periods, rng=rng,
+        name_prefix=name_prefix,
+    )
+    tasks: List[PeriodicTask] = []
+    for task in base:
+        offset = int(rng.integers(0, task.period))
+        tasks.append(
+            PeriodicTask(
+                task.name,
+                wcet=task.wcet,
+                period=task.period,
+                offset=offset,
+            )
+        )
+    return TaskSet(tasks)
+
+
+#: Registry keyed by the names used in oracle campaigns and repro bundles.
+GENERATORS: Dict[str, GeneratorFn] = {
+    "uniform": integer_task_set,
+    "harmonic": harmonic_task_set,
+    "constrained": constrained_deadline_task_set,
+    "offset": offset_task_set,
+}
+
+
+def generate_task_set(
+    generator: str,
+    n: int,
+    total_utilization: float,
+    *,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    **params,
+) -> TaskSet:
+    """Draw a task set from a named generator.
+
+    Either ``seed`` or an explicit ``rng`` fixes the draw; a given
+    ``(generator, seed, n, total_utilization, params)`` tuple is fully
+    reproducible.
+    """
+    try:
+        fn = GENERATORS[generator]
+    except KeyError:
+        raise SchedError(
+            f"unknown task-set generator {generator!r}; "
+            f"choose from {sorted(GENERATORS)}"
+        ) from None
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    return fn(n, total_utilization, rng=rng, **params)

@@ -1,8 +1,25 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures, helpers and Hypothesis configuration.
+
+Hypothesis settings live here once, as registered profiles, instead of
+being repeated per file:
+
+* ``dev`` (default) -- moderate example counts for local iteration;
+* ``ci`` -- what the CI workflow runs (``HYPOTHESIS_PROFILE=ci``);
+* ``nightly`` -- deep example counts for the scheduled nightly job.
+
+All profiles disable the per-example deadline (ACSR explorations have
+high variance), tolerate slow data generation, and print the
+``@reproduce_failure`` blob so any shrunk failure can be replayed
+exactly.  Individual tests override only ``max_examples`` when their
+cost profile genuinely differs.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.acsr import (
     ProcessEnv,
@@ -15,6 +32,17 @@ from repro.acsr import (
     parallel,
     send,
 )
+
+_COMMON = dict(
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+settings.register_profile("dev", max_examples=50, **_COMMON)
+settings.register_profile("ci", max_examples=100, **_COMMON)
+settings.register_profile("nightly", max_examples=400, **_COMMON)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

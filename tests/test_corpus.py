@@ -1,0 +1,79 @@
+"""Replay the committed regression corpus.
+
+Every bundle under ``tests/corpus/`` is a fully agreed (or witnessed)
+historical case; this suite re-runs each through today's pipeline and
+oracles and demands the recorded verdict and agreement status hold.
+A failure here means a behaviour change regressed a case the harness
+once settled -- inspect with ``repro oracle replay <bundle>``.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.oracle import AgreementStatus, ReproBundle, replay_bundle
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+BUNDLES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def bundle_id(path):
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+def test_corpus_is_populated():
+    assert len(BUNDLES) >= 3, (
+        "the regression corpus must hold at least three bundles"
+    )
+
+
+@pytest.mark.parametrize("path", BUNDLES, ids=bundle_id)
+def test_bundle_replays_to_recorded_verdict(path):
+    bundle = ReproBundle.load(path)
+    assert bundle.kind == "regression"
+    result = replay_bundle(bundle)
+    assert result.verdict_matches, (
+        f"replay verdict {result.pipeline.verdict.value!r} != recorded "
+        f"{bundle.pipeline_verdict!r}; inspect with: "
+        f"repro oracle replay {path}"
+    )
+    assert (
+        result.classification.status is AgreementStatus.AGREED
+    ), result.classification.conflicts
+
+
+@pytest.mark.parametrize("path", BUNDLES, ids=bundle_id)
+def test_bundle_aadl_text_is_current(path):
+    """The stored AADL text must match what today's builder would emit
+    for the stored task set (bundles double as golden files)."""
+    bundle = ReproBundle.load(path)
+    assert bundle.aadl == bundle.case.aadl_text()
+
+
+def test_corpus_covers_interesting_regimes():
+    cases = {bundle_id(path): ReproBundle.load(path) for path in BUNDLES}
+    utilizations = {
+        name: sum(
+            task["wcet"] / task["period"]
+            for task in bundle.case.tasks
+        )
+        for name, bundle in cases.items()
+    }
+    assert any(abs(u - 1.0) < 1e-9 for u in utilizations.values()), (
+        "corpus must include a boundary-utilization case"
+    )
+    assert any(
+        task["deadline"] < task["period"]
+        for bundle in cases.values()
+        for task in bundle.case.tasks
+    ), "corpus must include a constrained-deadline case"
+    assert any(
+        any(task["offset"] > 0 for task in bundle.case.tasks)
+        and bundle.pipeline_verdict == "schedulable"
+        for bundle in cases.values()
+    ), "corpus must include an offset-release case"
+    assert any(
+        bundle.pipeline_verdict == "unschedulable"
+        for bundle in cases.values()
+    ), "corpus must include an unschedulable witness"

@@ -82,7 +82,6 @@ class TestPreemptionOrder:
             assert not preempts(b, a)
 
     @given(labels, labels, labels)
-    @settings(max_examples=300)
     def test_transitive(self, a, b, c):
         if preempts(a, b) and preempts(b, c):
             assert preempts(a, c)
@@ -98,7 +97,6 @@ class TestPreemptionOrder:
 
 class TestSemanticsInvariants:
     @given(closed_terms())
-    @settings(max_examples=200, deadline=None)
     def test_prioritized_subset_of_unprioritized(self, term):
         env = ProcessEnv()
         all_steps = transitions(term, env)
@@ -106,7 +104,6 @@ class TestSemanticsInvariants:
         assert set(pruned) <= set(all_steps)
 
     @given(closed_terms())
-    @settings(max_examples=200, deadline=None)
     def test_prioritized_nonempty_iff_unprioritized_nonempty(self, term):
         env = ProcessEnv()
         all_steps = transitions(term, env)
@@ -114,7 +111,6 @@ class TestSemanticsInvariants:
         assert bool(all_steps) == bool(pruned)
 
     @given(closed_terms())
-    @settings(max_examples=200, deadline=None)
     def test_parallel_timed_steps_have_merged_resources(self, term):
         """Every timed step of a parallel term uses pairwise-disjoint
         child resources (Par3): labels never double-claim a resource --
@@ -126,7 +122,6 @@ class TestSemanticsInvariants:
                 assert len(names) == len(set(names))
 
     @given(closed_terms(), st.sets(event_names, max_size=2))
-    @settings(max_examples=200, deadline=None)
     def test_restriction_blocks_named_events(self, term, names):
         env = ProcessEnv()
         restricted = restrict(term, names)
@@ -135,13 +130,11 @@ class TestSemanticsInvariants:
                 assert label.name not in names
 
     @given(closed_terms())
-    @settings(max_examples=100, deadline=None)
     def test_transitions_deterministic(self, term):
         env = ProcessEnv()
         assert transitions(term, env) == transitions(term, env)
 
     @given(closed_terms(), closed_terms())
-    @settings(max_examples=100, deadline=None)
     def test_choice_commutative_semantics(self, a, b):
         env = ProcessEnv()
         left = set(transitions(choice(a, b), env))
@@ -149,7 +142,7 @@ class TestSemanticsInvariants:
         assert left == right
 
     @given(closed_terms(), closed_terms())
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=60)  # quadratic blow-up: cap even nightly
     def test_parallel_commutative_semantics(self, a, b):
         env = ProcessEnv()
         left = {label for label, _ in transitions(parallel(a, b), env)}
@@ -162,6 +155,5 @@ class TestSemanticsInvariants:
 
 class TestRoundTripProperty:
     @given(closed_terms())
-    @settings(max_examples=300, deadline=None)
     def test_parse_of_print_is_identity(self, term):
         assert parse_term(format_term(term)) is term

@@ -1,20 +1,26 @@
 """Cross-validation properties: the ACSR verdict vs classical oracles.
 
 The paper's S5 theorem -- deadlock-freedom iff all deadlines met -- implies
-that on the classical regime (synchronous periodic task sets,
-deterministic execution times) the exhaustive ACSR analysis must agree
-exactly with response-time analysis (fixed priority) and with the
-processor-demand criterion (EDF).  These hypothesis tests draw random
-integer task sets and check the agreement, plus internal consistency of
-the baselines themselves.
+that on the classical regime the exhaustive ACSR analysis must agree
+with response-time analysis (fixed priority), the processor-demand
+criterion (EDF) and a simulated worst-case window.  These properties now
+ride on the differential oracle harness (:mod:`repro.oracle`): Hypothesis
+draws ``(generator, seed, params)`` triples, the harness evaluates and
+classifies the agreement, and any disagreement is delta-debugged to a
+minimal reproducer whose replay command lands in the failure message.
 """
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, strategies as st
 
-from repro.analysis import Verdict, analyze_model
-from repro.aadl.properties import SchedulingProtocol
+from repro.oracle import (
+    AgreementStatus,
+    OracleCase,
+    ReproBundle,
+    evaluate_case,
+    shrink_case,
+)
 from repro.sched import (
     PeriodicTask,
     TaskSet,
@@ -24,9 +30,99 @@ from repro.sched import (
     rta_schedulable,
     simulate,
 )
-from repro.workloads import task_set_to_system, uunifast
+from repro.workloads import GENERATORS, uunifast
 
-# Small parameters keep hyperperiods (and ACSR state spaces) tractable.
+#: Where disagreement bundles shrunk out of Hypothesis failures land.
+HYPOTHESIS_BUNDLE_DIR = "artifacts/oracle/hypothesis"
+
+#: Small periods keep hyperperiods (and ACSR state spaces) tractable.
+SMALL_PERIODS = (4, 6, 8, 12)
+
+
+def check_agreement(case: OracleCase, *, max_states: int = 300_000) -> None:
+    """Evaluate a case; on disagreement, shrink it, persist a replayable
+    bundle and fail with the replay command."""
+    pipeline, oracles, classification = evaluate_case(
+        case, max_states=max_states
+    )
+    if classification.status is AgreementStatus.AGREED:
+        return
+    if classification.status is AgreementStatus.UNKNOWN:
+        pytest.fail(
+            f"{case.case_id}: exploration budget exhausted "
+            f"({pipeline.num_states} states) -- raise max_states for "
+            f"this property"
+        )
+
+    def still_disagrees(candidate: OracleCase) -> bool:
+        _, _, cls = evaluate_case(candidate, max_states=max_states)
+        return cls.status is AgreementStatus.DISAGREED
+
+    shrunk = shrink_case(case, still_disagrees).case
+    s_pipeline, s_oracles, s_classification = evaluate_case(
+        shrunk, max_states=max_states
+    )
+    bundle = ReproBundle.from_evaluation(
+        kind="disagreement",
+        case=shrunk,
+        pipeline=s_pipeline,
+        oracles=s_oracles,
+        classification=s_classification,
+        max_states=max_states,
+        profile="hypothesis",
+        original_case=case,
+    )
+    path = bundle.save(HYPOTHESIS_BUNDLE_DIR)
+    pytest.fail(
+        f"{case.case_id}: pipeline verdict {s_pipeline.verdict.value} "
+        f"conflicts with {s_classification.conflicts}; shrunk to "
+        f"{len(shrunk.tasks)} task(s); replay with: "
+        f"{bundle.replay_command(path)}"
+    )
+
+
+@st.composite
+def oracle_cases(draw) -> OracleCase:
+    """A seeded draw from the oracle's workload generators."""
+    generator = draw(st.sampled_from(sorted(GENERATORS)))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    n = draw(st.integers(min_value=1, max_value=4))
+    utilization = draw(
+        st.floats(min_value=0.3, max_value=1.15, allow_nan=False)
+    )
+    scheduling = draw(st.sampled_from(["RMS", "DMS", "EDF"]))
+    params = {} if generator == "harmonic" else {"periods": SMALL_PERIODS}
+    return OracleCase.generate(
+        generator,
+        seed,
+        n=n,
+        utilization=round(utilization, 4),
+        scheduling=scheduling,
+        **params,
+    )
+
+
+class TestAcsrAgreesWithOracles:
+    @given(oracle_cases())
+    def test_pipeline_agrees_with_classical_oracles(self, case):
+        check_agreement(case)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_boundary_utilization_agreement(self, seed):
+        """Draws pinned to the U = 1 boundary, where quantization and
+        off-by-one interference bugs would cluster."""
+        case = OracleCase.generate(
+            "harmonic",
+            seed,
+            n=3,
+            utilization=1.0,
+            scheduling="EDF",
+        )
+        check_agreement(case)
+
+
+# -- classical baselines against each other (no exploration involved) ---
+
 small_tasks = st.lists(
     st.tuples(
         st.integers(min_value=1, max_value=3),   # wcet
@@ -44,43 +140,8 @@ def build_task_set(specs):
     return TaskSet(tasks)
 
 
-class TestAcsrAgreesWithOracles:
-    @given(small_tasks)
-    @settings(
-        max_examples=25,
-        deadline=None,
-        suppress_health_check=[HealthCheck.too_slow],
-    )
-    def test_rm_agreement_with_rta(self, specs):
-        tasks = build_task_set(specs)
-        instance = task_set_to_system(
-            tasks, scheduling=SchedulingProtocol.RATE_MONOTONIC
-        )
-        expected = rta_schedulable(tasks, ordering="rate")
-        result = analyze_model(instance, max_states=300_000)
-        assert result.verdict is not Verdict.UNKNOWN
-        assert result.schedulable == expected
-
-    @given(small_tasks)
-    @settings(
-        max_examples=15,
-        deadline=None,
-        suppress_health_check=[HealthCheck.too_slow],
-    )
-    def test_edf_agreement_with_demand(self, specs):
-        tasks = build_task_set(specs)
-        instance = task_set_to_system(
-            tasks, scheduling=SchedulingProtocol.EARLIEST_DEADLINE_FIRST
-        )
-        expected = edf_schedulable(tasks)
-        result = analyze_model(instance, max_states=300_000)
-        assert result.verdict is not Verdict.UNKNOWN
-        assert result.schedulable == expected
-
-
 class TestBaselineConsistency:
     @given(small_tasks)
-    @settings(max_examples=100, deadline=None)
     def test_ll_implies_rta(self, specs):
         """The LL bound is sufficient: whatever it accepts, exact RTA
         accepts too."""
@@ -89,21 +150,18 @@ class TestBaselineConsistency:
             assert rta_schedulable(tasks, ordering="rate")
 
     @given(small_tasks)
-    @settings(max_examples=100, deadline=None)
     def test_ll_implies_hyperbolic(self, specs):
         tasks = build_task_set(specs)
         if liu_layland_test(tasks):
             assert hyperbolic_bound_test(tasks)
 
     @given(small_tasks)
-    @settings(max_examples=100, deadline=None)
     def test_hyperbolic_implies_rta(self, specs):
         tasks = build_task_set(specs)
         if hyperbolic_bound_test(tasks):
             assert rta_schedulable(tasks, ordering="rate")
 
     @given(small_tasks)
-    @settings(max_examples=100, deadline=None)
     def test_rm_implies_edf(self, specs):
         """EDF is optimal: anything RM schedules, EDF schedules."""
         tasks = build_task_set(specs)
@@ -111,7 +169,6 @@ class TestBaselineConsistency:
             assert edf_schedulable(tasks)
 
     @given(small_tasks)
-    @settings(max_examples=100, deadline=None)
     def test_simulation_matches_rta(self, specs):
         """Synchronous deterministic sets: one simulated hyperperiod is
         the worst case, so sim and RTA agree."""
@@ -121,7 +178,6 @@ class TestBaselineConsistency:
         )
 
     @given(small_tasks)
-    @settings(max_examples=100, deadline=None)
     def test_simulation_matches_demand_for_edf(self, specs):
         tasks = build_task_set(specs)
         assert simulate(tasks, policy="edf").schedulable == edf_schedulable(
@@ -129,7 +185,6 @@ class TestBaselineConsistency:
         )
 
     @given(small_tasks)
-    @settings(max_examples=100, deadline=None)
     def test_overutilized_never_schedulable(self, specs):
         tasks = build_task_set(specs)
         if tasks.utilization > 1.0 + 1e-9:
@@ -143,9 +198,23 @@ class TestUUniFastProperties:
         st.floats(min_value=0.05, max_value=1.0),
         st.integers(min_value=0, max_value=2**31 - 1),
     )
-    @settings(max_examples=200)
     def test_sums_and_positivity(self, n, total, seed):
         values = uunifast(n, total, np.random.default_rng(seed))
         assert len(values) == n
         assert abs(sum(values) - total) < 1e-9
         assert all(v >= 0 for v in values)
+
+    @given(
+        st.sampled_from(sorted(GENERATORS)),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_generators_are_deterministic(self, generator, seed):
+        """The bundle contract: (generator, seed, params) reproduces the
+        draw byte for byte."""
+        first = OracleCase.generate(
+            generator, seed, n=3, utilization=0.8, scheduling="RMS"
+        )
+        second = OracleCase.generate(
+            generator, seed, n=3, utilization=0.8, scheduling="RMS"
+        )
+        assert first.to_dict() == second.to_dict()

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.aadl.builder import SystemBuilder
 from repro.aadl.properties import (
@@ -38,7 +38,6 @@ quanta = st.integers(min_value=100, max_value=5_000)
 
 class TestQuantizerProperties:
     @given(durations, durations, quanta)
-    @settings(max_examples=200, deadline=None)
     def test_conservative_rounding(self, exec_us, deadline_us, quantum_us):
         exec_us = min(exec_us, deadline_us)
         thread = build_single(
@@ -57,7 +56,6 @@ class TestQuantizerProperties:
             assert timing.deadline <= timing.period
 
     @given(durations, quanta)
-    @settings(max_examples=200, deadline=None)
     def test_exactness_detection(self, exec_us, quantum_us):
         deadline_us = exec_us * 4
         thread = build_single(deadline_us, exec_us, exec_us, deadline_us)
@@ -75,7 +73,6 @@ class TestQuantizerProperties:
             assert timing.deadline * quantum_us == deadline_us
 
     @given(durations)
-    @settings(max_examples=100, deadline=None)
     def test_natural_quantum_is_exact(self, exec_us):
         deadline_us = exec_us * 3
         b = SystemBuilder("N")
@@ -106,11 +103,7 @@ small_sets = st.lists(
 
 class TestTranslationInvariants:
     @given(small_sets)
-    @settings(
-        max_examples=30,
-        deadline=None,
-        suppress_health_check=[HealthCheck.too_slow],
-    )
+    @settings(max_examples=30)  # full translation per example
     def test_counts_and_closure(self, specs):
         b = SystemBuilder("P")
         cpu = b.processor("cpu")
@@ -131,11 +124,7 @@ class TestTranslationInvariants:
         assert len(result.restricted_events) == 2 * len(specs)
 
     @given(small_sets)
-    @settings(
-        max_examples=15,
-        deadline=None,
-        suppress_health_check=[HealthCheck.too_slow],
-    )
+    @settings(max_examples=15)  # full exploration per example
     def test_exploration_time_diverges_or_deadlocks(self, specs):
         """Every reachable path either continues (time can always
         progress in a schedulable model) or ends in a deadlock; the

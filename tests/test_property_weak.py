@@ -1,6 +1,6 @@
 """Property-based tests for the weak quotient and walk invariants."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.acsr.events import EventLabel, OUT, event_label, tau_label
 from repro.versa import (
@@ -36,14 +36,12 @@ def random_lts(draw):
 
 class TestQuotientProperties:
     @given(random_lts())
-    @settings(max_examples=200, deadline=None)
     def test_weak_no_larger_than_strong(self, lts):
         strong, _ = bisimulation_quotient(lts)
         weak, _ = weak_bisimulation_quotient(lts)
         assert weak.num_states <= strong.num_states
 
     @given(random_lts())
-    @settings(max_examples=200, deadline=None)
     def test_block_maps_total_and_consistent(self, lts):
         weak, block_of = weak_bisimulation_quotient(lts)
         assert len(block_of) == lts.num_states
@@ -51,7 +49,6 @@ class TestQuotientProperties:
         assert weak.initial == block_of[lts.initial]
 
     @given(random_lts())
-    @settings(max_examples=200, deadline=None)
     def test_visible_labels_preserved(self, lts):
         """Every visible label reachable in the original appears in the
         quotient and vice versa (weak moves only erase tau)."""
@@ -71,14 +68,12 @@ class TestQuotientProperties:
         assert original_visible <= quotient_visible
 
     @given(random_lts())
-    @settings(max_examples=200, deadline=None)
     def test_strong_quotient_idempotent(self, lts):
         once, block_of = bisimulation_quotient(lts)
         twice, _ = bisimulation_quotient(once)
         assert twice.num_states == once.num_states
 
     @given(random_lts())
-    @settings(max_examples=100, deadline=None)
     def test_weak_quotient_idempotent_in_size(self, lts):
         once, _ = weak_bisimulation_quotient(lts)
         twice, _ = weak_bisimulation_quotient(once)

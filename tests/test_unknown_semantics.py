@@ -1,0 +1,140 @@
+"""Pinning the UNKNOWN contract: truncation is never silent optimism.
+
+Three promises, each load-bearing for the differential oracle:
+
+1. a budget-truncated analysis reports UNKNOWN, never SCHEDULABLE;
+2. reading ``deadlock_free`` off a truncated, deadlock-less exploration
+   emits :class:`IncompleteExplorationWarning`;
+3. seeded walks (``random_walk`` / ``multi_walk``) are byte-for-byte
+   deterministic, so a recorded seed replays the exact behaviour.
+"""
+
+import warnings
+
+import pytest
+
+from repro.acsr import ProcessEnv, choice, proc, send
+from repro.analysis import Verdict, analyze_model
+from repro.engine import IncompleteExplorationWarning, explore
+from repro.engine.budget import Budget
+from repro.versa import multi_walk, random_walk
+from repro.workloads import integer_task_set, task_set_to_system
+import numpy as np
+
+
+@pytest.fixture
+def branching_system():
+    """B = (a!,1).B + (b!,1).B -- two always-enabled transitions, so a
+    walk's path depends entirely on its seed."""
+    env = ProcessEnv()
+    env.define(
+        "B",
+        (),
+        choice(
+            send("a", 1).then(proc("B")),
+            send("b", 1).then(proc("B")),
+        ),
+    )
+    return env.close(proc("B"))
+
+
+def busy_system():
+    """A schedulable but non-trivial system (hundreds of states)."""
+    tasks = integer_task_set(
+        3, 0.9, rng=np.random.default_rng(5), periods=(4, 6, 8, 12)
+    )
+    return task_set_to_system(tasks, scheduling="RMS")
+
+
+class TestTruncationVerdict:
+    def test_tiny_budget_yields_unknown(self):
+        result = analyze_model(busy_system(), max_states=3)
+        assert result.verdict is Verdict.UNKNOWN
+        assert result.schedulable is None
+        assert result.exploration.limit_hit == "states"
+        assert not result.exploration.completed
+
+    def test_truncation_never_reports_schedulable(self):
+        """Sweep budgets from starvation up to exhaustive: every verdict
+        is either UNKNOWN (truncated) or the true one (completed) --
+        never SCHEDULABLE off a partial search."""
+        instance = busy_system()
+        full = analyze_model(instance, max_states=1_000_000)
+        assert full.verdict is Verdict.SCHEDULABLE
+        for budget in (1, 2, 5, 20, 50, full.num_states - 1):
+            partial = analyze_model(instance, max_states=budget)
+            if partial.verdict is Verdict.SCHEDULABLE:
+                assert partial.exploration.completed
+            else:
+                assert partial.verdict is Verdict.UNKNOWN
+                assert partial.exploration.limit_hit is not None
+
+    def test_deadlock_witness_survives_truncation(self):
+        """A deadlock found before the cap is a definitive verdict: the
+        budget only makes the *positive* claim unprovable."""
+        tasks = integer_task_set(
+            2, 1.4, rng=np.random.default_rng(1), periods=(4, 6, 8)
+        )
+        instance = task_set_to_system(tasks, scheduling="RMS")
+        full = analyze_model(instance)
+        assert full.verdict is Verdict.UNSCHEDULABLE
+        capped = analyze_model(
+            instance, max_states=full.num_states
+        )
+        assert capped.verdict is Verdict.UNSCHEDULABLE
+        assert capped.scenario is not None
+
+
+class TestIncompleteExplorationWarning:
+    def test_warns_on_unproven_deadlock_freedom(self, simple_system):
+        result = explore(
+            simple_system,
+            budget=Budget(max_states=2, on_limit="truncate"),
+        )
+        assert not result.completed
+        with pytest.warns(IncompleteExplorationWarning):
+            assert result.deadlock_free
+
+    def test_no_warning_on_complete_exploration(self, simple_system):
+        result = explore(simple_system)
+        assert result.completed
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert result.deadlock_free
+
+
+class TestWalkDeterminism:
+    def fingerprint(self, trace):
+        return trace.format()
+
+    def test_random_walk_deterministic_for_fixed_seed(self, simple_system):
+        first = random_walk(simple_system, max_steps=40, seed=1234)
+        second = random_walk(simple_system, max_steps=40, seed=1234)
+        assert self.fingerprint(first) == self.fingerprint(second)
+
+    def test_random_walk_seeds_differ(self, branching_system):
+        walks = [
+            self.fingerprint(
+                random_walk(branching_system, max_steps=40, seed=seed)
+            )
+            for seed in range(8)
+        ]
+        assert len(set(walks)) > 1
+
+    def test_multi_walk_deterministic_for_fixed_seed(self, branching_system):
+        first = multi_walk(
+            branching_system, walks=6, max_steps=30, seed=99
+        )
+        second = multi_walk(
+            branching_system, walks=6, max_steps=30, seed=99
+        )
+        assert [self.fingerprint(t) for t in first] == [
+            self.fingerprint(t) for t in second
+        ]
+
+    def test_multi_walk_children_are_independent(self, branching_system):
+        traces = multi_walk(
+            branching_system, walks=6, max_steps=30, seed=99
+        )
+        assert len(traces) == 6
+        assert len({self.fingerprint(t) for t in traces}) > 1
