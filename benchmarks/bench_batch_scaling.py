@@ -1,0 +1,91 @@
+"""T-BATCH: worker-pool scaling and verdict-cache reuse.
+
+Three measurements over one deterministic job list (a utilization sweep
+of oracle cases):
+
+* cold serial run (``workers=1``, no cache) -- the baseline;
+* cold pooled run (``workers=min(4, cores)``) -- same verdicts, wall
+  clock bounded by the slowest worker share.  The speedup assertion
+  only fires on multi-core machines; on one core the pool degrades to
+  the inline path by design;
+* warm cached run -- every verdict served from ``VerdictCache`` with
+  zero fresh engine work.
+"""
+
+import os
+
+import pytest
+
+from repro.batch import VerdictCache, run_batch, utilization_sweep_jobs
+
+from conftest import print_table
+
+SEED = 5506  # SAE AS5506
+UTILIZATIONS = (0.3, 0.5, 0.7, 0.9, 1.0, 1.1)
+
+
+def _jobs():
+    return utilization_sweep_jobs(
+        3,
+        UTILIZATIONS,
+        base_seed=SEED,
+        max_states=200_000,
+        periods=(4, 8),
+    )
+
+
+def test_pool_scaling_and_cache_reuse(benchmark, tmp_path):
+    cores = os.cpu_count() or 1
+    pooled_workers = min(4, cores)
+    cache = VerdictCache(str(tmp_path / "cache"))
+
+    serial = run_batch(_jobs(), workers=1)
+
+    def pooled_run():
+        return run_batch(_jobs(), workers=pooled_workers)
+
+    pooled = benchmark.pedantic(pooled_run, rounds=1, iterations=1)
+
+    cold = run_batch(_jobs(), workers=1, cache=cache)
+    warm = run_batch(_jobs(), workers=1, cache=cache)
+
+    # Identical verdicts regardless of pool width or cache state.
+    verdicts = [r.verdict for r in serial.results]
+    assert [r.verdict for r in pooled.results] == verdicts
+    assert [r.verdict for r in cold.results] == verdicts
+    assert [r.verdict for r in warm.results] == verdicts
+
+    assert warm.cache_hits == len(UTILIZATIONS)
+    assert warm.cache_misses == 0
+    assert warm.stats.states == 0  # no fresh exploration at all
+    # The warm run must not cost more than the serial cold run; on any
+    # non-trivial job list it is orders of magnitude cheaper.
+    assert warm.elapsed <= max(serial.elapsed, 0.05)
+
+    if cores >= 2 and serial.elapsed > 0.5:
+        # Loose bound: pooling must recover at least some parallelism
+        # once the work is big enough to amortize worker startup.
+        assert pooled.elapsed < serial.elapsed * 1.1
+
+    print_table(
+        "batch scaling (one utilization sweep, 6 jobs)",
+        ["run", "workers", "wall s", "vc hits", "engine states"],
+        [
+            ("serial cold", 1, f"{serial.elapsed:.2f}", 0,
+             serial.stats.states),
+            ("pooled cold", pooled.workers, f"{pooled.elapsed:.2f}", 0,
+             pooled.stats.states),
+            ("serial cold+cache", 1, f"{cold.elapsed:.2f}",
+             cold.cache_hits, cold.stats.states),
+            ("serial warm", 1, f"{warm.elapsed:.2f}", warm.cache_hits,
+             warm.stats.states),
+        ],
+    )
+    print_table(
+        "verdicts across the sweep",
+        ["utilization", "verdict", "states"],
+        [
+            (f"{u:.1f}", r.verdict, r.states)
+            for u, r in zip(UTILIZATIONS, serial.results)
+        ],
+    )

@@ -55,6 +55,7 @@ from repro.aadl.instance import (
     ConnectionInstance,
     FeatureInstance,
     SystemInstance,
+    infer_root,
     instantiate,
 )
 from repro.aadl.validation import check_translation_assumptions
@@ -90,6 +91,7 @@ __all__ = [
     "TimeValue",
     "check_translation_assumptions",
     "format_model",
+    "infer_root",
     "instantiate",
     "ms",
     "parse_model",

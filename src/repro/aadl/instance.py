@@ -420,6 +420,35 @@ class SystemInstance(ComponentInstance):
 # ---------------------------------------------------------------------------
 
 
+def infer_root(model: DeclarativeModel) -> str:
+    """The unique root system implementation of ``model``.
+
+    The root of the hierarchy is a system implementation that no other
+    implementation instantiates as a subcomponent.  Raises
+    :class:`~repro.errors.AadlInstantiationError` (listing the
+    candidates) unless exactly one exists -- callers that accept an
+    explicit root (the CLI, batch jobs) surface that message as the
+    "--root is required" hint.
+    """
+    candidates = [
+        impl.name
+        for impl in model.implementations()
+        if model.type(impl.type_name).category is ComponentCategory.SYSTEM
+    ]
+    used = {
+        sub.classifier.lower()
+        for impl in model.implementations()
+        for sub in impl.subcomponents.values()
+    }
+    roots = [name for name in candidates if name.lower() not in used]
+    if len(roots) != 1:
+        raise AadlInstantiationError(
+            "cannot infer a unique root; candidate system "
+            "implementations: " + (", ".join(roots or candidates) or "<none>")
+        )
+    return roots[0]
+
+
 def instantiate(
     model: DeclarativeModel,
     root_impl: str,

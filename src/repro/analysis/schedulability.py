@@ -40,6 +40,17 @@ class Verdict(enum.Enum):
     UNSCHEDULABLE = "unschedulable"
     UNKNOWN = "unknown"
 
+    @property
+    def exit_code(self) -> int:
+        """The CLI exit-code contract: 0 schedulable, 1 unschedulable,
+        3 unknown (budget exhausted).  2 is reserved for usage and
+        model errors, matching the argparse convention."""
+        return {
+            Verdict.SCHEDULABLE: 0,
+            Verdict.UNSCHEDULABLE: 1,
+            Verdict.UNKNOWN: 3,
+        }[self]
+
 
 class AnalysisResult:
     """Everything the analysis produced."""

@@ -1,0 +1,175 @@
+"""The persistent, content-addressed verdict cache.
+
+Model-checking verdicts are pure functions of (model, analysis
+options), so repeated campaigns -- the nightly 500-seed oracle run, a
+re-executed benchmark suite, a workload sweep with one tweaked point --
+keep re-proving identical cases.  The cache stores each proven verdict
+on disk under a content hash, and :func:`repro.batch.run_batch` serves
+hits without spawning a worker.
+
+Key definition
+--------------
+
+``cache_key(job)`` is the SHA-256 of a canonical JSON document::
+
+    {"schema": CACHE_SCHEMA_VERSION,
+     "kind":   "aadl" | "case",
+     "model":  <canonical AADL text of the instantiated model>,
+     "options": {<sorted, semantic analysis options>}}
+
+The model half comes from
+:meth:`~repro.batch.jobs.AnalysisJob.canonical_model_text`: AADL
+sources are round-tripped through the parser/printer (formatting and
+comments cannot split the key) and oracle cases regenerate their AADL
+from the task list (provenance -- generator name, seed, case id --
+cannot split it either).  The options half holds exactly the knobs
+that can change a verdict: state budget, quantum, injected fault.
+
+Invalidation rules
+------------------
+
+* Any semantic change to the analysis pipeline (translation, semantics,
+  verdict logic) MUST bump :data:`CACHE_SCHEMA_VERSION`; the version is
+  hashed into every key, so old entries become unreachable rather than
+  wrong.
+* Entries whose stored schema version differs are treated as misses
+  and may be overwritten.
+* ``artifacts/cache/`` is always safe to delete (``repro batch cache
+  --clear``); the cache holds no primary data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterator, Optional
+
+from repro.errors import BatchError
+
+#: Bump on ANY change that can alter a verdict for the same model text
+#: and options (translation rules, ACSR semantics, verdict mapping...).
+CACHE_SCHEMA_VERSION = 1
+
+#: Default on-disk location for cached verdicts.
+DEFAULT_CACHE_DIR = os.path.join("artifacts", "cache")
+
+
+def cache_key(job) -> str:
+    """Content hash of one :class:`~repro.batch.jobs.AnalysisJob`."""
+    material = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "kind": job.kind,
+        "model": job.canonical_model_text(),
+        "options": {key: job.options[key] for key in sorted(job.options)},
+    }
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class VerdictCache:
+    """Directory of ``<key[:2]>/<key>.json`` verdict entries.
+
+    Lookups count into :attr:`hits` / :attr:`misses`, which the batch
+    layer folds into the aggregate
+    :class:`~repro.engine.stats.EngineStats` (the ``verdict cache:``
+    line of ``--stats`` output).  Writes are atomic (temp file +
+    rename), so concurrent campaigns sharing a cache directory can
+    race without corrupting entries.
+    """
+
+    def __init__(self, directory: str = DEFAULT_CACHE_DIR) -> None:
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored result payload for ``key``, or None (counted)."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if entry.get("schema_version") != CACHE_SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.get("result")
+
+    def put(self, key: str, result: Dict[str, Any], **meta: Any) -> str:
+        """Store ``result`` (a JSON-typed dict) under ``key``."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "result": result,
+            **meta,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def entries(self) -> Iterator[str]:
+        """Paths of every stored entry."""
+        if not os.path.isdir(self.directory):
+            return
+        for shard in sorted(os.listdir(self.directory)):
+            shard_dir = os.path.join(self.directory, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    yield os.path.join(shard_dir, name)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def size_bytes(self) -> int:
+        return sum(os.path.getsize(path) for path in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self.entries()):
+            os.unlink(path)
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return (
+            f"VerdictCache({self.directory!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+
+def resolve_cache(spec) -> Optional[VerdictCache]:
+    """Normalize a cache spec: a :class:`VerdictCache`, a directory
+    path, True (default directory), or None/False (disabled)."""
+    if spec is None or spec is False:
+        return None
+    if spec is True:
+        return VerdictCache()
+    if isinstance(spec, VerdictCache):
+        return spec
+    if isinstance(spec, str):
+        return VerdictCache(spec)
+    raise BatchError(f"not a cache spec: {spec!r}")

@@ -1,0 +1,335 @@
+"""Batch jobs: one self-contained, picklable analysis request each.
+
+A job is the unit the :mod:`repro.batch` pool ships to a worker
+process, so it must be (a) serializable as a plain dict of JSON types
+-- no live AADL/ACSR objects cross the process boundary -- and (b)
+deterministic: everything the analysis depends on (model text or task
+list, budget, quantum, fault name, seeds) is embedded in the job, never
+drawn from ambient state.  Two kinds exist:
+
+* ``aadl`` -- an AADL source text plus an optional root implementation;
+  executed with :func:`repro.analysis.analyze_model` (the ``repro
+  analyze`` pipeline).
+* ``case`` -- a serialized :class:`~repro.oracle.case.OracleCase`;
+  executed with :func:`repro.oracle.verdicts.evaluate_case` (pipeline
+  + classical oracles + agreement classification), which is how the
+  differential campaign rides the pool.
+
+Both kinds expose :meth:`AnalysisJob.canonical_model_text`, the
+model-side half of the persistent verdict-cache key (see
+:mod:`repro.batch.cache`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import BatchError, ReproError
+
+JOB_KINDS = ("aadl", "case")
+
+
+class AnalysisJob:
+    """One analysis request.
+
+    Attributes:
+        job_id: caller-facing label (report rows, progress lines).
+        kind: ``"aadl"`` or ``"case"``.
+        payload: kind-specific model data (JSON types only).
+        options: semantic analysis options (JSON types only) -- these
+            participate in the cache key, so anything that can change
+            the verdict (budget, quantum, fault) must live here and
+            nothing else should.
+    """
+
+    __slots__ = ("job_id", "kind", "payload", "options")
+
+    def __init__(
+        self,
+        *,
+        job_id: str,
+        kind: str,
+        payload: Dict[str, Any],
+        options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if kind not in JOB_KINDS:
+            raise BatchError(
+                f"unknown job kind {kind!r}; choose from {list(JOB_KINDS)}"
+            )
+        self.job_id = job_id
+        self.kind = kind
+        self.payload = dict(payload)
+        self.options = dict(options or {})
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_aadl(
+        cls,
+        source: str,
+        *,
+        root: Optional[str] = None,
+        job_id: Optional[str] = None,
+        max_states: int = 1_000_000,
+        quantum_us: Optional[int] = None,
+    ) -> "AnalysisJob":
+        """A schedulability check over an AADL source text."""
+        return cls(
+            job_id=job_id or (root or "aadl-model"),
+            kind="aadl",
+            payload={"source": source, "root": root},
+            options={"max_states": max_states, "quantum_us": quantum_us},
+        )
+
+    @classmethod
+    def from_case(
+        cls,
+        case,
+        *,
+        job_id: Optional[str] = None,
+        max_states: int = 300_000,
+        fault: Optional[str] = None,
+    ) -> "AnalysisJob":
+        """A differential-oracle evaluation of an
+        :class:`~repro.oracle.case.OracleCase` (or its dict form)."""
+        data = case if isinstance(case, dict) else case.to_dict()
+        return cls(
+            job_id=job_id or data.get("case_id", "case"),
+            kind="case",
+            payload={"case": data},
+            options={"max_states": max_states, "fault": fault},
+        )
+
+    @classmethod
+    def from_file(cls, path: str, **options: Any) -> "AnalysisJob":
+        """Build a job from a file path.
+
+        ``*.aadl`` becomes an ``aadl`` job; ``*.json`` is read as a
+        serialized oracle case (the :meth:`OracleCase.to_dict` layout,
+        also the ``case`` field of a repro bundle).
+        """
+        import json
+        import os
+
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        name = os.path.basename(path)
+        if path.endswith(".json"):
+            data = json.loads(text)
+            if "case" in data and "tasks" not in data:
+                data = data["case"]  # accept a whole repro bundle
+            return cls.from_case(data, job_id=name, **options)
+        return cls.from_aadl(
+            text,
+            root=options.pop("root", None),
+            job_id=name,
+            **options,
+        )
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "payload": dict(self.payload),
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AnalysisJob":
+        missing = {"job_id", "kind", "payload"} - set(data)
+        if missing:
+            raise BatchError(f"batch job is missing fields: {sorted(missing)}")
+        return cls(
+            job_id=data["job_id"],
+            kind=data["kind"],
+            payload=data["payload"],
+            options=data.get("options", {}),
+        )
+
+    # -- cache-key material ---------------------------------------------
+
+    def canonical_model_text(self) -> str:
+        """The canonical AADL text of the instantiated model under test.
+
+        Round-tripping through the parser/printer (``aadl`` jobs) or
+        regenerating from the task list (``case`` jobs) erases
+        formatting, comments and provenance, so two inputs that denote
+        the same model share a cache key and any semantic change breaks
+        it.  The inferred root is resolved here, making the key
+        independent of whether the caller spelled it out.
+        """
+        if self.kind == "case":
+            from repro.oracle.case import OracleCase
+
+            return OracleCase.from_dict(self.payload["case"]).aadl_text()
+        from repro.aadl import format_model, infer_root, parse_model
+
+        model = parse_model(self.payload["source"])
+        root = self.payload.get("root") or infer_root(model)
+        return f"-- root: {root}\n" + format_model(model)
+
+    def __repr__(self) -> str:
+        return f"AnalysisJob({self.job_id!r}, kind={self.kind})"
+
+
+class JobResult:
+    """Outcome of one executed (or cache-served) job.
+
+    Plain JSON types throughout: this is both the pool's return channel
+    and the verdict-cache storage format.
+    """
+
+    __slots__ = (
+        "job_id",
+        "kind",
+        "verdict",
+        "states",
+        "elapsed",
+        "limit_hit",
+        "stats",
+        "classification",
+        "oracles",
+        "rendered",
+        "error",
+        "cached",
+    )
+
+    def __init__(
+        self,
+        *,
+        job_id: str,
+        kind: str,
+        verdict: str,
+        states: int = 0,
+        elapsed: float = 0.0,
+        limit_hit: Optional[str] = None,
+        stats: Optional[Dict[str, Any]] = None,
+        classification: Optional[Dict[str, Any]] = None,
+        oracles: Optional[list] = None,
+        rendered: Optional[str] = None,
+        error: Optional[str] = None,
+        cached: bool = False,
+    ) -> None:
+        self.job_id = job_id
+        self.kind = kind
+        self.verdict = verdict
+        self.states = states
+        self.elapsed = elapsed
+        self.limit_hit = limit_hit
+        self.stats = stats
+        self.classification = classification
+        self.oracles = oracles
+        self.rendered = rendered
+        self.error = error
+        self.cached = cached
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "verdict": self.verdict,
+            "states": self.states,
+            "elapsed": self.elapsed,
+            "limit_hit": self.limit_hit,
+            "stats": self.stats,
+            "classification": self.classification,
+            "oracles": self.oracles,
+            "rendered": self.rendered,
+            "error": self.error,
+            "cached": self.cached,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobResult":
+        return cls(
+            job_id=data["job_id"],
+            kind=data.get("kind", "aadl"),
+            verdict=data.get("verdict", "error"),
+            states=data.get("states", 0),
+            elapsed=data.get("elapsed", 0.0),
+            limit_hit=data.get("limit_hit"),
+            stats=data.get("stats"),
+            classification=data.get("classification"),
+            oracles=data.get("oracles"),
+            rendered=data.get("rendered"),
+            error=data.get("error"),
+            cached=data.get("cached", False),
+        )
+
+    def __repr__(self) -> str:
+        extra = " cached" if self.cached else ""
+        return f"JobResult({self.job_id!r}, {self.verdict}{extra})"
+
+
+def execute_job(job: AnalysisJob) -> JobResult:
+    """Run one job to completion in the current process.
+
+    Library errors are captured as ``verdict="error"`` results rather
+    than raised, so one malformed model cannot abort a whole batch; the
+    report maps them to the usage-error exit code.
+    """
+    try:
+        if job.kind == "case":
+            return _execute_case(job)
+        return _execute_aadl(job)
+    except ReproError as exc:
+        return JobResult(
+            job_id=job.job_id,
+            kind=job.kind,
+            verdict="error",
+            error=str(exc),
+        )
+
+
+def _execute_aadl(job: AnalysisJob) -> JobResult:
+    from repro.aadl import infer_root, instantiate, parse_model
+    from repro.aadl.properties import TimeValue
+    from repro.analysis import analyze_model
+
+    model = parse_model(job.payload["source"])
+    root = job.payload.get("root") or infer_root(model)
+    quantum_us = job.options.get("quantum_us")
+    result = analyze_model(
+        instantiate(model, root),
+        quantum=TimeValue(quantum_us, "us") if quantum_us else None,
+        max_states=job.options.get("max_states", 1_000_000),
+    )
+    stats = result.exploration.stats
+    return JobResult(
+        job_id=job.job_id,
+        kind=job.kind,
+        verdict=result.verdict.value,
+        states=result.num_states,
+        elapsed=result.elapsed,
+        limit_hit=result.exploration.limit_hit,
+        stats=stats.as_dict() if stats is not None else None,
+        rendered=result.format(),
+    )
+
+
+def _execute_case(job: AnalysisJob) -> JobResult:
+    from repro.oracle.case import OracleCase
+    from repro.oracle.faults import get_fault
+    from repro.oracle.verdicts import evaluate_case
+
+    case = OracleCase.from_dict(job.payload["case"])
+    fault = job.options.get("fault")
+    pipeline, oracles, classification = evaluate_case(
+        case,
+        max_states=job.options.get("max_states", 300_000),
+        fault=get_fault(fault) if fault else None,
+    )
+    stats = pipeline.exploration.stats
+    return JobResult(
+        job_id=job.job_id,
+        kind=job.kind,
+        verdict=pipeline.verdict.value,
+        states=pipeline.num_states,
+        elapsed=pipeline.elapsed,
+        limit_hit=pipeline.exploration.limit_hit,
+        stats=stats.as_dict() if stats is not None else None,
+        classification=classification.to_dict(),
+        oracles=[oracle.to_dict() for oracle in oracles],
+    )

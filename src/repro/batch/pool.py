@@ -1,0 +1,237 @@
+"""The batch runner: cache-aware fan-out over a worker pool.
+
+:func:`run_batch` takes a list of self-contained
+:class:`~repro.batch.jobs.AnalysisJob` specs and
+
+1. consults the persistent :class:`~repro.batch.cache.VerdictCache`
+   (when given) and serves hits without running anything;
+2. fans the misses across a :mod:`multiprocessing` pool (``workers``
+   processes, default ``os.cpu_count()``; ``workers=1`` runs inline
+   with no pool overhead);
+3. merges every per-job :class:`~repro.engine.stats.EngineStats`
+   snapshot -- workers serialize them as dicts -- into one aggregate,
+   with verdict-cache hit/miss counters folded in;
+4. writes freshly computed results back to the cache.
+
+Determinism: jobs embed all of their own seeds and options, workers
+share no mutable state, and results are reported in input order -- so
+``workers=1`` and ``workers=N`` produce identical verdict lists (pinned
+by ``tests/test_batch.py``).  Only JSON-typed dicts cross the process
+boundary, which keeps the pool working under both ``fork`` and
+``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.engine.stats import EngineStats
+from repro.errors import BatchError, ReproError
+from repro.batch.cache import VerdictCache, cache_key, resolve_cache
+from repro.batch.jobs import AnalysisJob, JobResult, execute_job
+
+#: Progress callback: ``(done, total, result)`` after every job.
+ProgressFn = Callable[[int, int, JobResult], None]
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Default the worker count to the machine's core count."""
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 1:
+        raise BatchError(f"need at least one worker, got {workers}")
+    return workers
+
+
+def _execute_payload(data: Dict) -> Dict:
+    """Pool target: dict in, dict out (must stay module-level so it
+    pickles under the ``spawn`` start method)."""
+    return execute_job(AnalysisJob.from_dict(data)).to_dict()
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class BatchReport:
+    """Everything one batch run produced, in input order."""
+
+    def __init__(
+        self,
+        *,
+        results: List[JobResult],
+        workers: int,
+        elapsed: float,
+        stats: EngineStats,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        self.results = results
+        self.workers = workers
+        self.elapsed = elapsed
+        #: aggregate of every executed job's EngineStats, with
+        #: verdict-cache hit/miss counters folded in
+        self.stats = stats
+        self.cache_dir = cache_dir
+
+    @property
+    def cache_hits(self) -> int:
+        return self.stats.verdict_cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.stats.verdict_cache_misses
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            counts[result.verdict] = counts.get(result.verdict, 0) + 1
+        return counts
+
+    def exit_code(self) -> int:
+        """The CLI exit-code contract over a whole batch: the worst
+        individual outcome (error 2 > unschedulable 1 > unknown 3 >
+        schedulable 0, with "worst" meaning decisiveness, not the
+        numeric value)."""
+        verdicts = {result.verdict for result in self.results}
+        if "error" in verdicts:
+            return 2
+        if "unschedulable" in verdicts:
+            return 1
+        if "unknown" in verdicts:
+            return 3
+        return 0
+
+    def format(self, *, show_stats: bool = False) -> str:
+        width = max([len(r.job_id) for r in self.results] + [8])
+        lines = [
+            f"batch: {len(self.results)} job(s), {self.workers} worker(s), "
+            f"{self.elapsed:.2f}s wall clock"
+        ]
+        for result in self.results:
+            mark = " (cached)" if result.cached else ""
+            detail = (
+                f"error: {result.error}"
+                if result.error
+                else f"{result.states} states, {result.elapsed:.3f}s"
+            )
+            lines.append(
+                f"  {result.job_id:<{width}}  "
+                f"{result.verdict:<14} {detail}{mark}"
+            )
+        counts = self.counts()
+        lines.append(
+            "verdicts: "
+            + ", ".join(f"{counts[v]} {v}" for v in sorted(counts))
+        )
+        if self.cache_hits or self.cache_misses:
+            lines.append(
+                f"verdict cache: {self.cache_hits} hits / "
+                f"{self.cache_misses} misses"
+                + (f" ({self.cache_dir})" if self.cache_dir else "")
+            )
+        if show_stats:
+            lines.append("engine totals:")
+            for line in self.stats.format().splitlines():
+                lines.append(f"  {line}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchReport(jobs={len(self.results)}, "
+            f"workers={self.workers}, counts={self.counts()})"
+        )
+
+
+def run_batch(
+    jobs: Sequence[AnalysisJob],
+    *,
+    workers: Optional[int] = None,
+    cache=None,
+    progress: Optional[ProgressFn] = None,
+) -> BatchReport:
+    """Run every job, in parallel, consulting the verdict cache.
+
+    ``cache`` accepts a :class:`VerdictCache`, a directory path, True
+    (the default ``artifacts/cache/`` directory) or None (disabled).
+    Results come back in input order regardless of completion order.
+    """
+    store: Optional[VerdictCache] = resolve_cache(cache)
+    n_workers = resolve_workers(workers)
+    started = time.perf_counter()
+    # Counter baseline, so a shared cache instance reports per-run deltas.
+    hits0 = store.hits if store is not None else 0
+    misses0 = store.misses if store is not None else 0
+
+    results: List[Optional[JobResult]] = [None] * len(jobs)
+    keys: List[Optional[str]] = [None] * len(jobs)
+    pending: List[int] = []
+    done = 0
+
+    for index, job in enumerate(jobs):
+        if store is None:
+            pending.append(index)
+            continue
+        try:
+            key = cache_key(job)
+        except ReproError:
+            # Unkeyable (malformed) jobs still run, so the batch can
+            # report them as error results instead of aborting here.
+            pending.append(index)
+            continue
+        keys[index] = key
+        stored = store.get(key)
+        if stored is None:
+            pending.append(index)
+            continue
+        hit = JobResult.from_dict(stored)
+        hit.job_id = job.job_id  # stored entries carry no provenance
+        hit.cached = True
+        results[index] = hit
+        done += 1
+        if progress is not None:
+            progress(done, len(jobs), hit)
+
+    def finish(index: int, result: JobResult) -> None:
+        nonlocal done
+        results[index] = result
+        if store is not None and keys[index] is not None and result.error is None:
+            stored = result.to_dict()
+            stored["cached"] = False
+            store.put(keys[index], stored, job_id=result.job_id)
+        done += 1
+        if progress is not None:
+            progress(done, len(jobs), result)
+
+    if len(pending) <= 1 or n_workers <= 1:
+        for index in pending:
+            finish(index, execute_job(jobs[index]))
+    else:
+        payloads = [jobs[index].to_dict() for index in pending]
+        with _pool_context().Pool(min(n_workers, len(pending))) as pool:
+            for index, data in zip(
+                pending, pool.imap(_execute_payload, payloads)
+            ):
+                finish(index, JobResult.from_dict(data))
+
+    final = [result for result in results if result is not None]
+    stats = EngineStats.aggregate(
+        EngineStats.from_dict(result.stats)
+        for result in final
+        if result.stats is not None and not result.cached
+    )
+    if store is not None:
+        stats.verdict_cache_hits = store.hits - hits0
+        stats.verdict_cache_misses = store.misses - misses0
+    return BatchReport(
+        results=final,
+        workers=n_workers,
+        elapsed=time.perf_counter() - started,
+        stats=stats,
+        cache_dir=store.directory if store is not None else None,
+    )

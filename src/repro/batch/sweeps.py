@@ -1,0 +1,54 @@
+"""Workload sweeps as batch jobs.
+
+A sweep turns a utilization grid (or any list of generated task sets)
+into ready-to-run :class:`~repro.batch.jobs.AnalysisJob` specs, so a
+whole schedulability study -- "where does this generator family stop
+being schedulable under RMS?" -- is one :func:`repro.batch.run_batch`
+call that parallelizes across cores and hits the verdict cache on
+re-runs with overlapping grid points.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.batch.jobs import AnalysisJob
+
+
+def utilization_sweep_jobs(
+    n_threads: int,
+    utilizations: Sequence[float],
+    *,
+    generator: str = "uniform",
+    scheduling: str = "RMS",
+    periods: Optional[Sequence[int]] = None,
+    base_seed: int = 0,
+    max_states: int = 300_000,
+    **params,
+) -> List[AnalysisJob]:
+    """One ``case`` job per utilization point, deterministically seeded.
+
+    The task sets come from
+    :func:`repro.workloads.generators.sweep_task_sets`; each job wraps
+    its set as an :class:`~repro.oracle.case.OracleCase` so the batch
+    runner also gets the classical-oracle cross-check for free.
+    """
+    from repro.oracle.case import OracleCase
+    from repro.workloads.generators import sweep_task_sets
+
+    jobs: List[AnalysisJob] = []
+    for label, tasks in sweep_task_sets(
+        n_threads,
+        utilizations,
+        generator=generator,
+        periods=periods,
+        base_seed=base_seed,
+        **params,
+    ):
+        case = OracleCase.from_task_set(
+            tasks, scheduling=scheduling, case_id=label
+        )
+        jobs.append(
+            AnalysisJob.from_case(case, job_id=label, max_states=max_states)
+        )
+    return jobs

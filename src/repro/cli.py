@@ -5,15 +5,22 @@ AADL model to VERSA input, run the deadlock search, raise the failing
 scenario.  The CLI exposes each step plus the baselines::
 
     repro analyze model.aadl --root Sys.impl        # full pipeline
+    repro analyze a.aadl b.aadl --jobs 4 --cache    # parallel batch
     repro analyze model.aadl --root Sys.impl --all-modes
     repro validate model.aadl --root Sys.impl       # S4.1 checks only
     repro translate model.aadl --root Sys.impl      # emit ACSR source
     repro acsr system.acsr                          # explore raw ACSR
     repro simulate model.aadl --root Sys.impl       # Cheddar-style Gantt
+    repro batch run models/*.aadl --jobs 4 --cache  # pooled + cached
+    repro batch cache                               # inspect the cache
     repro oracle run --seeds 200 --profile smoke    # differential campaign
     repro oracle replay artifacts/oracle/x.json     # re-run a repro bundle
 
 (Equivalently: ``python -m repro ...``.)
+
+Exit status (every verdict-producing subcommand): 0 schedulable /
+valid / no deadlock, 1 violation or deadlock found, 2 usage or model
+error, 3 verdict unknown (state budget exhausted before an answer).
 """
 
 from __future__ import annotations
@@ -23,6 +30,23 @@ import sys
 from typing import List, Optional
 
 from repro.errors import ReproError
+
+#: The exit-code contract, shared by every verdict-producing
+#: subcommand.  UNKNOWN is deliberately not 2: "the budget ran out" is
+#: an answer about the model, not a usage error, and scripts gating on
+#: analyze must be able to tell the two apart.
+EXIT_SCHEDULABLE = 0
+EXIT_VIOLATION = 1
+EXIT_ERROR = 2
+EXIT_UNKNOWN = 3
+
+EXIT_STATUS_EPILOG = """\
+exit status:
+  0  schedulable / valid / no deadlock / campaign agreed
+  1  unschedulable, deadlock, violation or disagreement found
+  2  usage or model error
+  3  verdict unknown (state budget exhausted before an answer)
+"""
 
 
 def _read(path: str) -> str:
@@ -39,43 +63,62 @@ def _quantum(args):
 
 
 def _load_instance(args):
-    from repro.aadl import instantiate, parse_model
+    from repro.aadl import infer_root, instantiate, parse_model
 
     model = parse_model(_read(args.file))
     if args.root is None:
-        candidates = [
-            impl.name
-            for impl in model.implementations()
-            if model.type(impl.type_name).category.value == "system"
-        ]
-        # The root of the hierarchy: a system implementation that no other
-        # implementation instantiates as a subcomponent.
-        used = {
-            sub.classifier.lower()
-            for impl in model.implementations()
-            for sub in impl.subcomponents.values()
-        }
-        roots = [name for name in candidates if name.lower() not in used]
-        if len(roots) != 1:
-            raise ReproError(
-                "--root is required; candidate system implementations: "
-                + (", ".join(roots or candidates) or "<none>")
-            )
-        args.root = roots[0]
+        args.root = infer_root(model)
     return model, instantiate(model, args.root)
+
+
+def _cache_spec(args):
+    """--cache-dir wins; --cache means the default directory; else off."""
+    if getattr(args, "cache_dir", None):
+        return args.cache_dir
+    return True if getattr(args, "cache", False) else None
+
+
+def _run_file_batch(args, paths: List[str]) -> int:
+    """Shared by ``analyze <files...>`` and ``batch run``: fan the
+    inputs across the worker pool and honour the batch exit contract."""
+    from repro.batch import AnalysisJob, run_batch
+
+    job_list = []
+    for path in paths:
+        if path.endswith(".json"):
+            job_list.append(
+                AnalysisJob.from_file(path, max_states=args.max_states)
+            )
+        else:
+            job_list.append(
+                AnalysisJob.from_file(
+                    path,
+                    root=getattr(args, "root", None),
+                    max_states=args.max_states,
+                    quantum_us=args.quantum,
+                )
+            )
+    report = run_batch(
+        job_list, workers=args.jobs, cache=_cache_spec(args)
+    )
+    print(report.format(show_stats=args.stats))
+    return report.exit_code()
 
 
 def cmd_analyze(args) -> int:
     from repro.analysis import Verdict, analyze_model, compare_with_baselines
     from repro.analysis.modes import analyze_all_modes
 
+    if len(args.files) > 1 or _cache_spec(args) is not None:
+        return _run_file_batch(args, args.files)
+    args.file = args.files[0]
     model, instance = _load_instance(args)
     if args.all_modes:
         result = analyze_all_modes(
             model, args.root, quantum=_quantum(args), max_states=args.max_states
         )
         print(result.format())
-        return 0 if result.verdict is Verdict.SCHEDULABLE else 1
+        return result.verdict.exit_code
     result = analyze_model(
         instance, quantum=_quantum(args), max_states=args.max_states
     )
@@ -94,7 +137,7 @@ def cmd_analyze(args) -> int:
         print("baselines:")
         for row in compare_with_baselines(instance, max_states=args.max_states):
             print(f"  {row!r}")
-    return 0 if result.verdict is Verdict.SCHEDULABLE else 1
+    return result.verdict.exit_code
 
 
 def cmd_validate(args) -> int:
@@ -153,10 +196,13 @@ def cmd_acsr(args) -> int:
         )
         print(f"walk of {len(trace)} step(s), {trace.duration} quanta:")
         print(trace.format(show_states=args.show_states))
-        if len(trace) < args.walk:
+        # The trace records whether its final state is stuck; trace
+        # length alone cannot tell a deadlock at exactly --walk steps
+        # from a truncated healthy run.
+        if trace.deadlocked:
             print("walk ended in a deadlock")
-            return 1
-        return 0
+            return EXIT_VIOLATION
+        return EXIT_SCHEDULABLE
     observers = []
     if args.progress:
         observers.append(ProgressObserver(every_states=args.progress))
@@ -184,11 +230,17 @@ def cmd_acsr(args) -> int:
         print(f"wrote DOT graph to {args.dot}")
     trace = result.first_deadlock_trace()
     if trace is None:
+        if not result.completed:
+            print(
+                "no deadlock found within the state budget "
+                "(verdict unknown)"
+            )
+            return EXIT_UNKNOWN
         print("no deadlock found")
-        return 0
+        return EXIT_SCHEDULABLE
     print(f"deadlock after {trace.duration} time units:")
     print(trace.format(show_states=args.show_states))
-    return 1
+    return EXIT_VIOLATION
 
 
 def cmd_oracle_run(args) -> int:
@@ -202,9 +254,45 @@ def cmd_oracle_run(args) -> int:
         fault=args.fault,
         max_states=args.max_states,
         progress=args.progress,
+        jobs=args.jobs,
+        cache=_cache_spec(args),
     )
     print(report.format())
-    return 1 if report.disagreements else 0
+    # A campaign's verdict is about agreement, not schedulability:
+    # disagreement is the only failure (CI gates on it); UNKNOWN cases
+    # are reported in the matrix but do not fail the run.
+    return EXIT_VIOLATION if report.disagreements else EXIT_SCHEDULABLE
+
+
+def cmd_batch_run(args) -> int:
+    return _run_file_batch(args, args.files)
+
+
+def cmd_batch_cache(args) -> int:
+    import json
+
+    from repro.batch import DEFAULT_CACHE_DIR, VerdictCache
+
+    store = VerdictCache(args.dir or DEFAULT_CACHE_DIR)
+    if args.clear:
+        removed = store.clear()
+        print(f"removed {removed} cached verdict(s) from {store.directory}")
+        return 0
+    paths = list(store.entries())
+    print(
+        f"verdict cache at {store.directory}: {len(paths)} entries, "
+        f"{store.size_bytes()} bytes"
+    )
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            entry = json.load(handle)
+        result = entry.get("result") or {}
+        print(
+            f"  {entry.get('key', '?')[:16]}  "
+            f"{result.get('verdict', '?'):<14} "
+            f"{entry.get('job_id', '?')}"
+        )
+    return 0
 
 
 def cmd_oracle_replay(args) -> int:
@@ -256,11 +344,41 @@ def build_parser() -> argparse.ArgumentParser:
             "Schedulability analysis of AADL models via translation to "
             "the ACSR process algebra (Sokolsky, Lee & Clarke, IPDPS 2006)"
         ),
+        epilog=EXIT_STATUS_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p, needs_root=True):
-        p.add_argument("file", help="input file")
+    def pool_options(p):
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker processes (default: one per CPU core)",
+        )
+        p.add_argument(
+            "--cache",
+            action="store_true",
+            help="consult/populate the persistent verdict cache "
+            "(artifacts/cache)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="verdict-cache directory (implies --cache)",
+        )
+
+    def common(p, needs_root=True, multi=False):
+        if multi:
+            p.add_argument(
+                "files",
+                nargs="+",
+                help="input files (several fan out across the worker pool)",
+            )
+        else:
+            p.add_argument("file", help="input file")
         if needs_root:
             p.add_argument(
                 "--root",
@@ -282,9 +400,13 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     p_analyze = sub.add_parser(
-        "analyze", help="translate, explore, raise failing scenarios"
+        "analyze",
+        help="translate, explore, raise failing scenarios",
+        epilog=EXIT_STATUS_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    common(p_analyze)
+    common(p_analyze, multi=True)
+    pool_options(p_analyze)
     p_analyze.add_argument(
         "--all-modes",
         action="store_true",
@@ -373,6 +495,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_acsr.set_defaults(func=cmd_acsr)
 
+    p_batch = sub.add_parser(
+        "batch",
+        help="parallel batch analysis with the persistent verdict cache",
+    )
+    batch_sub = p_batch.add_subparsers(dest="batch_command", required=True)
+
+    p_batch_run = batch_sub.add_parser(
+        "run",
+        help="analyze many inputs (.aadl models, .json oracle cases or "
+        "bundles) across a worker pool",
+        epilog=EXIT_STATUS_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    common(p_batch_run, multi=True)
+    pool_options(p_batch_run)
+    p_batch_run.add_argument(
+        "--stats",
+        action="store_true",
+        help="print aggregated engine statistics for the whole batch",
+    )
+    p_batch_run.set_defaults(func=cmd_batch_run)
+
+    p_batch_cache = batch_sub.add_parser(
+        "cache", help="inspect or clear the persistent verdict cache"
+    )
+    p_batch_cache.add_argument(
+        "--dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default artifacts/cache)",
+    )
+    p_batch_cache.add_argument(
+        "--clear",
+        action="store_true",
+        help="delete every cached verdict",
+    )
+    p_batch_cache.set_defaults(func=cmd_batch_cache)
+
     p_oracle = sub.add_parser(
         "oracle",
         help="differential-testing oracle: seeded campaigns against the "
@@ -424,6 +584,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report campaign progress to stderr",
     )
+    pool_options(p_run)
     p_run.set_defaults(func=cmd_oracle_run)
 
     p_replay = oracle_sub.add_parser(

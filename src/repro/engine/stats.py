@@ -10,14 +10,15 @@ captures them in one :class:`EngineStats` snapshot attached to every
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional
 
 
 class EngineStats:
     """Snapshot of one exploration run.
 
     Attributes:
-        strategy: name of the search strategy used.
+        strategy: name of the search strategy used (``"aggregate"`` for
+            a merged multi-run snapshot, see :meth:`aggregate`).
         states: distinct states discovered (including the initial one).
         transitions: transitions enumerated.
         expanded: states whose successor set was computed (a random walk
@@ -31,6 +32,10 @@ class EngineStats:
         cache_hits / cache_misses / cache_evictions: aggregated over the
             provider's step, prioritization and semantics caches for
             the duration of this run only.
+        verdict_cache_hits / verdict_cache_misses: persistent
+            verdict-cache lookups (:mod:`repro.batch`); a hit means a
+            whole analysis was skipped, so ``states``/``elapsed`` only
+            account for the misses.  Zero outside batch runs.
         limit_hit: which budget stopped the run (``"states"``,
             ``"transitions"``, ``"seconds"``) or ``None``.
     """
@@ -46,6 +51,8 @@ class EngineStats:
         "cache_hits",
         "cache_misses",
         "cache_evictions",
+        "verdict_cache_hits",
+        "verdict_cache_misses",
         "limit_hit",
     )
 
@@ -63,6 +70,8 @@ class EngineStats:
         cache_misses: int,
         cache_evictions: int,
         limit_hit: Optional[str],
+        verdict_cache_hits: int = 0,
+        verdict_cache_misses: int = 0,
     ) -> None:
         self.strategy = strategy
         self.states = states
@@ -74,6 +83,8 @@ class EngineStats:
         self.cache_hits = cache_hits
         self.cache_misses = cache_misses
         self.cache_evictions = cache_evictions
+        self.verdict_cache_hits = verdict_cache_hits
+        self.verdict_cache_misses = verdict_cache_misses
         self.limit_hit = limit_hit
 
     @property
@@ -84,6 +95,11 @@ class EngineStats:
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def verdict_cache_hit_rate(self) -> float:
+        total = self.verdict_cache_hits + self.verdict_cache_misses
+        return self.verdict_cache_hits / total if total else 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -99,8 +115,73 @@ class EngineStats:
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
             "cache_hit_rate": self.cache_hit_rate,
+            "verdict_cache_hits": self.verdict_cache_hits,
+            "verdict_cache_misses": self.verdict_cache_misses,
             "limit_hit": self.limit_hit,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EngineStats":
+        """Rebuild a snapshot serialized with :meth:`as_dict` (derived
+        rate fields are recomputed, unknown keys ignored)."""
+        return cls(
+            strategy=data.get("strategy", "unknown"),
+            states=data.get("states", 0),
+            transitions=data.get("transitions", 0),
+            expanded=data.get("expanded", 0),
+            elapsed=data.get("elapsed", 0.0),
+            frontier_peak=data.get("frontier_peak", 0),
+            parent_map_bytes=data.get("parent_map_bytes", 0),
+            cache_hits=data.get("cache_hits", 0),
+            cache_misses=data.get("cache_misses", 0),
+            cache_evictions=data.get("cache_evictions", 0),
+            verdict_cache_hits=data.get("verdict_cache_hits", 0),
+            verdict_cache_misses=data.get("verdict_cache_misses", 0),
+            limit_hit=data.get("limit_hit"),
+        )
+
+    @classmethod
+    def aggregate(
+        cls,
+        snapshots: Iterable["EngineStats"],
+        *,
+        strategy: str = "aggregate",
+    ) -> "EngineStats":
+        """Merge several run snapshots into one additive aggregate.
+
+        Counters sum; ``frontier_peak`` takes the maximum; ``limit_hit``
+        is dropped (per-run budgets do not compose into one).  This is
+        how :mod:`repro.batch` folds per-worker statistics into one
+        campaign-level snapshot.
+        """
+        total = cls(
+            strategy=strategy,
+            states=0,
+            transitions=0,
+            expanded=0,
+            elapsed=0.0,
+            frontier_peak=0,
+            parent_map_bytes=0,
+            cache_hits=0,
+            cache_misses=0,
+            cache_evictions=0,
+            limit_hit=None,
+        )
+        for snap in snapshots:
+            if snap is None:
+                continue
+            total.states += snap.states
+            total.transitions += snap.transitions
+            total.expanded += snap.expanded
+            total.elapsed += snap.elapsed
+            total.frontier_peak = max(total.frontier_peak, snap.frontier_peak)
+            total.parent_map_bytes += snap.parent_map_bytes
+            total.cache_hits += snap.cache_hits
+            total.cache_misses += snap.cache_misses
+            total.cache_evictions += snap.cache_evictions
+            total.verdict_cache_hits += snap.verdict_cache_hits
+            total.verdict_cache_misses += snap.verdict_cache_misses
+        return total
 
     def format(self) -> str:
         """Multi-line rendering for the CLI."""
@@ -116,6 +197,12 @@ class EngineStats:
             f"({self.cache_hit_rate:.1%} hit rate, "
             f"{self.cache_evictions} evictions)",
         ]
+        if self.verdict_cache_hits or self.verdict_cache_misses:
+            lines.append(
+                f"verdict cache: {self.verdict_cache_hits} hits / "
+                f"{self.verdict_cache_misses} misses "
+                f"({self.verdict_cache_hit_rate:.1%} hit rate)"
+            )
         if self.limit_hit is not None:
             lines.append(f"budget exhausted: {self.limit_hit}")
         return "\n".join(lines)

@@ -149,7 +149,9 @@ class RandomWalk(SearchStrategy):
     Args:
         max_steps: number of transitions to take (the walk also ends at
             a deadlock).
-        seed: seed for the numpy generator handed to the policy.
+        seed: seed for the numpy generator handed to the policy (an
+            int, a ``numpy.random.SeedSequence`` -- e.g. one spawned
+            per child by ``versa.multi_walk`` -- or None).
         policy: ``policy(steps, rng) -> index`` choosing one enabled
             transition; defaults to uniform.
 
@@ -165,7 +167,7 @@ class RandomWalk(SearchStrategy):
         self,
         *,
         max_steps: int = 100,
-        seed: Optional[int] = None,
+        seed: Optional[object] = None,
         policy: Optional[Policy] = None,
     ) -> None:
         if max_steps < 0:

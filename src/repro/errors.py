@@ -108,3 +108,7 @@ class ExplorationLimitError(AnalysisError):
 
 class SchedError(ReproError):
     """Errors in the classical schedulability baselines."""
+
+
+class BatchError(ReproError):
+    """Malformed batch job, manifest, or verdict-cache entry."""

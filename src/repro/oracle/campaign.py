@@ -7,8 +7,13 @@ classifies the agreement, and -- on disagreement -- shrinks the case to
 a minimal reproducer and persists it as a replayable JSON bundle under
 ``artifacts/oracle/``.
 
-The engine's :class:`~repro.engine.observers.Observer` hooks provide
-live progress on large explorations and every case's
+Case evaluation fans out across the :mod:`repro.batch` worker pool
+(``jobs`` processes, default one per core) and can consult the
+persistent verdict cache, so a repeated campaign skips already-proven
+cases; per-job seeding is deterministic, which makes ``jobs=1`` and
+``jobs=N`` produce identical verdict sets.  Shrinking stays in the
+parent process: it is a sequential search whose every probe depends on
+the previous answer.  Every evaluation's
 :class:`~repro.engine.stats.EngineStats` snapshot is aggregated into
 campaign totals, so a run accounts for exactly where its state budget
 went.
@@ -167,6 +172,7 @@ class CampaignReport:
         outcomes: List[CaseOutcome],
         totals: Dict[str, Any],
         elapsed: float,
+        workers: int = 1,
     ) -> None:
         self.profile = profile
         self.seeds = seeds
@@ -177,6 +183,8 @@ class CampaignReport:
         #: campaign (including shrink re-evaluations)
         self.totals = totals
         self.elapsed = elapsed
+        #: worker-pool width the cases were evaluated with
+        self.workers = workers
 
     def _by_status(self, status: AgreementStatus) -> List[CaseOutcome]:
         return [
@@ -201,7 +209,8 @@ class CampaignReport:
         lines = [
             f"oracle campaign: profile={self.profile} seeds={self.seeds} "
             f"base_seed={self.base_seed}"
-            + (f" fault={self.fault}" if self.fault else ""),
+            + (f" fault={self.fault}" if self.fault else "")
+            + (f" jobs={self.workers}" if self.workers != 1 else ""),
         ]
         generators = sorted(
             {outcome.case.generator for outcome in self.outcomes}
@@ -236,6 +245,13 @@ class CampaignReport:
                 f"cache: {totals['cache_hits']} hits / "
                 f"{totals['cache_misses']} misses "
                 f"({totals['cache_hits'] / cache_total:.1%} hit rate)"
+            )
+        vc_hits = totals.get("verdict_cache_hits", 0)
+        vc_misses = totals.get("verdict_cache_misses", 0)
+        if vc_hits or vc_misses:
+            lines.append(
+                f"verdict cache: {vc_hits} hits / {vc_misses} misses "
+                f"({vc_hits / (vc_hits + vc_misses):.1%} hit rate)"
             )
         if totals["budget_capped"]:
             lines.append(
@@ -333,15 +349,23 @@ def run_campaign(
     fault: Union[Fault, str, None] = None,
     max_states: Optional[int] = None,
     progress: Union[bool, Callable[[int, int, CaseOutcome], None]] = False,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> CampaignReport:
     """Run a differential campaign of ``seeds`` cases.
 
-    Disagreements are shrunk and persisted under ``artifacts_dir``;
-    the returned report carries every outcome plus aggregated engine
-    statistics.  ``fault`` injects a known translator defect into the
-    pipeline side (see :mod:`repro.oracle.faults`) -- used to test the
-    harness itself.
+    Cases are drawn upfront and evaluated through
+    :func:`repro.batch.run_batch` (``jobs`` workers, default one per
+    core; ``cache`` enables the persistent verdict cache).  Cached
+    results are served without re-running and are *not* counted in
+    ``totals["runs"]``.  Disagreements are shrunk in the parent process
+    and persisted under ``artifacts_dir``; the returned report carries
+    every outcome plus aggregated engine statistics.  ``fault`` injects
+    a known translator defect into the pipeline side (see
+    :mod:`repro.oracle.faults`) -- used to test the harness itself.
     """
+    from repro.batch import AnalysisJob, run_batch
+
     if seeds < 1:
         raise SchedError(f"need at least one seed, got {seeds}")
     if isinstance(profile, str):
@@ -355,6 +379,7 @@ def run_campaign(
     if isinstance(fault, str):
         fault = get_fault(fault)
     budget = max_states if max_states is not None else profile.max_states
+    fault_name = fault.name if fault is not None else None
 
     totals: Dict[str, Any] = {
         "runs": 0,
@@ -364,10 +389,14 @@ def run_campaign(
         "cache_hits": 0,
         "cache_misses": 0,
         "budget_capped": 0,
+        "verdict_cache_hits": 0,
+        "verdict_cache_misses": 0,
     }
 
     def evaluate(case: OracleCase):
-        # Live progress on explorations that grow large; every run's
+        # Parent-process path, used for shrinking: every probe depends
+        # on the previous answer, so this never rides the pool.  Live
+        # progress on explorations that grow large; every run's
         # EngineStats snapshot lands in the campaign totals.
         observer = ProgressObserver(every_states=50_000)
         pipeline, oracles, classification = evaluate_case(
@@ -376,19 +405,68 @@ def run_campaign(
         _accumulate(totals, pipeline)
         return pipeline, oracles, classification
 
-    outcomes: List[CaseOutcome] = []
     started = time.perf_counter()
-    for index in range(seeds):
-        seed = base_seed + index
-        case = draw_case(profile, seed, index)
-        pipeline, oracles, classification = evaluate(case)
+    cases = [
+        draw_case(profile, base_seed + index, index)
+        for index in range(seeds)
+    ]
+    job_list = [
+        AnalysisJob.from_case(
+            case,
+            job_id=case.case_id,
+            max_states=budget,
+            fault=fault_name,
+        )
+        for case in cases
+    ]
+
+    def batch_progress(done: int, total: int, result) -> None:
+        if done % 10 == 0 or done == total:
+            status = (result.classification or {}).get("status", "?")
+            mark = " [cached]" if result.cached else ""
+            print(
+                f"  [{done}/{total}] {result.job_id}: "
+                f"{result.verdict} ({status}){mark}",
+                file=sys.stderr,
+            )
+
+    report = run_batch(
+        job_list,
+        workers=jobs,
+        cache=cache,
+        progress=batch_progress
+        if (progress and not callable(progress))
+        else None,
+    )
+
+    for result in report.results:
+        if not result.cached:
+            totals["runs"] += 1
+            totals["states"] += result.states
+            if result.limit_hit is not None:
+                totals["budget_capped"] += 1
+            if result.stats is not None:
+                totals["transitions"] += result.stats.get("transitions", 0)
+                totals["engine_elapsed"] += result.stats.get("elapsed", 0.0)
+                totals["cache_hits"] += result.stats.get("cache_hits", 0)
+                totals["cache_misses"] += result.stats.get(
+                    "cache_misses", 0
+                )
+    totals["verdict_cache_hits"] = report.stats.verdict_cache_hits
+    totals["verdict_cache_misses"] = report.stats.verdict_cache_misses
+
+    outcomes: List[CaseOutcome] = []
+    for index, (case, result) in enumerate(zip(cases, report.results)):
+        if result.error is not None:
+            raise SchedError(f"case {case.case_id}: {result.error}")
+        classification = CaseClassification.from_dict(result.classification)
         outcome = CaseOutcome(
             case,
-            pipeline.verdict.value,
+            result.verdict,
             classification,
-            pipeline.num_states,
-            pipeline.elapsed,
-            pipeline.exploration.limit_hit,
+            result.states,
+            result.elapsed,
+            result.limit_hit,
         )
 
         if classification.status is AgreementStatus.DISAGREED:
@@ -414,7 +492,7 @@ def run_campaign(
                 classification=shrunk_classification,
                 max_states=budget,
                 profile=profile.name,
-                fault=fault.name if fault is not None else None,
+                fault=fault_name,
                 original_case=case,
                 shrink_evaluations=shrink.evaluations,
             )
@@ -424,24 +502,14 @@ def run_campaign(
         outcomes.append(outcome)
         if callable(progress):
             progress(index + 1, seeds, outcome)
-        elif progress and (
-            (index + 1) % 10 == 0
-            or index + 1 == seeds
-            or outcome.bundle_path is not None
-        ):
-            print(
-                f"  [{index + 1}/{seeds}] {case.case_id}: "
-                f"{outcome.verdict} "
-                f"({outcome.classification.status.value})",
-                file=sys.stderr,
-            )
 
     return CampaignReport(
         profile=profile.name,
         seeds=seeds,
         base_seed=base_seed,
-        fault=fault.name if fault is not None else None,
+        fault=fault_name,
         outcomes=outcomes,
         totals=totals,
         elapsed=time.perf_counter() - started,
+        workers=report.workers,
     )

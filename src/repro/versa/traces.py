@@ -39,13 +39,27 @@ class Step:
 
 
 class Trace:
-    """A finite execution from the initial state of an exploration."""
+    """A finite execution from the initial state of an exploration.
 
-    __slots__ = ("initial", "steps")
+    ``deadlocked`` records whether the final state is known to have no
+    outgoing (prioritized) transition: ``True``/``False`` when the
+    producer checked (random walks always do), ``None`` when unknown.
+    Length comparisons against a step budget are *not* a substitute --
+    a walk can hit a deadlock on exactly its last allowed step.
+    """
 
-    def __init__(self, initial: Term, steps: Sequence[Step]) -> None:
+    __slots__ = ("initial", "steps", "deadlocked")
+
+    def __init__(
+        self,
+        initial: Term,
+        steps: Sequence[Step],
+        *,
+        deadlocked: Optional[bool] = None,
+    ) -> None:
         self.initial = initial
         self.steps = list(steps)
+        self.deadlocked = deadlocked
 
     def __len__(self) -> int:
         return len(self.steps)

@@ -54,28 +54,41 @@ def event_first_policy(
     return int(pool[rng.integers(len(pool))])
 
 
+#: A walk seed: an int, a SeedSequence (multi_walk hands spawned
+#: children straight through), or None for fresh entropy.
+Seed = Optional[object]
+
+
 def random_walk(
     system: ClosedSystem,
     *,
     max_steps: int = 100,
-    seed: Optional[int] = None,
+    seed: Seed = None,
     policy: Policy = uniform_policy,
     prioritized: bool = True,
 ) -> Trace:
     """Walk ``max_steps`` transitions from the root (or until deadlock).
 
-    Returns the trace actually taken; ``trace.final_state`` is deadlocked
-    iff the walk stopped early.
+    Returns the trace actually taken.  ``trace.deadlocked`` is always
+    filled in: the engine expands the walk's final state, so a deadlock
+    is detected even when it is reached on exactly the ``max_steps``-th
+    transition (where ``len(trace) < max_steps`` would miss it).
+    ``seed`` accepts an int or a :class:`numpy.random.SeedSequence`.
     """
     strategy = RandomWalk(max_steps=max_steps, seed=seed, policy=policy)
-    explore(
+    result = explore(
         system,
         strategy=strategy,
         prioritized=prioritized,
         budget=Budget(max_states=None),
     )
+    # The only states the walk expands lie on its path, and the walk
+    # stops at the first successor-less one -- so any recorded deadlock
+    # is the final state's.
     return Trace(
-        system.root, [Step(label, state) for label, state in strategy.path]
+        system.root,
+        [Step(label, state) for label, state in strategy.path],
+        deadlocked=bool(result.deadlock_states),
     )
 
 
@@ -84,27 +97,35 @@ def multi_walk(
     *,
     walks: int = 20,
     max_steps: int = 200,
-    seed: Optional[int] = None,
+    seed: Seed = None,
     policy: Policy = uniform_policy,
     prioritized: bool = True,
 ) -> List[Trace]:
     """``walks`` independent random walks, reproducibly seeded.
 
-    Every child walk's seed is drawn from one generator seeded with
-    ``seed``, so a fixed seed makes the whole batch -- every trace,
-    byte for byte -- deterministic.  The differential oracle and the
-    statistical smoke tests both rely on that determinism.
+    Child seeds come from ``np.random.SeedSequence(seed).spawn(walks)``,
+    which guarantees statistically independent, collision-free child
+    streams -- drawing raw integers from one generator (the previous
+    scheme) can collide on small seed spaces.  A fixed ``seed`` makes
+    the whole batch -- every trace, byte for byte -- deterministic; the
+    differential oracle and the statistical smoke tests both rely on
+    that determinism (pinned by ``tests/test_versa_walk_weak.py``).
     """
-    rng = np.random.default_rng(seed)
+    base = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    children = base.spawn(walks)
     return [
         random_walk(
             system,
             max_steps=max_steps,
-            seed=int(rng.integers(2**31)),
+            seed=child,
             policy=policy,
             prioritized=prioritized,
         )
-        for _ in range(walks)
+        for child in children
     ]
 
 
@@ -113,13 +134,17 @@ def walk_statistics(
     *,
     walks: int = 20,
     max_steps: int = 200,
-    seed: Optional[int] = None,
+    seed: Seed = None,
 ) -> dict:
     """Aggregate several uniform walks: deadlock hit-rate and depths.
 
     A cheap statistical smoke test: a nonzero ``deadlock_rate`` proves
     unschedulability (witnessed), but zero proves nothing -- use the
-    explorer for the real verdict.
+    explorer for the real verdict.  Deadlocks are decided by the final
+    state's enabled transitions (``trace.deadlocked``), not by the walk
+    length: a walk whose shortest deadlock lies exactly ``max_steps``
+    deep still counts, and a future early-stop reason cannot be
+    miscounted as a deadlock.
     """
     traces = multi_walk(
         system, walks=walks, max_steps=max_steps, seed=seed
@@ -128,10 +153,11 @@ def walk_statistics(
     durations = []
     for trace in traces:
         durations.append(trace.duration)
-        if len(trace) < max_steps:
+        if trace.deadlocked:
             deadlocks += 1
     return {
         "walks": walks,
+        "deadlocks": deadlocks,
         "deadlock_rate": deadlocks / walks if walks else 0.0,
         "mean_duration": float(np.mean(durations)) if durations else 0.0,
         "max_duration": max(durations, default=0),

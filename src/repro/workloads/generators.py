@@ -71,6 +71,39 @@ def random_periodic_system(
     return task_set_to_system(tasks, scheduling=scheduling)
 
 
+def sweep_task_sets(
+    n_threads: int,
+    utilizations: Sequence[float],
+    *,
+    generator: str = "uniform",
+    periods: Optional[Sequence[int]] = None,
+    base_seed: int = 0,
+    **params,
+):
+    """Deterministic ``(label, TaskSet)`` pairs over a utilization grid.
+
+    One task set per utilization point, each drawn from the named
+    :data:`~repro.workloads.taskgen.GENERATORS` entry with its own seed
+    (``base_seed + index``) -- the unit of work for batch workload
+    sweeps (:mod:`repro.batch.sweeps`) and scaling studies.
+    """
+    from repro.workloads.taskgen import generate_task_set
+
+    if periods is not None:
+        params = {"periods": tuple(periods), **params}
+    pairs = []
+    for index, utilization in enumerate(utilizations):
+        tasks = generate_task_set(
+            generator,
+            n_threads,
+            float(utilization),
+            rng=np.random.default_rng(base_seed + index),
+            **params,
+        )
+        pairs.append((f"{generator}-u{float(utilization):.3f}", tasks))
+    return pairs
+
+
 def chain_system(
     n_stages: int,
     *,

@@ -86,6 +86,49 @@ class TestAnalyze:
         assert "error" in capsys.readouterr().err
 
 
+class TestExitCodeContract:
+    """0 schedulable, 1 unschedulable, 2 usage/model error, 3 unknown."""
+
+    def test_schedulable_is_zero(self, cc_file):
+        assert main(["analyze", cc_file]) == 0
+
+    def test_unschedulable_is_one(self, cc_overloaded):
+        assert main(["analyze", cc_overloaded]) == 1
+
+    def test_unknown_is_three(self, cc_file, capsys):
+        # A budget too small to decide truncates the exploration.
+        assert main(["analyze", cc_file, "--max-states", "10"]) == 3
+        assert "verdict: unknown" in capsys.readouterr().out
+
+    def test_usage_error_is_two(self, capsys):
+        assert main(["analyze", "/nonexistent.aadl"]) == 2
+
+    def test_verdict_enum_carries_the_contract(self):
+        from repro.analysis import Verdict
+
+        assert Verdict.SCHEDULABLE.exit_code == 0
+        assert Verdict.UNSCHEDULABLE.exit_code == 1
+        assert Verdict.UNKNOWN.exit_code == 3
+
+    def test_acsr_truncated_without_deadlock_is_three(
+        self, cc_file, tmp_path, capsys
+    ):
+        out = tmp_path / "cc.acsr"
+        assert main(["translate", cc_file, "-o", str(out)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["acsr", str(out), "--full", "--max-states", "20"]
+        ) == 3
+        assert "verdict unknown" in capsys.readouterr().out
+
+    def test_help_epilog_documents_the_contract(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "exit status" in out
+        assert "3  verdict unknown" in out
+
+
 class TestValidate:
     def test_valid_model(self, cc_file, capsys):
         assert main(["validate", cc_file]) == 0
@@ -181,6 +224,24 @@ class TestAcsrWalkAndDot:
         path.write_text("process P = {(cpu,1)} : NIL;\nsystem P;\n")
         assert main(["acsr", str(path), "--walk", "10"]) == 1
         assert "deadlock" in capsys.readouterr().out
+
+    def test_walk_deadlock_at_exactly_budget_steps(self, tmp_path, capsys):
+        # Two steps then stuck, walked with --walk 2: the walk is
+        # "full length" yet still ends in a deadlock.
+        path = tmp_path / "edge.acsr"
+        path.write_text(
+            "process P = {(cpu,1)} : {(cpu,1)} : NIL;\nsystem P;\n"
+        )
+        assert main(["acsr", str(path), "--walk", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "walk of 2 step(s)" in out
+        assert "walk ended in a deadlock" in out
+
+    def test_walk_truncated_live_system_is_clean(self, tmp_path, capsys):
+        path = tmp_path / "live.acsr"
+        path.write_text("process P = idle : P;\nsystem P;\n")
+        assert main(["acsr", str(path), "--walk", "4"]) == 0
+        assert "deadlock" not in capsys.readouterr().out
 
     def test_dot_export(self, acsr_file, tmp_path, capsys):
         dot = tmp_path / "out.dot"

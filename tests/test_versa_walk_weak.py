@@ -109,7 +109,53 @@ class TestRandomWalk:
             looping_system, walks=5, max_steps=30, seed=1
         )
         assert stats["deadlock_rate"] == 0.0
+        assert stats["deadlocks"] == 0
         assert stats["mean_duration"] > 0
+
+    def test_trace_records_deadlock_flag(self, looping_system):
+        env = ProcessEnv()
+        env.define("D", (), action({"cpu": 1}) >> nil())
+        dead = random_walk(env.close(proc("D")), max_steps=50, seed=0)
+        assert dead.deadlocked is True
+        live = random_walk(looping_system, max_steps=10, seed=0)
+        assert live.deadlocked is False
+
+    def test_deadlock_at_exactly_max_steps_counted(self):
+        # The boundary case the old length-based heuristic missed: the
+        # walk budget runs out on the same step that reaches the stuck
+        # state, so len(trace) == max_steps yet the walk deadlocked.
+        env = ProcessEnv()
+        n = var("n")
+        env.define(
+            "C", ("n",), guard(n < 3, action({"cpu": 1}) >> proc("C", n + 1))
+        )
+        system = env.close(proc("C", 0))
+        trace = random_walk(system, max_steps=3, seed=0)
+        assert len(trace) == 3
+        assert trace.deadlocked is True
+        stats = walk_statistics(system, walks=4, max_steps=3, seed=1)
+        assert stats["deadlocks"] == 4
+        assert stats["deadlock_rate"] == 1.0
+
+    def test_multi_walk_seed_sequence_determinism(self, looping_system):
+        from repro.versa import multi_walk
+
+        first = multi_walk(looping_system, walks=6, max_steps=12, seed=9)
+        second = multi_walk(looping_system, walks=6, max_steps=12, seed=9)
+        assert [t.labels() for t in first] == [t.labels() for t in second]
+        # Spawned child streams must be pairwise independent: sibling
+        # walks of a branching system should not all replay one stream.
+        import numpy as np
+
+        spawned = multi_walk(
+            looping_system,
+            walks=3,
+            max_steps=12,
+            seed=np.random.SeedSequence(9),
+        )
+        assert [t.labels() for t in spawned] == [
+            t.labels() for t in first[:3]
+        ]
 
 
 class TestWeakBisimulation:
