@@ -487,12 +487,21 @@ def instantiate(
                 f"{target.name}: unknown mode {mode!r}; declared: "
                 + ", ".join(m.name for m in target.modes.values())
             )
-    root = SystemInstance(root_name or impl.type_name, ctype, impl, model)
-    root.active_modes = {}
-    _expand(root, model, overrides)
-    _resolve_semantic_connections(root, overrides)
-    _resolve_access_connections(root, overrides)
-    _resolve_bindings(root)
+    from repro.obs.tracer import current_tracer
+
+    with current_tracer().span("aadl.instantiate", root=root_impl) as span:
+        root = SystemInstance(
+            root_name or impl.type_name, ctype, impl, model
+        )
+        root.active_modes = {}
+        _expand(root, model, overrides)
+        _resolve_semantic_connections(root, overrides)
+        _resolve_access_connections(root, overrides)
+        _resolve_bindings(root)
+        span.set(
+            threads=len(root.threads()),
+            connections=len(root.connections),
+        )
     return root
 
 

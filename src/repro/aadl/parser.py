@@ -514,6 +514,13 @@ def _merge_arrows(tokens: List[_Token]) -> List[_Token]:
 
 def parse_model(text: str) -> DeclarativeModel:
     """Parse textual AADL into a :class:`DeclarativeModel`."""
-    parser = _Parser(text)
-    model = parser.parse_model()
+    from repro.obs.tracer import current_tracer
+
+    with current_tracer().span("aadl.parse", chars=len(text)) as span:
+        parser = _Parser(text)
+        model = parser.parse_model()
+        span.set(
+            types=len(model.types()),
+            implementations=len(model.implementations()),
+        )
     return model

@@ -129,45 +129,58 @@ def analyze_model(
     keeps counterexamples shortest) and ``observers`` attaches engine
     instrumentation hooks to the run.
     """
-    if isinstance(model, DeclarativeModel):
-        if root_impl is None:
-            raise ValueError(
-                "root_impl is required when passing a declarative model"
+    from repro.obs.tracer import current_tracer
+
+    tracer = current_tracer()
+    with tracer.span("analysis.analyze") as analyze_span:
+        if isinstance(model, DeclarativeModel):
+            if root_impl is None:
+                raise ValueError(
+                    "root_impl is required when passing a declarative model"
+                )
+            instance = instantiate(model, root_impl)
+        else:
+            instance = model
+        analyze_span.set(root=instance.qualified_name)
+
+        if options is None:
+            options = TranslationOptions(quantum=quantum)
+        elif quantum is not None:
+            options.quantum = quantum
+
+        translation = translate(instance, options)
+        exploration = explore(
+            translation.system,
+            strategy=strategy,
+            budget=Budget(
+                max_states=max_states,
+                max_seconds=max_seconds,
+                on_limit="truncate",
+            ),
+            stop_at_first_deadlock=stop_at_first_deadlock,
+            observers=observers,
+        )
+
+        trace = exploration.first_deadlock_trace()
+        if trace is not None:
+            # A deadlock witness is definitive even on a truncated run.
+            with tracer.span("analysis.raise") as raise_span:
+                scenario = raise_trace(translation, trace, deadlocked=True)
+                raise_span.incr("trace_steps", len(trace)).incr(
+                    "events", len(scenario.events)
+                )
+            analyze_span.set(verdict=Verdict.UNSCHEDULABLE.value)
+            return AnalysisResult(
+                Verdict.UNSCHEDULABLE, translation, exploration, scenario
             )
-        instance = instantiate(model, root_impl)
-    else:
-        instance = model
-
-    if options is None:
-        options = TranslationOptions(quantum=quantum)
-    elif quantum is not None:
-        options.quantum = quantum
-
-    translation = translate(instance, options)
-    exploration = explore(
-        translation.system,
-        strategy=strategy,
-        budget=Budget(
-            max_states=max_states,
-            max_seconds=max_seconds,
-            on_limit="truncate",
-        ),
-        stop_at_first_deadlock=stop_at_first_deadlock,
-        observers=observers,
-    )
-
-    trace = exploration.first_deadlock_trace()
-    if trace is not None:
-        # A deadlock witness is definitive even on a truncated run.
-        scenario = raise_trace(translation, trace, deadlocked=True)
-        return AnalysisResult(
-            Verdict.UNSCHEDULABLE, translation, exploration, scenario
-        )
-    if exploration.completed:
-        return AnalysisResult(
-            Verdict.SCHEDULABLE, translation, exploration, None
-        )
-    # Truncated and deadlock-less: the budget was exhausted before the
-    # space was covered, so nothing was proved either way.  (Previously
-    # a truncated full-space run could silently read as schedulable.)
-    return AnalysisResult(Verdict.UNKNOWN, translation, exploration, None)
+        if exploration.completed:
+            analyze_span.set(verdict=Verdict.SCHEDULABLE.value)
+            return AnalysisResult(
+                Verdict.SCHEDULABLE, translation, exploration, None
+            )
+        # Truncated and deadlock-less: the budget was exhausted before
+        # the space was covered, so nothing was proved either way.
+        # (Previously a truncated full-space run could silently read as
+        # schedulable.)
+        analyze_span.set(verdict=Verdict.UNKNOWN.value)
+        return AnalysisResult(Verdict.UNKNOWN, translation, exploration, None)

@@ -22,10 +22,19 @@ def render_timeline(scenario) -> str:
         return "  <no timeline>"
     width = max(len(qual) for qual in scenario.activity)
     lines: List[str] = []
-    header = " " * (width + 2) + "".join(
+    # Ruler: the ones row alone (t % 10) is ambiguous past t=9, so long
+    # scenarios get a tens row above it -- a digit at every multiple of
+    # ten, blanks elsewhere, reading vertically as the full tick value.
+    if scenario.duration > 10:
+        tens = " " * (width + 2) + "".join(
+            str((t // 10) % 10) if t % 10 == 0 else " "
+            for t in range(scenario.duration)
+        )
+        lines.append(tens)
+    ones = " " * (width + 2) + "".join(
         str(t % 10) for t in range(scenario.duration)
     )
-    lines.append(header)
+    lines.append(ones)
     for qual in sorted(scenario.activity):
         row = "".join(
             _SYMBOLS.get(slot, "?") for slot in scenario.activity[qual]
@@ -40,7 +49,16 @@ def render_timeline(scenario) -> str:
 
 def _event_marks(scenario) -> List[str]:
     marks: List[str] = []
+    # queue_overflow included so Error-protocol scenarios mark the
+    # failing connection under the chart, not just in the prose summary.
     for event in scenario.events:
-        if event.kind in ("dispatch", "complete", "deadline_miss"):
-            marks.append(f"  t={event.time:<4d} {event.kind:<14s} {event.element}")
+        if event.kind in (
+            "dispatch",
+            "complete",
+            "deadline_miss",
+            "queue_overflow",
+        ):
+            marks.append(
+                f"  t={event.time:<4d} {event.kind:<14s} {event.element}"
+            )
     return marks

@@ -270,17 +270,26 @@ def execute_job(job: AnalysisJob) -> JobResult:
     than raised, so one malformed model cannot abort a whole batch; the
     report maps them to the usage-error exit code.
     """
-    try:
-        if job.kind == "case":
-            return _execute_case(job)
-        return _execute_aadl(job)
-    except ReproError as exc:
-        return JobResult(
-            job_id=job.job_id,
-            kind=job.kind,
-            verdict="error",
-            error=str(exc),
-        )
+    from repro.obs.tracer import current_tracer
+
+    with current_tracer().span(
+        "batch.job", job_id=job.job_id, kind=job.kind
+    ) as span:
+        try:
+            if job.kind == "case":
+                result = _execute_case(job)
+            else:
+                result = _execute_aadl(job)
+        except ReproError as exc:
+            span.set(verdict="error")
+            return JobResult(
+                job_id=job.job_id,
+                kind=job.kind,
+                verdict="error",
+                error=str(exc),
+            )
+        span.set(verdict=result.verdict)
+        return result
 
 
 def _execute_aadl(job: AnalysisJob) -> JobResult:

@@ -48,8 +48,25 @@ def resolve_workers(workers: Optional[int]) -> int:
 
 def _execute_payload(data: Dict) -> Dict:
     """Pool target: dict in, dict out (must stay module-level so it
-    pickles under the ``spawn`` start method)."""
-    return execute_job(AnalysisJob.from_dict(data)).to_dict()
+    pickles under the ``spawn`` start method).
+
+    When the parent is tracing, the payload carries a ``_trace_path``:
+    the worker then records its own spans locally (span ids prefixed
+    with the worker id, so a later merge cannot collide) and writes
+    them as JSONL for the parent to fold in after the pool drains --
+    tracing never adds cross-process coordination to the hot path.
+    """
+    trace_path = data.pop("_trace_path", None)
+    if trace_path is None:
+        return execute_job(AnalysisJob.from_dict(data)).to_dict()
+
+    from repro.obs.tracer import Tracer, activate
+
+    tracer = Tracer(worker=f"w{os.getpid()}")
+    with activate(tracer):
+        result = execute_job(AnalysisJob.from_dict(data)).to_dict()
+    tracer.write_jsonl(trace_path)
+    return result
 
 
 def _pool_context():
@@ -161,8 +178,14 @@ def run_batch(
     (the default ``artifacts/cache/`` directory) or None (disabled).
     Results come back in input order regardless of completion order.
     """
+    from repro.obs.tracer import current_tracer
+
     store: Optional[VerdictCache] = resolve_cache(cache)
     n_workers = resolve_workers(workers)
+    tracer = current_tracer()
+    batch_span = tracer.span(
+        "batch.run", jobs=len(jobs), workers=n_workers
+    )
     started = time.perf_counter()
     # Counter baseline, so a shared cache instance reports per-run deltas.
     hits0 = store.hits if store is not None else 0
@@ -209,29 +232,67 @@ def run_batch(
             progress(done, len(jobs), result)
 
     if len(pending) <= 1 or n_workers <= 1:
+        # Inline path: jobs run in-process, so the parent tracer sees
+        # their spans directly.
         for index in pending:
             finish(index, execute_job(jobs[index]))
     else:
         payloads = [jobs[index].to_dict() for index in pending]
-        with _pool_context().Pool(min(n_workers, len(pending))) as pool:
-            for index, data in zip(
-                pending, pool.imap(_execute_payload, payloads)
-            ):
-                finish(index, JobResult.from_dict(data))
+        trace_dir: Optional[str] = None
+        if tracer.enabled:
+            import tempfile
+
+            trace_dir = tempfile.mkdtemp(prefix="repro-batch-trace-")
+            for position, payload in enumerate(payloads):
+                payload["_trace_path"] = os.path.join(
+                    trace_dir, f"job-{position}.jsonl"
+                )
+        try:
+            with _pool_context().Pool(min(n_workers, len(pending))) as pool:
+                for index, data in zip(
+                    pending, pool.imap(_execute_payload, payloads)
+                ):
+                    finish(index, JobResult.from_dict(data))
+        finally:
+            if trace_dir is not None:
+                import shutil
+
+                # Fold every worker's local trace into the parent's,
+                # tagged with the recording worker's id and re-rooted
+                # under the open batch.run span.
+                for name in sorted(os.listdir(trace_dir)):
+                    try:
+                        tracer.merge_file(os.path.join(trace_dir, name))
+                    except (OSError, ValueError):
+                        pass  # a crashed worker leaves no usable trace
+                shutil.rmtree(trace_dir, ignore_errors=True)
 
     final = [result for result in results if result is not None]
+    wall = time.perf_counter() - started
+    # The aggregate keeps the additive per-job loop time in ``elapsed``
+    # (a CPU-time sum once jobs ran in parallel) but takes its
+    # ``wall_elapsed`` -- the states/s denominator -- from the pool's
+    # own wall clock, measured right here.
     stats = EngineStats.aggregate(
-        EngineStats.from_dict(result.stats)
-        for result in final
-        if result.stats is not None and not result.cached
+        (
+            EngineStats.from_dict(result.stats)
+            for result in final
+            if result.stats is not None and not result.cached
+        ),
+        wall_elapsed=wall,
     )
     if store is not None:
         stats.verdict_cache_hits = store.hits - hits0
         stats.verdict_cache_misses = store.misses - misses0
+    batch_span.set(
+        cache_hits=stats.verdict_cache_hits,
+        cache_misses=stats.verdict_cache_misses,
+    ).incr("states", stats.states)
+    batch_span.finish()
     return BatchReport(
         results=final,
         workers=n_workers,
-        elapsed=time.perf_counter() - started,
+        elapsed=wall,
         stats=stats,
         cache_dir=store.directory if store is not None else None,
     )

@@ -15,6 +15,15 @@ scenario.  The CLI exposes each step plus the baselines::
     repro batch cache                               # inspect the cache
     repro oracle run --seeds 200 --profile smoke    # differential campaign
     repro oracle replay artifacts/oracle/x.json     # re-run a repro bundle
+    repro analyze model.aadl --trace out.jsonl      # record a span trace
+    repro trace summary out.jsonl                   # per-stage profile
+
+``--trace [PATH]`` records a structured span trace of the whole
+pipeline (JSONL under ``artifacts/traces/`` by default) and
+``--profile`` prints the per-stage summary table after the run; both
+are available on ``analyze``, ``acsr``, ``batch run`` and ``oracle
+run`` (there as ``--span-profile``, since ``--profile`` already names
+the campaign envelope).  See docs/observability.md.
 
 (Equivalently: ``python -m repro ...``.)
 
@@ -76,6 +85,44 @@ def _cache_spec(args):
     if getattr(args, "cache_dir", None):
         return args.cache_dir
     return True if getattr(args, "cache", False) else None
+
+
+def _default_trace_path(command: str) -> str:
+    import os
+    import time
+
+    from repro.obs.tracer import DEFAULT_TRACES_DIR
+
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    return os.path.join(
+        DEFAULT_TRACES_DIR, f"{command}-{stamp}-{os.getpid()}.jsonl"
+    )
+
+
+def _dispatch(args) -> int:
+    """Run the selected subcommand, wrapped in a recording tracer when
+    ``--trace``/``--profile`` ask for one (otherwise the no-op tracer
+    stays installed and tracing costs nothing)."""
+    trace_arg = getattr(args, "trace", None)
+    profiling = getattr(args, "span_profile", False)
+    if trace_arg is None and not profiling:
+        return args.func(args)
+
+    from repro.obs import Tracer, activate, summarize
+
+    tracer = Tracer()
+    with activate(tracer):
+        status = args.func(args)
+    if trace_arg is not None:
+        path = trace_arg or _default_trace_path(args.command)
+        tracer.write_jsonl(path)
+        print(
+            f"wrote trace ({len(tracer.spans)} spans) to {path}",
+            file=sys.stderr,
+        )
+    if profiling:
+        print(summarize(tracer.records()).format(), file=sys.stderr)
+    return status
 
 
 def _run_file_batch(args, paths: List[str]) -> int:
@@ -183,8 +230,10 @@ def cmd_translate(args) -> int:
 def cmd_acsr(args) -> int:
     from repro.engine import Budget, ProgressObserver, explore
     from repro.acsr import parse_env
+    from repro.obs.tracer import current_tracer
 
-    env, root = parse_env(_read(args.file))
+    with current_tracer().span("acsr.parse", file=args.file):
+        env, root = parse_env(_read(args.file))
     if root is None:
         raise ReproError(f"{args.file}: no 'system' declaration")
     system = env.close(root)
@@ -295,6 +344,13 @@ def cmd_batch_cache(args) -> int:
     return 0
 
 
+def cmd_trace_summary(args) -> int:
+    from repro.obs import summarize_file
+
+    print(summarize_file(args.path, top=args.top).format())
+    return 0
+
+
 def cmd_oracle_replay(args) -> int:
     from repro.oracle import ReproBundle, replay_bundle
 
@@ -370,6 +426,24 @@ def build_parser() -> argparse.ArgumentParser:
             help="verdict-cache directory (implies --cache)",
         )
 
+    def tracing_options(p, profile_flag="--profile"):
+        p.add_argument(
+            "--trace",
+            nargs="?",
+            const="",
+            default=None,
+            metavar="PATH",
+            help="record a JSONL span trace of the run (default PATH "
+            "under artifacts/traces/)",
+        )
+        p.add_argument(
+            profile_flag,
+            dest="span_profile",
+            action="store_true",
+            help="print the per-stage span profile to stderr after "
+            "the run",
+        )
+
     def common(p, needs_root=True, multi=False):
         if multi:
             p.add_argument(
@@ -407,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p_analyze, multi=True)
     pool_options(p_analyze)
+    tracing_options(p_analyze)
     p_analyze.add_argument(
         "--all-modes",
         action="store_true",
@@ -493,6 +568,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="report progress to stderr every N expanded states",
     )
+    tracing_options(p_acsr)
     p_acsr.set_defaults(func=cmd_acsr)
 
     p_batch = sub.add_parser(
@@ -515,6 +591,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print aggregated engine statistics for the whole batch",
     )
+    tracing_options(p_batch_run)
     p_batch_run.set_defaults(func=cmd_batch_run)
 
     p_batch_cache = batch_sub.add_parser(
@@ -585,6 +662,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="report campaign progress to stderr",
     )
     pool_options(p_run)
+    # --profile names the campaign envelope here, so the span profiler
+    # rides under --span-profile (same dest as --profile elsewhere).
+    tracing_options(p_run, profile_flag="--span-profile")
     p_run.set_defaults(func=cmd_oracle_run)
 
     p_replay = oracle_sub.add_parser(
@@ -605,6 +685,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_replay.set_defaults(func=cmd_oracle_replay)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="inspect recorded span traces (see --trace / --profile)",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_trace_summary = trace_sub.add_parser(
+        "summary",
+        help="validate a JSONL trace and render per-stage totals, span "
+        "counts and the slowest spans",
+    )
+    p_trace_summary.add_argument("path", help="trace file (JSONL)")
+    p_trace_summary.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="N",
+        help="number of slowest spans to list (default 5)",
+    )
+    p_trace_summary.set_defaults(func=cmd_trace_summary)
+
     p_sim = sub.add_parser(
         "simulate",
         help="Cheddar-style scheduler simulation (one run per processor)",
@@ -624,7 +724,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        return _dispatch(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -88,7 +88,60 @@ def explore(
     Returns:
         An :class:`~repro.engine.result.ExplorationResult` whose
         ``stats`` attribute carries the run's :class:`EngineStats`.
+
+    When a recording tracer is installed (:mod:`repro.obs`), the run is
+    wrapped in an ``engine.explore`` span whose annotations come from
+    the observer event stream itself -- one
+    :class:`~repro.obs.bridge.SpanObserver` joins the observer list, so
+    tracing adds no second callback path and the disabled tracer costs
+    one attribute read per call.
     """
+    from repro.obs.tracer import current_tracer
+
+    tracer = current_tracer()
+    if tracer.enabled:
+        from repro.obs.bridge import SpanObserver
+
+        with tracer.span("engine.explore") as span:
+            return _explore(
+                system,
+                strategy=strategy,
+                prioritized=prioritized,
+                budget=budget,
+                store_transitions=store_transitions,
+                stop_at_first_deadlock=stop_at_first_deadlock,
+                target=target,
+                stop_at_target=stop_at_target,
+                observers=[combine(observers), SpanObserver(span)],
+                provider=provider,
+            )
+    return _explore(
+        system,
+        strategy=strategy,
+        prioritized=prioritized,
+        budget=budget,
+        store_transitions=store_transitions,
+        stop_at_first_deadlock=stop_at_first_deadlock,
+        target=target,
+        stop_at_target=stop_at_target,
+        observers=observers,
+        provider=provider,
+    )
+
+
+def _explore(
+    system: "ClosedSystem",
+    *,
+    strategy: Union[SearchStrategy, str, None],
+    prioritized: bool,
+    budget: Optional[Budget],
+    store_transitions: bool,
+    stop_at_first_deadlock: bool,
+    target: Optional[Callable[["Term"], bool]],
+    stop_at_target: bool,
+    observers: Union[Observer, Iterable[Observer], None],
+    provider: Optional[SuccessorProvider],
+) -> ExplorationResult:
     search = make_strategy(strategy)
     if provider is None:
         provider = SuccessorProvider(system, prioritized=prioritized)
@@ -227,6 +280,7 @@ def explore(
         transitions=num_transitions,
         expanded=expanded,
         elapsed=elapsed,
+        wall_elapsed=elapsed,
         frontier_peak=frontier_peak,
         parent_map_bytes=sys.getsizeof(parent),
         cache_hits=hits1 - hits0,

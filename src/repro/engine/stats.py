@@ -24,8 +24,16 @@ class EngineStats:
         expanded: states whose successor set was computed (a random walk
             may expand fewer -- or, revisiting, more -- than it
             discovers).
-        elapsed: wall-clock seconds.
-        states_per_second: discovery throughput (0.0 for instant runs).
+        elapsed: engine-loop seconds.  Additive under :meth:`aggregate`,
+            which makes it a *CPU-time sum* for a parallel batch, not a
+            wall-clock reading -- see ``wall_elapsed``.
+        wall_elapsed: honest wall-clock seconds.  Equals ``elapsed`` for
+            a single run; for an aggregate the pool sets it from a real
+            wall-clock measurement (summing per-worker ``elapsed``
+            across parallel workers would overstate the wall time by up
+            to the worker count).
+        states_per_second: discovery throughput, computed from
+            ``wall_elapsed`` (0.0 for instant runs).
         frontier_peak: largest frontier size observed.
         parent_map_bytes: memory footprint of the parent (BFS-tree) map
             itself, excluding the interned terms it references.
@@ -46,6 +54,7 @@ class EngineStats:
         "transitions",
         "expanded",
         "elapsed",
+        "wall_elapsed",
         "frontier_peak",
         "parent_map_bytes",
         "cache_hits",
@@ -72,12 +81,16 @@ class EngineStats:
         limit_hit: Optional[str],
         verdict_cache_hits: int = 0,
         verdict_cache_misses: int = 0,
+        wall_elapsed: Optional[float] = None,
     ) -> None:
         self.strategy = strategy
         self.states = states
         self.transitions = transitions
         self.expanded = expanded
         self.elapsed = elapsed
+        #: None is only a constructor convenience: a single run's wall
+        #: clock IS its loop time.
+        self.wall_elapsed = elapsed if wall_elapsed is None else wall_elapsed
         self.frontier_peak = frontier_peak
         self.parent_map_bytes = parent_map_bytes
         self.cache_hits = cache_hits
@@ -89,7 +102,11 @@ class EngineStats:
 
     @property
     def states_per_second(self) -> float:
-        return self.states / self.elapsed if self.elapsed > 0 else 0.0
+        """Throughput over the honest denominator: wall clock, never the
+        per-worker CPU sum (which would understate a parallel batch)."""
+        return (
+            self.states / self.wall_elapsed if self.wall_elapsed > 0 else 0.0
+        )
 
     @property
     def cache_hit_rate(self) -> float:
@@ -108,6 +125,7 @@ class EngineStats:
             "transitions": self.transitions,
             "expanded": self.expanded,
             "elapsed": self.elapsed,
+            "wall_elapsed": self.wall_elapsed,
             "states_per_second": self.states_per_second,
             "frontier_peak": self.frontier_peak,
             "parent_map_bytes": self.parent_map_bytes,
@@ -130,6 +148,7 @@ class EngineStats:
             transitions=data.get("transitions", 0),
             expanded=data.get("expanded", 0),
             elapsed=data.get("elapsed", 0.0),
+            wall_elapsed=data.get("wall_elapsed"),
             frontier_peak=data.get("frontier_peak", 0),
             parent_map_bytes=data.get("parent_map_bytes", 0),
             cache_hits=data.get("cache_hits", 0),
@@ -146,6 +165,7 @@ class EngineStats:
         snapshots: Iterable["EngineStats"],
         *,
         strategy: str = "aggregate",
+        wall_elapsed: Optional[float] = None,
     ) -> "EngineStats":
         """Merge several run snapshots into one additive aggregate.
 
@@ -153,6 +173,16 @@ class EngineStats:
         is dropped (per-run budgets do not compose into one).  This is
         how :mod:`repro.batch` folds per-worker statistics into one
         campaign-level snapshot.
+
+        ``elapsed`` stays the additive CPU-time sum.  ``wall_elapsed``
+        must come from a real wall-clock measurement when the runs
+        overlapped in time -- the pool passes its own ``perf_counter``
+        delta here (or assigns the attribute afterwards); without one,
+        the sum is used, which is only honest for sequential runs.
+        Summing per-worker loop times and calling it wall clock is
+        exactly the bug this field exists to fix: after ``batch run
+        --jobs N`` it inflated ``elapsed:`` and deflated
+        ``states_per_second`` by up to a factor of N.
         """
         total = cls(
             strategy=strategy,
@@ -160,6 +190,7 @@ class EngineStats:
             transitions=0,
             expanded=0,
             elapsed=0.0,
+            wall_elapsed=0.0,
             frontier_peak=0,
             parent_map_bytes=0,
             cache_hits=0,
@@ -181,16 +212,29 @@ class EngineStats:
             total.cache_evictions += snap.cache_evictions
             total.verdict_cache_hits += snap.verdict_cache_hits
             total.verdict_cache_misses += snap.verdict_cache_misses
+        total.wall_elapsed = (
+            wall_elapsed if wall_elapsed is not None else total.elapsed
+        )
         return total
 
     def format(self) -> str:
         """Multi-line rendering for the CLI."""
+        if self.wall_elapsed != self.elapsed:
+            elapsed_line = (
+                f"elapsed: {self.elapsed:.3f}s cpu, "
+                f"{self.wall_elapsed:.3f}s wall  "
+                f"({self.states_per_second:,.0f} states/s)"
+            )
+        else:
+            elapsed_line = (
+                f"elapsed: {self.elapsed:.3f}s  "
+                f"({self.states_per_second:,.0f} states/s)"
+            )
         lines = [
             f"strategy: {self.strategy}",
             f"states: {self.states}  transitions: {self.transitions}  "
             f"expanded: {self.expanded}",
-            f"elapsed: {self.elapsed:.3f}s  "
-            f"({self.states_per_second:,.0f} states/s)",
+            elapsed_line,
             f"frontier peak: {self.frontier_peak}  "
             f"parent map: {self.parent_map_bytes / 1024:.1f} KiB",
             f"cache: {self.cache_hits} hits / {self.cache_misses} misses "

@@ -1,0 +1,43 @@
+"""Bridging engine Observer events into span annotations.
+
+The exploration loop already has one instrumentation seam -- the
+:class:`~repro.engine.observers.Observer` hook stream -- and the tracer
+must not become a second one.  :class:`SpanObserver` is an ordinary
+observer that annotates the *current engine span* from the event
+stream: deadlocks and budget hits become counters/attrs, and the final
+:class:`~repro.engine.stats.EngineStats` snapshot is copied onto the
+span at ``on_finish``.  The engine attaches one automatically when (and
+only when) a recording tracer is installed, so the disabled path never
+constructs an observer at all.
+"""
+
+from __future__ import annotations
+
+from repro.engine.observers import Observer
+
+
+class SpanObserver(Observer):
+    """Annotate one span from the engine's event stream."""
+
+    def __init__(self, span) -> None:
+        self.span = span
+
+    def on_deadlock(self, state) -> None:
+        self.span.incr("deadlocks")
+
+    def on_target(self, state) -> None:
+        self.span.incr("targets")
+
+    def on_limit(self, kind: str, states_explored: int) -> None:
+        self.span.set(limit_hit=kind)
+
+    def on_finish(self, result) -> None:
+        stats = result.stats
+        if stats is None:
+            return
+        self.span.set(strategy=stats.strategy, completed=result.completed)
+        self.span.incr("states", stats.states)
+        self.span.incr("transitions", stats.transitions)
+        self.span.incr("expanded", stats.expanded)
+        self.span.incr("cache_hits", stats.cache_hits)
+        self.span.incr("cache_misses", stats.cache_misses)

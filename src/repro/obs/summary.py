@@ -1,0 +1,161 @@
+"""In-process trace summaries: per-stage totals and slowest spans.
+
+The companion to :mod:`repro.obs.tracer`: given a list of span records
+(live from a :class:`~repro.obs.tracer.Tracer` or loaded from a JSONL
+file), aggregate per-stage totals and render the table behind the CLI
+``--profile`` flag and the ``repro trace summary`` subcommand.
+
+"Self time" is a span's elapsed minus its direct children's elapsed --
+the cost attributable to the stage itself rather than to the stages it
+invoked, which is what makes a nested profile readable (the umbrella
+``analysis.analyze`` span would otherwise dominate every table).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+
+class StageTotal:
+    """Aggregate of every span sharing one name."""
+
+    __slots__ = ("name", "count", "total", "self_total", "max_elapsed", "counters")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.self_total = 0.0
+        self.max_elapsed = 0.0
+        self.counters: Dict[str, int] = {}
+
+    def add(self, elapsed: float, self_elapsed: float, counters: Dict[str, int]) -> None:
+        self.count += 1
+        self.total += elapsed
+        self.self_total += self_elapsed
+        self.max_elapsed = max(self.max_elapsed, elapsed)
+        for key, value in counters.items():
+            self.counters[key] = self.counters.get(key, 0) + value
+
+
+class TraceSummary:
+    """Per-stage totals plus the top-N slowest individual spans."""
+
+    def __init__(
+        self,
+        stages: List[StageTotal],
+        slowest: List[Dict[str, Any]],
+        *,
+        span_count: int,
+        workers: List[str],
+    ) -> None:
+        #: stage totals, sorted by self time (descending)
+        self.stages = stages
+        #: the slowest individual span records
+        self.slowest = slowest
+        self.span_count = span_count
+        #: distinct worker ids seen in the trace ([] for single-process)
+        self.workers = workers
+
+    def format(self) -> str:
+        lines = [
+            f"trace: {self.span_count} span(s), "
+            f"{len(self.stages)} stage(s)"
+            + (
+                f", {len(self.workers)} worker(s): "
+                + ", ".join(self.workers)
+                if self.workers
+                else ""
+            )
+        ]
+        name_width = max([len(s.name) for s in self.stages] + [5])
+        lines.append(
+            f"  {'stage':<{name_width}}  {'count':>5}  {'total':>9}  "
+            f"{'self':>9}  {'max':>9}"
+        )
+        for stage in self.stages:
+            lines.append(
+                f"  {stage.name:<{name_width}}  {stage.count:>5}  "
+                f"{stage.total:>8.3f}s  {stage.self_total:>8.3f}s  "
+                f"{stage.max_elapsed:>8.3f}s"
+            )
+            interesting = {
+                k: v for k, v in sorted(stage.counters.items()) if v
+            }
+            if interesting:
+                lines.append(
+                    "  " + " " * name_width + "  "
+                    + "  ".join(f"{k}={v}" for k, v in interesting.items())
+                )
+        if self.slowest:
+            lines.append(f"slowest span(s):")
+            for record in self.slowest:
+                worker = record.get("worker") or (
+                    record.get("attrs", {}) or {}
+                ).get("worker")
+                tag = f" [{worker}]" if worker else ""
+                lines.append(
+                    f"  {record['elapsed']:>8.3f}s  {record['name']}"
+                    f"{tag}  ({record['span_id']})"
+                )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceSummary(spans={self.span_count}, "
+            f"stages={len(self.stages)})"
+        )
+
+
+def summarize(
+    records: Iterable[Dict[str, Any]], *, top: int = 5
+) -> TraceSummary:
+    """Aggregate span records into a :class:`TraceSummary`.
+
+    Accepts the record list of a live tracer (``tracer.records()``) or
+    a loaded JSONL file; meta records are skipped.
+    """
+    spans = [r for r in records if r.get("type") == "span"]
+
+    # Children's elapsed charged against each parent -> self time.
+    child_time: Dict[Optional[str], float] = {}
+    for record in spans:
+        parent = record.get("parent_id")
+        if parent is not None:
+            child_time[parent] = child_time.get(parent, 0.0) + record["elapsed"]
+
+    by_name: Dict[str, StageTotal] = {}
+    workers: Dict[str, None] = {}
+    for record in spans:
+        stage = by_name.get(record["name"])
+        if stage is None:
+            stage = by_name[record["name"]] = StageTotal(record["name"])
+        self_elapsed = max(
+            0.0, record["elapsed"] - child_time.get(record["span_id"], 0.0)
+        )
+        stage.add(
+            record["elapsed"], self_elapsed, record.get("counters") or {}
+        )
+        worker = record.get("worker") or (record.get("attrs") or {}).get(
+            "worker"
+        )
+        if worker:
+            workers.setdefault(str(worker))
+
+    stages = sorted(
+        by_name.values(), key=lambda s: s.self_total, reverse=True
+    )
+    slowest = sorted(spans, key=lambda r: r["elapsed"], reverse=True)[:top]
+    return TraceSummary(
+        stages,
+        slowest,
+        span_count=len(spans),
+        workers=sorted(workers),
+    )
+
+
+def summarize_file(path: str, *, top: int = 5) -> TraceSummary:
+    """Load, validate and summarize a JSONL trace file."""
+    from repro.obs.schema import validate_file
+
+    return summarize(validate_file(path), top=top)

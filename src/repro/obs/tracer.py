@@ -1,0 +1,405 @@
+"""The span tracer: structured, nested timing for the whole pipeline.
+
+The paper's workflow is a multi-stage pipeline (AADL parse ->
+instantiate -> translate -> engine exploration -> raise), and a slow or
+stuck run is only debuggable when its cost can be *attributed to a
+stage* -- the same discipline the Fiacre/Tina AADL toolchain applies to
+its translation chain.  :class:`Tracer` provides that attribution:
+
+* ``with tracer.span("translate", model=...)`` opens a timed span;
+  spans nest (the tracer keeps a stack), every span records its parent,
+  and timing uses the monotonic clock (``time.perf_counter``);
+* spans carry *attrs* (set once, descriptive: model name, strategy) and
+  *counters* (accumulated: states, cache hits) via :meth:`Span.set` and
+  :meth:`Span.incr`;
+* finished spans are buffered in memory and can be written as JSONL
+  (one object per line, schema in :mod:`repro.obs.schema`) under
+  ``artifacts/traces/`` for offline analysis, or summarized in-process
+  by :mod:`repro.obs.summary`.
+
+Tracing is opt-in and *free when off*: the module-level current tracer
+defaults to a :class:`NullTracer` whose :meth:`~NullTracer.span`
+returns one preallocated no-op context manager -- no allocation, no
+clock reads, no branching beyond a single call.  Instrumented code
+therefore never checks "is tracing enabled"; it just asks
+:func:`current_tracer` (pipeline hot loops are *not* instrumented
+per-iteration -- spans wrap stages, and the engine's per-event stream
+rides the existing Observer hooks, see :mod:`repro.obs.bridge`).
+
+Worker processes (the :mod:`repro.batch` pool) trace locally into their
+own files with a distinguishing span-id prefix; the parent merges the
+child records and tags them with the worker id (see
+:meth:`Tracer.merge_records`), so one trace file covers a whole
+parallel batch without cross-process coordination.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Current trace-schema version; bumped on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+#: Default directory for trace artifacts (mirrors artifacts/oracle and
+#: artifacts/cache).
+DEFAULT_TRACES_DIR = os.path.join("artifacts", "traces")
+
+
+class Span:
+    """One timed, attributed stage of the pipeline.
+
+    Use as a context manager (the normal path) or via explicit
+    :meth:`finish`.  ``attrs`` are descriptive key/values; ``counters``
+    accumulate; both end up in the JSONL record.
+    """
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "span_id",
+        "parent_id",
+        "start",
+        "end",
+        "attrs",
+        "counters",
+        "status",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: str,
+        parent_id: Optional[str],
+        start: float,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs: Dict[str, Any] = dict(attrs or {})
+        self.counters: Dict[str, int] = {}
+        self.status = "ok"
+
+    # -- annotation ------------------------------------------------------
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach descriptive attributes (last write wins)."""
+        self.attrs.update(attrs)
+        return self
+
+    def incr(self, counter: str, amount: int = 1) -> "Span":
+        """Accumulate a named counter."""
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+        return self
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds from start to finish (or to now while still open)."""
+        end = self.end if self.end is not None else self.tracer.clock()
+        return end - self.start
+
+    # -- lifecycle -------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.status = "error"
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.tracer._finish(self)
+
+    def finish(self) -> None:
+        """Close the span outside a ``with`` block."""
+        self.tracer._finish(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "type": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "elapsed": self.elapsed,
+            "status": self.status,
+        }
+        if self.tracer.worker is not None:
+            record["worker"] = self.tracer.worker
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if self.counters:
+            record["counters"] = self.counters
+        return record
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"elapsed={self.elapsed:.6f})"
+        )
+
+
+class _NullSpan:
+    """The do-nothing span: one shared instance, every method a no-op.
+
+    Keeping a single preallocated instance is what makes the disabled
+    path free: ``with current_tracer().span(...)`` costs two method
+    calls and no allocation.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def incr(self, counter: str, amount: int = 1) -> "_NullSpan":
+        return self
+
+    def finish(self) -> None:
+        pass
+
+    @property
+    def elapsed(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging only
+        return "NullSpan()"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: hands out :data:`NULL_SPAN` and records
+    nothing.  Installed by default; instrumented code never needs to
+    check whether tracing is on."""
+
+    __slots__ = ()
+
+    enabled = False
+    worker: Optional[str] = None
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def current(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging only
+        return "NullTracer()"
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """A recording span tracer.
+
+    Args:
+        worker: optional worker id (e.g. ``"w1234"``); stamped on every
+            record and used to prefix span ids so merged multi-process
+            traces keep globally unique ids.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    __slots__ = ("worker", "clock", "spans", "_stack", "_next", "_prefix")
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        worker: Optional[str] = None,
+        clock=time.perf_counter,
+    ) -> None:
+        self.worker = worker
+        self.clock = clock
+        #: finished spans, in completion order
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next = 1
+        self._prefix = f"{worker}." if worker else ""
+
+    # -- span lifecycle --------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a nested span; close it by exiting the ``with`` block."""
+        span = Span(
+            self,
+            name,
+            span_id=f"{self._prefix}s{self._next}",
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            start=self.clock(),
+            attrs=attrs,
+        )
+        self._next += 1
+        self._stack.append(span)
+        return span
+
+    def current(self) -> Any:
+        """The innermost open span (or :data:`NULL_SPAN` outside any)."""
+        return self._stack[-1] if self._stack else NULL_SPAN
+
+    def _finish(self, span: Span) -> None:
+        if span.end is not None:  # already finished (double exit)
+            return
+        span.end = self.clock()
+        # Tolerate out-of-order exits (generators, explicit finish):
+        # remove the span wherever it sits on the stack.
+        try:
+            self._stack.remove(span)
+        except ValueError:
+            pass
+        self.spans.append(span)
+
+    # -- multi-process merging -------------------------------------------
+
+    def merge_records(
+        self,
+        records: Iterable[Dict[str, Any]],
+        *,
+        worker: Optional[str] = None,
+        parent_id: Optional[str] = None,
+    ) -> int:
+        """Fold spans recorded by another tracer (typically a worker
+        process's trace file) into this one.
+
+        Records are re-parented: a child's root spans hang under
+        ``parent_id`` (or this tracer's innermost open span), and every
+        record is tagged with ``worker``.  Returns the number of spans
+        merged.  Span ids stay unique because workers prefix their own.
+        """
+        if parent_id is None:
+            current = self.current()
+            parent_id = getattr(current, "span_id", None)
+        merged = 0
+        for record in records:
+            if record.get("type") != "span":
+                continue
+            span = Span(
+                self,
+                record["name"],
+                span_id=record["span_id"],
+                parent_id=record.get("parent_id") or parent_id,
+                start=record.get("start", 0.0),
+                attrs=record.get("attrs"),
+            )
+            span.end = span.start + record.get("elapsed", 0.0)
+            span.counters = dict(record.get("counters", {}))
+            span.status = record.get("status", "ok")
+            if worker is not None:
+                span.attrs.setdefault("worker", worker)
+            elif record.get("worker") is not None:
+                span.attrs.setdefault("worker", record["worker"])
+            self.spans.append(span)
+            merged += 1
+        return merged
+
+    def merge_file(
+        self, path: str, *, worker: Optional[str] = None
+    ) -> int:
+        """Merge a JSONL trace file written by another tracer; the
+        ``worker`` tag defaults to the file's meta record."""
+        records = read_trace(path)
+        if worker is None:
+            for record in records:
+                if record.get("type") == "meta":
+                    worker = record.get("worker")
+                    break
+        return self.merge_records(records, worker=worker)
+
+    # -- output ----------------------------------------------------------
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Every record of the trace: one meta header, then the spans."""
+        meta: Dict[str, Any] = {
+            "type": "meta",
+            "schema_version": SCHEMA_VERSION,
+            "clock": "monotonic",
+        }
+        if self.worker is not None:
+            meta["worker"] = self.worker
+        return [meta] + [span.to_dict() for span in self.spans]
+
+    def write_jsonl(self, path: str) -> str:
+        """Write the trace as JSONL, creating parent directories."""
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.records():
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(spans={len(self.spans)}, open={len(self._stack)}"
+            + (f", worker={self.worker!r}" if self.worker else "")
+            + ")"
+        )
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace file (meta + span records, blank lines
+    ignored)."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# -- the process-wide current tracer -------------------------------------
+#
+# One mutable slot, not a contextvar: the pipeline is synchronous within
+# a process, worker processes install their own tracer on entry, and a
+# plain global keeps the disabled lookup path to a single attribute
+# read.
+
+_current: Any = NULL_TRACER
+
+
+def current_tracer() -> Any:
+    """The active tracer (a :class:`Tracer`, or :data:`NULL_TRACER`)."""
+    return _current
+
+
+def install_tracer(tracer: Any) -> Any:
+    """Install ``tracer`` as the process-wide current tracer; returns
+    the previous one (callers restore it in a ``finally``)."""
+    global _current
+    previous = _current
+    _current = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+class activate:
+    """``with activate(tracer):`` -- scoped install/restore."""
+
+    __slots__ = ("tracer", "_previous")
+
+    def __init__(self, tracer: Any) -> None:
+        self.tracer = tracer
+        self._previous: Any = None
+
+    def __enter__(self) -> Any:
+        self._previous = install_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        install_tracer(self._previous)

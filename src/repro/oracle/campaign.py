@@ -405,6 +405,11 @@ def run_campaign(
         _accumulate(totals, pipeline)
         return pipeline, oracles, classification
 
+    from repro.obs.tracer import current_tracer
+
+    campaign_span = current_tracer().span(
+        "oracle.campaign", profile=profile.name, seeds=seeds
+    )
     started = time.perf_counter()
     cases = [
         draw_case(profile, base_seed + index, index)
@@ -503,6 +508,15 @@ def run_campaign(
         if callable(progress):
             progress(index + 1, seeds, outcome)
 
+    campaign_span.incr("cases", len(outcomes)).incr(
+        "disagreements",
+        sum(
+            1
+            for o in outcomes
+            if o.classification.status is AgreementStatus.DISAGREED
+        ),
+    )
+    campaign_span.finish()
     return CampaignReport(
         profile=profile.name,
         seeds=seeds,

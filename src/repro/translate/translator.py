@@ -245,6 +245,25 @@ def translate(
     options: Optional[TranslationOptions] = None,
 ) -> TranslationResult:
     """Translate a bound AADL system instance into a closed ACSR system."""
+    from repro.obs.tracer import current_tracer
+
+    with current_tracer().span(
+        "translate", root=instance.qualified_name
+    ) as span:
+        result = _translate(instance, options)
+        span.set(
+            threads=result.num_thread_processes,
+            dispatchers=result.num_dispatchers,
+            queues=result.num_queue_processes,
+            quantum=str(result.quantizer.quantum),
+        )
+    return result
+
+
+def _translate(
+    instance: SystemInstance,
+    options: Optional[TranslationOptions] = None,
+) -> TranslationResult:
     options = options or TranslationOptions()
     if options.validate:
         check_translation_assumptions(instance)

@@ -39,6 +39,20 @@ class LTS:
         for src, _, dst in self.edges:
             if not (0 <= src < num_states and 0 <= dst < num_states):
                 raise ValueError(f"edge ({src},{dst}) out of range")
+        # Lazily built adjacency index (state -> outgoing edge list).
+        # Edges are never mutated after construction, so it is built at
+        # most once and never invalidated.
+        self._adjacency: Optional[List[List[Tuple[Hashable, int]]]] = None
+
+    def _index(self) -> List[List[Tuple[Hashable, int]]]:
+        if self._adjacency is None:
+            adjacency: List[List[Tuple[Hashable, int]]] = [
+                [] for _ in range(self.num_states)
+            ]
+            for src, label, dst in self.edges:
+                adjacency[src].append((label, dst))
+            self._adjacency = adjacency
+        return self._adjacency
 
     @classmethod
     def from_exploration(cls, result: ExplorationResult) -> "LTS":
@@ -48,16 +62,22 @@ class LTS:
             raise ValueError(
                 "exploration must be run with store_transitions=True"
             )
-        index: Dict[Term, int] = {}
-        for state in result.states():
-            index[state] = len(index)
-        edges: List[Tuple[int, Hashable, int]] = []
-        for state, steps in result.stored_transitions.items():
-            src = index[state]
-            for label, successor in steps:
-                edges.append((src, label, index[successor]))
-        names = {idx: format_term(state) for state, idx in index.items()}
-        return cls(len(index), index[result.initial], edges, names)
+        from repro.obs.tracer import current_tracer
+
+        with current_tracer().span("versa.lts.build") as span:
+            index: Dict[Term, int] = {}
+            for state in result.states():
+                index[state] = len(index)
+            edges: List[Tuple[int, Hashable, int]] = []
+            for state, steps in result.stored_transitions.items():
+                src = index[state]
+                for label, successor in steps:
+                    edges.append((src, label, index[successor]))
+            names = {
+                idx: format_term(state) for state, idx in index.items()
+            }
+            span.incr("states", len(index)).incr("edges", len(edges))
+            return cls(len(index), index[result.initial], edges, names)
 
     @classmethod
     def explore(
@@ -85,15 +105,21 @@ class LTS:
         return cls.from_exploration(result)
 
     def successors(self, state: int) -> List[Tuple[Hashable, int]]:
-        return [
-            (label, dst) for src, label, dst in self.edges if src == state
-        ]
+        """Outgoing ``(label, target)`` edges of ``state``.
+
+        Served from the cached adjacency index: O(out-degree) per query
+        instead of the previous O(E) rescan of ``self.edges``, which
+        made any query loop quadratic in the graph size.
+        """
+        if not (0 <= state < self.num_states):
+            raise ValueError(
+                f"state {state} out of range [0, {self.num_states})"
+            )
+        return list(self._index()[state])
 
     def deadlock_states(self) -> List[int]:
-        has_out = [False] * self.num_states
-        for src, _, _ in self.edges:
-            has_out[src] = True
-        return [s for s in range(self.num_states) if not has_out[s]]
+        adjacency = self._index()
+        return [s for s in range(self.num_states) if not adjacency[s]]
 
     def labels(self) -> List[Hashable]:
         """Distinct edge labels."""

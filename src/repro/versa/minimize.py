@@ -43,18 +43,24 @@ def bisimulation_quotient(lts: LTS) -> Tuple[LTS, List[int]]:
     Returns ``(quotient, block_of)`` where ``block_of[s]`` is the quotient
     state containing original state ``s``.
     """
+    from repro.obs.tracer import current_tracer
+
     n = lts.num_states
     if n == 0:
         return LTS(0, 0, []), []
 
-    # successor lists per state
-    succs: List[List[Tuple[Hashable, int]]] = [[] for _ in range(n)]
-    for src, label, dst in lts.edges:
-        succs[src].append((label, dst))
+    span = current_tracer().span("versa.minimize", states=n)
+    # Successor lists come from the LTS's cached adjacency index -- one
+    # O(E) build shared with every other query instead of a local scan.
+    succs: List[List[Tuple[Hashable, int]]] = [
+        lts.successors(state) for state in range(n)
+    ]
 
+    rounds = 0
     block_of = [0] * n
     num_blocks = 1
     while True:
+        rounds += 1
         signatures: Dict[int, Dict[frozenset, List[int]]] = {}
         for state in range(n):
             sig = frozenset(
@@ -89,6 +95,8 @@ def bisimulation_quotient(lts: LTS) -> Tuple[LTS, List[int]]:
         block_of[lts.initial],
         list(edge_set),
     )
+    span.incr("rounds", rounds).incr("blocks", num_blocks)
+    span.finish()
     return quotient, block_of
 
 

@@ -75,21 +75,28 @@ def random_walk(
     transition (where ``len(trace) < max_steps`` would miss it).
     ``seed`` accepts an int or a :class:`numpy.random.SeedSequence`.
     """
-    strategy = RandomWalk(max_steps=max_steps, seed=seed, policy=policy)
-    result = explore(
-        system,
-        strategy=strategy,
-        prioritized=prioritized,
-        budget=Budget(max_states=None),
-    )
-    # The only states the walk expands lie on its path, and the walk
-    # stops at the first successor-less one -- so any recorded deadlock
-    # is the final state's.
-    return Trace(
-        system.root,
-        [Step(label, state) for label, state in strategy.path],
-        deadlocked=bool(result.deadlock_states),
-    )
+    from repro.obs.tracer import current_tracer
+
+    with current_tracer().span("versa.walk", max_steps=max_steps) as span:
+        strategy = RandomWalk(
+            max_steps=max_steps, seed=seed, policy=policy
+        )
+        result = explore(
+            system,
+            strategy=strategy,
+            prioritized=prioritized,
+            budget=Budget(max_states=None),
+        )
+        # The only states the walk expands lie on its path, and the walk
+        # stops at the first successor-less one -- so any recorded
+        # deadlock is the final state's.
+        trace = Trace(
+            system.root,
+            [Step(label, state) for label, state in strategy.path],
+            deadlocked=bool(result.deadlock_states),
+        )
+        span.set(deadlocked=trace.deadlocked).incr("steps", len(trace))
+    return trace
 
 
 def multi_walk(
@@ -111,22 +118,25 @@ def multi_walk(
     differential oracle and the statistical smoke tests both rely on
     that determinism (pinned by ``tests/test_versa_walk_weak.py``).
     """
+    from repro.obs.tracer import current_tracer
+
     base = (
         seed
         if isinstance(seed, np.random.SeedSequence)
         else np.random.SeedSequence(seed)
     )
     children = base.spawn(walks)
-    return [
-        random_walk(
-            system,
-            max_steps=max_steps,
-            seed=child,
-            policy=policy,
-            prioritized=prioritized,
-        )
-        for child in children
-    ]
+    with current_tracer().span("versa.multi_walk", walks=walks):
+        return [
+            random_walk(
+                system,
+                max_steps=max_steps,
+                seed=child,
+                policy=policy,
+                prioritized=prioritized,
+            )
+            for child in children
+        ]
 
 
 def walk_statistics(

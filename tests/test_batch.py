@@ -394,3 +394,65 @@ class TestCampaignBatchIntegration:
             o.verdict for o in cold.outcomes
         ]
         assert "verdict cache: 5 hits" in warm.format()
+
+
+class TestAggregateWallClock:
+    """The honest-denominator fix: ``elapsed`` stays the additive
+    CPU-time sum, ``wall_elapsed`` is the pool's own wall clock, and
+    throughput is computed from the wall clock."""
+
+    def _pair(self):
+        a = EngineStats.from_dict(
+            {"strategy": "bfs", "states": 600, "transitions": 8,
+             "expanded": 5, "elapsed": 2.0, "frontier_peak": 3}
+        )
+        b = EngineStats.from_dict(
+            {"strategy": "bfs", "states": 400, "transitions": 2,
+             "expanded": 6, "elapsed": 2.0, "frontier_peak": 9}
+        )
+        return a, b
+
+    def test_wall_elapsed_distinct_from_cpu_sum(self):
+        total = EngineStats.aggregate(self._pair(), wall_elapsed=2.5)
+        assert total.elapsed == pytest.approx(4.0)
+        assert total.wall_elapsed == pytest.approx(2.5)
+
+    def test_throughput_uses_wall_clock(self):
+        total = EngineStats.aggregate(self._pair(), wall_elapsed=2.5)
+        # 1000 states / 2.5s wall, not / 4.0s of summed CPU time.
+        assert total.states_per_second == pytest.approx(400.0)
+
+    def test_wall_defaults_to_cpu_sum_when_serial(self):
+        total = EngineStats.aggregate(self._pair())
+        assert total.wall_elapsed == pytest.approx(total.elapsed)
+
+    def test_format_shows_both_clocks_when_distinct(self):
+        total = EngineStats.aggregate(self._pair(), wall_elapsed=2.5)
+        text = total.format()
+        assert "4.000s cpu" in text
+        assert "2.500s wall" in text
+
+    def test_format_single_clock_when_equal(self):
+        total = EngineStats.aggregate(self._pair())
+        assert "wall" not in total.format()
+
+    def test_wall_elapsed_round_trips_through_dict(self):
+        total = EngineStats.aggregate(self._pair(), wall_elapsed=2.5)
+        clone = EngineStats.from_dict(total.as_dict())
+        assert clone.wall_elapsed == pytest.approx(2.5)
+        assert clone.elapsed == pytest.approx(4.0)
+
+    def test_parallel_batch_reports_wall_clock(self, tmp_path):
+        jobs = [
+            AnalysisJob.from_aadl(cruise_control_text(), job_id=f"j{i}")
+            for i in range(2)
+        ]
+        report = run_batch(jobs, workers=2)
+        assert report.stats.wall_elapsed == pytest.approx(
+            report.elapsed
+        )
+        # Two jobs ran, so summed CPU time exceeds either job alone.
+        per_job = [r.elapsed for r in report.results]
+        assert report.stats.elapsed == pytest.approx(
+            sum(per_job), rel=0.2
+        )

@@ -211,3 +211,49 @@ class TestQueries:
         result = reachable_states(env.close(proc("C", 0)))
         assert result.num_states == 3
         assert result.completed
+
+
+class TestAdjacencyIndex:
+    """``successors`` answers from a lazily built adjacency index
+    instead of rescanning the whole edge list per query."""
+
+    def test_successors_match_edges(self, explored):
+        lts = LTS.from_exploration(explored)
+        for state in range(lts.num_states):
+            expected = [
+                (label, dst)
+                for src, label, dst in lts.edges
+                if src == state
+            ]
+            assert lts.successors(state) == expected
+
+    def test_index_built_once_and_reused(self, explored):
+        lts = LTS.from_exploration(explored)
+        assert lts._adjacency is None  # lazy: nothing until first query
+        lts.successors(0)
+        index = lts._adjacency
+        assert index is not None
+        lts.successors(1)
+        lts.deadlock_states()
+        assert lts._adjacency is index  # same object, not rebuilt
+
+    def test_successors_returns_a_copy(self, explored):
+        lts = LTS.from_exploration(explored)
+        lts.successors(0).append(("tampered", 0))
+        assert ("tampered", 0) not in lts.successors(0)
+
+    def test_out_of_range_state_rejected(self, explored):
+        lts = LTS.from_exploration(explored)
+        with pytest.raises(ValueError):
+            lts.successors(lts.num_states)
+        with pytest.raises(ValueError):
+            lts.successors(-1)
+
+    def test_deadlock_states_use_index(self, explored):
+        lts = LTS.from_exploration(explored)
+        deadlocks = lts.deadlock_states()
+        assert deadlocks == [
+            state
+            for state in range(lts.num_states)
+            if not lts.successors(state)
+        ]
