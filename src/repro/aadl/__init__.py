@@ -55,8 +55,10 @@ from repro.aadl.instance import (
     ConnectionInstance,
     FeatureInstance,
     SystemInstance,
+    SystemSlice,
     infer_root,
     instantiate,
+    slice_instance,
 )
 from repro.aadl.validation import check_translation_assumptions
 from repro.aadl.parser import parse_model
@@ -87,6 +89,7 @@ __all__ = [
     "Subcomponent",
     "SystemBuilder",
     "SystemInstance",
+    "SystemSlice",
     "TimeRange",
     "TimeValue",
     "check_translation_assumptions",
@@ -95,5 +98,6 @@ __all__ = [
     "instantiate",
     "ms",
     "parse_model",
+    "slice_instance",
     "us",
 ]

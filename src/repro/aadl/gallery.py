@@ -332,6 +332,116 @@ def shared_bus_pair() -> SystemInstance:
     return b.instantiate()
 
 
+def dual_island(*, schedulable: bool = True) -> SystemInstance:
+    """Two processors whose only interaction is a pure data connection:
+    decomposable into two single-processor islands.
+
+    Data ports into periodic threads generate no ACSR (no queue, no
+    bus), so the cross-processor wire is not a coupling edge and
+    ``repro.compose`` can analyze ``cpu1`` and ``cpu2`` separately --
+    the sum of the island state spaces is far below their product.
+
+    The unschedulable variant overloads only ``cpu2`` (U = 1.125), so
+    the compositional verdict must surface island ``cpu2`` as the
+    counterexample while ``cpu1`` stays clean.
+    """
+    b = SystemBuilder("DualIsland")
+    cpu1 = b.processor("cpu1", scheduling=SchedulingProtocol.RATE_MONOTONIC)
+    cpu2 = b.processor("cpu2", scheduling=SchedulingProtocol.RATE_MONOTONIC)
+    fast = b.thread(
+        "fast",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(4),
+        compute_time=(ms(1), ms(1)),
+        deadline=ms(4),
+        processor=cpu1,
+        priority=2,
+    )
+    slow = b.thread(
+        "slow",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(8),
+        compute_time=(ms(2), ms(2)),
+        deadline=ms(8),
+        processor=cpu1,
+        priority=1,
+    )
+    slow.out_data_port("state")
+    c_harvest, c_report = (1, 2) if schedulable else (3, 3)
+    harvest = b.thread(
+        "harvest",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(4),
+        compute_time=(ms(c_harvest), ms(c_harvest)),
+        deadline=ms(4),
+        processor=cpu2,
+        priority=2,
+    )
+    report = b.thread(
+        "report",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(8),
+        compute_time=(ms(c_report), ms(c_report)),
+        deadline=ms(8),
+        processor=cpu2,
+        priority=1,
+    )
+    report.in_data_port("state")
+    del fast, harvest
+    b.connect(slow, "state", report, "state")
+    return b.instantiate()
+
+
+def coupled_islands() -> SystemInstance:
+    """The :func:`dual_island` topology made indivisible: ``cpu1``'s
+    producer dispatches an aperiodic thread on ``cpu2`` through a
+    cross-processor event connection, so the queue process ties both
+    schedules together and ``repro.compose`` must fall back to the
+    monolithic analysis."""
+    b = SystemBuilder("CoupledIslands")
+    cpu1 = b.processor("cpu1", scheduling=SchedulingProtocol.RATE_MONOTONIC)
+    cpu2 = b.processor("cpu2", scheduling=SchedulingProtocol.RATE_MONOTONIC)
+    producer = b.thread(
+        "producer",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(4),
+        compute_time=(ms(1), ms(1)),
+        deadline=ms(4),
+        processor=cpu1,
+        priority=2,
+    )
+    producer.out_event_port("kick")
+    b.thread(
+        "local",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(8),
+        compute_time=(ms(2), ms(2)),
+        deadline=ms(8),
+        processor=cpu1,
+        priority=1,
+    )
+    remote = b.thread(
+        "remote",
+        dispatch=DispatchProtocol.APERIODIC,
+        compute_time=(ms(1), ms(1)),
+        deadline=ms(4),
+        processor=cpu2,
+        priority=2,
+    )
+    remote.in_event_port("kick", queue_size=1)
+    b.thread(
+        "steady",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(8),
+        compute_time=(ms(2), ms(2)),
+        deadline=ms(8),
+        processor=cpu2,
+        priority=1,
+    )
+    b.connect(producer, "kick", remote, "kick")
+    return b.instantiate()
+
+
 def priority_inversion_trio() -> SystemInstance:
     """The classic unbounded-priority-inversion scenario.
 

@@ -18,7 +18,7 @@ representation ... and a library of model exploration routines"):
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     AadlInstantiationError,
@@ -413,6 +413,121 @@ class SystemInstance(ComponentInstance):
             f"threads={len(self.threads())}, "
             f"connections={len(self.connections)})"
         )
+
+
+class SystemSlice(SystemInstance):
+    """A filtered view of an instantiated system: the same component
+    objects, restricted to a kept subset.
+
+    The slice *shares* the underlying instance tree -- kept components
+    are the original :class:`ComponentInstance` objects, so qualified
+    names, bindings and property lookups (which climb the original
+    parent chain) are byte-identical to the full model.  Only the
+    enumeration surface is filtered: :meth:`descendants` (and therefore
+    ``threads()``/``processors()``/...), ``connections`` and
+    ``access_connections`` answer from the kept subset.
+
+    Built by :func:`slice_instance`; consumed by the compositional
+    analysis (:mod:`repro.compose`), which analyzes one processor
+    island at a time.
+    """
+
+    def __init__(
+        self,
+        base: SystemInstance,
+        keep: Iterable[ComponentInstance],
+        *,
+        label: Optional[str] = None,
+    ) -> None:
+        # Deliberately NOT calling super().__init__: the slice borrows
+        # the base tree instead of building a new one, so every kept
+        # node keeps its identity (and its qualified name).
+        self.base = base
+        self.label = label or base.name
+        self.kept = frozenset(keep)
+        self.name = base.name
+        self.category = base.category
+        self.ctype = base.ctype
+        self.impl = base.impl
+        self.parent = None
+        self.decl = None
+        self.children = base.children
+        self.features = base.features
+        self.bound_processor = None
+        self.declarative = base.declarative
+        self.active_modes = base.active_modes
+        self.connections = [
+            conn
+            for conn in base.connections
+            if conn.source.component in self.kept
+            and conn.destination.component in self.kept
+        ]
+        self.access_connections = [
+            acc
+            for acc in base.access_connections
+            if acc.feature.component in self.kept and acc.target in self.kept
+        ]
+
+    def descendants(self) -> Iterator[ComponentInstance]:
+        for inst in self.base.descendants():
+            if inst in self.kept:
+                yield inst
+
+    def __repr__(self) -> str:
+        return (
+            f"SystemSlice({self.label!r}, threads={len(self.threads())}, "
+            f"connections={len(self.connections)})"
+        )
+
+
+def slice_instance(
+    base: SystemInstance,
+    components: Iterable[ComponentInstance],
+    *,
+    label: Optional[str] = None,
+) -> SystemSlice:
+    """Slice ``base`` down to ``components`` plus everything they imply.
+
+    The keep-set is closed over:
+
+    * the ancestors of every kept component (so containment navigation
+      still reaches them);
+    * devices that are the ultimate source of a connection into a kept
+      component (environment stubs belong with their consumer);
+    * buses a kept connection is bound to;
+    * shared data components a kept thread requires access to.
+
+    Connections survive only when both endpoints are kept, which is
+    what makes the slice analyzable on its own.
+    """
+    kept = set()
+    for component in components:
+        node: Optional[ComponentInstance] = component
+        while node is not None and node is not base:
+            kept.add(node)
+            node = node.parent
+    # Devices feeding kept components come along.
+    for conn in base.connections:
+        source = conn.source.component
+        if (
+            source.category is ComponentCategory.DEVICE
+            and conn.destination.component in kept
+        ):
+            node = source
+            while node is not None and node is not base:
+                kept.add(node)
+                node = node.parent
+    # Buses of surviving connections and shared data of kept threads.
+    for conn in base.connections:
+        if (
+            conn.source.component in kept
+            and conn.destination.component in kept
+        ):
+            kept.update(conn.buses)
+    for acc in base.access_connections:
+        if acc.feature.component in kept:
+            kept.add(acc.target)
+    return SystemSlice(base, kept, label=label)
 
 
 # ---------------------------------------------------------------------------

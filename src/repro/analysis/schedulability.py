@@ -51,6 +51,20 @@ class Verdict(enum.Enum):
             Verdict.UNKNOWN: 3,
         }[self]
 
+    @classmethod
+    def combine(cls, verdicts: Iterable["Verdict"]) -> "Verdict":
+        """Conjunction over independent sub-analyses (compositional
+        verdict combination): any UNSCHEDULABLE wins, else any UNKNOWN
+        demotes the whole answer, else SCHEDULABLE.  An empty sequence
+        is vacuously SCHEDULABLE."""
+        combined = cls.SCHEDULABLE
+        for verdict in verdicts:
+            if verdict is cls.UNSCHEDULABLE:
+                return cls.UNSCHEDULABLE
+            if verdict is cls.UNKNOWN:
+                combined = cls.UNKNOWN
+        return combined
+
 
 class AnalysisResult:
     """Everything the analysis produced."""

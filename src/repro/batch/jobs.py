@@ -14,6 +14,12 @@ drawn from ambient state.  Two kinds exist:
   executed with :func:`repro.oracle.verdicts.evaluate_case` (pipeline
   + classical oracles + agreement classification), which is how the
   differential campaign rides the pool.
+* ``island`` -- an AADL source text restricted to one processor island
+  (a named subset of threads and processors); the worker re-slices the
+  instance with :func:`repro.aadl.slice_instance` and analyzes the
+  slice.  This is how :mod:`repro.compose` fans islands out, and the
+  island membership is folded into the cache key so per-island verdicts
+  persist independently of the rest of the model.
 
 Both kinds expose :meth:`AnalysisJob.canonical_model_text`, the
 model-side half of the persistent verdict-cache key (see
@@ -26,7 +32,7 @@ from typing import Any, Dict, Optional
 
 from repro.errors import BatchError, ReproError
 
-JOB_KINDS = ("aadl", "case")
+JOB_KINDS = ("aadl", "case", "island")
 
 
 class AnalysisJob:
@@ -101,6 +107,40 @@ class AnalysisJob:
         )
 
     @classmethod
+    def from_island(
+        cls,
+        source: str,
+        *,
+        root: Optional[str] = None,
+        label: str,
+        threads: list,
+        processors: list,
+        job_id: Optional[str] = None,
+        max_states: int = 1_000_000,
+        quantum_ps: Optional[int] = None,
+    ) -> "AnalysisJob":
+        """A schedulability check of one processor island.
+
+        ``threads`` / ``processors`` are qualified instance names; the
+        worker re-instantiates ``source`` and slices to them.
+        ``quantum_ps`` pins the quantum to the *full* model's natural
+        quantum so island semantics match the monolithic analysis
+        (an island alone could have a coarser GCD).
+        """
+        return cls(
+            job_id=job_id or label,
+            kind="island",
+            payload={
+                "source": source,
+                "root": root,
+                "label": label,
+                "threads": sorted(threads),
+                "processors": sorted(processors),
+            },
+            options={"max_states": max_states, "quantum_ps": quantum_ps},
+        )
+
+    @classmethod
     def from_file(cls, path: str, **options: Any) -> "AnalysisJob":
         """Build a job from a file path.
 
@@ -168,7 +208,11 @@ class AnalysisJob:
 
         model = parse_model(self.payload["source"])
         root = self.payload.get("root") or infer_root(model)
-        return f"-- root: {root}\n" + format_model(model)
+        header = f"-- root: {root}\n"
+        if self.kind == "island":
+            members = ",".join(sorted(self.payload.get("threads", ())))
+            header += f"-- island: {members}\n"
+        return header + format_model(model)
 
     def __repr__(self) -> str:
         return f"AnalysisJob({self.job_id!r}, kind={self.kind})"
@@ -278,6 +322,8 @@ def execute_job(job: AnalysisJob) -> JobResult:
         try:
             if job.kind == "case":
                 result = _execute_case(job)
+            elif job.kind == "island":
+                result = _execute_island(job)
             else:
                 result = _execute_aadl(job)
         except ReproError as exc:
@@ -305,6 +351,53 @@ def _execute_aadl(job: AnalysisJob) -> JobResult:
         quantum=TimeValue(quantum_us, "us") if quantum_us else None,
         max_states=job.options.get("max_states", 1_000_000),
     )
+    stats = result.exploration.stats
+    return JobResult(
+        job_id=job.job_id,
+        kind=job.kind,
+        verdict=result.verdict.value,
+        states=result.num_states,
+        elapsed=result.elapsed,
+        limit_hit=result.exploration.limit_hit,
+        stats=stats.as_dict() if stats is not None else None,
+        rendered=result.format(),
+    )
+
+
+def _execute_island(job: AnalysisJob) -> JobResult:
+    from repro.aadl import infer_root, instantiate, parse_model, slice_instance
+    from repro.aadl.properties import TimeValue
+    from repro.analysis import analyze_model
+    from repro.errors import ComposeError
+    from repro.obs.tracer import current_tracer
+
+    model = parse_model(job.payload["source"])
+    root = job.payload.get("root") or infer_root(model)
+    instance = instantiate(model, root)
+    wanted = set(job.payload["threads"]) | set(job.payload["processors"])
+    keep = [
+        inst for inst in instance.descendants()
+        if inst.qualified_name in wanted
+    ]
+    found = {inst.qualified_name for inst in keep}
+    missing = sorted(wanted - found)
+    if missing:
+        raise ComposeError(
+            f"island {job.payload['label']!r} names components absent from "
+            f"the instance: {', '.join(missing)}"
+        )
+    label = job.payload["label"]
+    sliced = slice_instance(instance, keep, label=label)
+    quantum_ps = job.options.get("quantum_ps")
+    with current_tracer().span("compose.island", island=label) as span:
+        result = analyze_model(
+            sliced,
+            quantum=TimeValue(quantum_ps, "ps") if quantum_ps else None,
+            max_states=job.options.get("max_states", 1_000_000),
+        )
+        span.set(verdict=result.verdict.value).incr(
+            "states", result.num_states
+        )
     stats = result.exploration.stats
     return JobResult(
         job_id=job.job_id,

@@ -13,7 +13,10 @@ scenario.  The CLI exposes each step plus the baselines::
     repro simulate model.aadl --root Sys.impl       # Cheddar-style Gantt
     repro batch run models/*.aadl --jobs 4 --cache  # pooled + cached
     repro batch cache                               # inspect the cache
+    repro analyze model.aadl --compose              # island decomposition
+    repro compose plan model.aadl                   # partition, no analysis
     repro oracle run --seeds 200 --profile smoke    # differential campaign
+    repro oracle compose --seeds 50                 # compositional =? monolithic
     repro oracle replay artifacts/oracle/x.json     # re-run a repro bundle
     repro analyze model.aadl --trace out.jsonl      # record a span trace
     repro trace summary out.jsonl                   # per-stage profile
@@ -156,6 +159,10 @@ def cmd_analyze(args) -> int:
     from repro.analysis import Verdict, analyze_model, compare_with_baselines
     from repro.analysis.modes import analyze_all_modes
 
+    if getattr(args, "compose", False):
+        # Compositional analysis subsumes the batch path: islands fan
+        # out through the same pool/cache, so this branch comes first.
+        return _run_compose(args)
     if len(args.files) > 1 or _cache_spec(args) is not None:
         return _run_file_batch(args, args.files)
     args.file = args.files[0]
@@ -185,6 +192,42 @@ def cmd_analyze(args) -> int:
         for row in compare_with_baselines(instance, max_states=args.max_states):
             print(f"  {row!r}")
     return result.verdict.exit_code
+
+
+def _run_compose(args) -> int:
+    from repro.compose import analyze_compositionally
+
+    if len(args.files) != 1:
+        raise ReproError("--compose analyzes exactly one model at a time")
+    if getattr(args, "all_modes", False):
+        raise ReproError(
+            "--compose and --all-modes are mutually exclusive "
+            "(multi-modal models fall back to monolithic analysis)"
+        )
+    args.file = args.files[0]
+    _, instance = _load_instance(args)
+    result = analyze_compositionally(
+        instance,
+        quantum=_quantum(args),
+        max_states=args.max_states,
+        workers=args.jobs,
+        cache=_cache_spec(args),
+    )
+    if not result.compositional:
+        print(
+            f"compose: monolithic fallback: {result.fallback_reason}",
+            file=sys.stderr,
+        )
+    print(result.format(show_stats=args.stats))
+    return result.exit_code
+
+
+def cmd_compose_plan(args) -> int:
+    from repro.compose import plan
+
+    _, instance = _load_instance(args)
+    print(plan(instance).format())
+    return 0
 
 
 def cmd_validate(args) -> int:
@@ -310,6 +353,20 @@ def cmd_oracle_run(args) -> int:
     # A campaign's verdict is about agreement, not schedulability:
     # disagreement is the only failure (CI gates on it); UNKNOWN cases
     # are reported in the matrix but do not fail the run.
+    return EXIT_VIOLATION if report.disagreements else EXIT_SCHEDULABLE
+
+
+def cmd_oracle_compose(args) -> int:
+    from repro.oracle import run_compose_campaign
+
+    report = run_compose_campaign(
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        max_states=args.max_states,
+        coupled_fraction=args.coupled_fraction,
+        progress=args.progress,
+    )
+    print(report.format())
     return EXIT_VIOLATION if report.disagreements else EXIT_SCHEDULABLE
 
 
@@ -488,6 +545,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="analyze every mode of a multi-modal root separately",
     )
     p_analyze.add_argument(
+        "--compose",
+        action="store_true",
+        help="decompose into processor islands and analyze each "
+        "separately (falls back to monolithic analysis, with the "
+        "reason, when the islands are coupled)",
+    )
+    p_analyze.add_argument(
         "--baselines",
         action="store_true",
         help="also run the classical schedulability baselines",
@@ -610,6 +674,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch_cache.set_defaults(func=cmd_batch_cache)
 
+    p_compose = sub.add_parser(
+        "compose",
+        help="compositional analysis: processor-island decomposition",
+    )
+    compose_sub = p_compose.add_subparsers(
+        dest="compose_command", required=True
+    )
+    p_compose_plan = compose_sub.add_parser(
+        "plan",
+        help="print the coupling graph and island partition without "
+        "analyzing anything",
+    )
+    common(p_compose_plan)
+    p_compose_plan.set_defaults(func=cmd_compose_plan)
+
     p_oracle = sub.add_parser(
         "oracle",
         help="differential-testing oracle: seeded campaigns against the "
@@ -666,6 +745,45 @@ def build_parser() -> argparse.ArgumentParser:
     # rides under --span-profile (same dest as --profile elsewhere).
     tracing_options(p_run, profile_flag="--span-profile")
     p_run.set_defaults(func=cmd_oracle_run)
+
+    p_oracle_compose = oracle_sub.add_parser(
+        "compose",
+        help="seeded campaign asserting compositional ≡ monolithic "
+        "verdicts on multiprocessor workloads",
+        epilog=EXIT_STATUS_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_oracle_compose.add_argument(
+        "--seeds",
+        type=int,
+        default=50,
+        help="number of seeded cases to draw (default 50)",
+    )
+    p_oracle_compose.add_argument(
+        "--base-seed",
+        type=int,
+        default=0,
+        help="first seed of the campaign (case i uses base-seed + i)",
+    )
+    p_oracle_compose.add_argument(
+        "--max-states",
+        type=int,
+        default=150_000,
+        help="per-analysis exploration budget",
+    )
+    p_oracle_compose.add_argument(
+        "--coupled-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of draws kept bus-coupled to exercise the "
+        "monolithic fallback (default 0.25)",
+    )
+    p_oracle_compose.add_argument(
+        "--progress",
+        action="store_true",
+        help="report per-case progress to stderr",
+    )
+    p_oracle_compose.set_defaults(func=cmd_oracle_compose)
 
     p_replay = oracle_sub.add_parser(
         "replay", help="re-run a persisted repro bundle"

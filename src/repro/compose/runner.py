@@ -1,0 +1,160 @@
+"""The compositional driver: partition, fan out, combine.
+
+:func:`analyze_compositionally` is the ``analyze --compose`` entry
+point.  It partitions the instance into processor islands
+(:mod:`~repro.compose.coupling`), ships one ``island`` batch job per
+island through the :mod:`repro.batch` pool -- so islands analyze in
+parallel and land in the persistent verdict cache under per-island
+keys -- and folds the island verdicts into one answer
+(:mod:`~repro.compose.combiner`).  When decomposition is unsound or
+pointless it runs the ordinary monolithic pipeline instead and says
+why.
+
+Every island is analyzed with the *full* model's natural quantum, not
+its own: an island's GCD can be coarser than the whole model's, and a
+coarser quantum changes preemption points.  Pinning the quantum makes
+island-by-island exploration semantically a projection of the
+monolithic one, which is what the compositional oracle relation
+(:mod:`repro.oracle.compose`) checks end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.aadl.components import DeclarativeModel
+from repro.aadl.instance import SystemInstance, instantiate
+from repro.aadl.printer import format_model
+from repro.aadl.properties import TimeValue
+from repro.analysis.schedulability import Verdict, analyze_model
+from repro.batch.jobs import AnalysisJob, JobResult
+from repro.batch.pool import run_batch
+from repro.compose.combiner import (
+    CompositionResult,
+    IslandOutcome,
+    combine_outcomes,
+)
+from repro.compose.coupling import Partition, partition_instance
+from repro.translate.quantum import TimingQuantizer
+
+ProgressFn = Callable[[int, int, JobResult], None]
+
+
+def _resolve(
+    model: Union[SystemInstance, DeclarativeModel],
+    root_impl: Optional[str],
+) -> SystemInstance:
+    if isinstance(model, DeclarativeModel):
+        if root_impl is None:
+            raise ValueError(
+                "root_impl is required when passing a declarative model"
+            )
+        return instantiate(model, root_impl)
+    return model
+
+
+def plan(
+    model: Union[SystemInstance, DeclarativeModel],
+    *,
+    root_impl: Optional[str] = None,
+) -> Partition:
+    """Partition without analyzing (the ``repro compose plan`` command)."""
+    from repro.obs.tracer import current_tracer
+
+    instance = _resolve(model, root_impl)
+    with current_tracer().span("compose.partition") as span:
+        partition = partition_instance(instance)
+        span.set(
+            decomposable=partition.decomposable,
+            islands=len(partition.islands),
+            edges=len(partition.graph.edges) if partition.graph else 0,
+            fallback=partition.fallback_reason,
+        )
+    return partition
+
+
+def analyze_compositionally(
+    model: Union[SystemInstance, DeclarativeModel],
+    *,
+    root_impl: Optional[str] = None,
+    quantum: Optional[TimeValue] = None,
+    max_states: int = 1_000_000,
+    workers: Optional[int] = None,
+    cache=None,
+    progress: Optional[ProgressFn] = None,
+) -> CompositionResult:
+    """Analyze ``model`` island by island when that is sound, falling
+    back to :func:`~repro.analysis.analyze_model` (with the reason
+    recorded on the result) when it is not.
+
+    ``workers``/``cache``/``progress`` are forwarded to
+    :func:`repro.batch.pool.run_batch`; each island is one batch job,
+    so island verdicts cache independently.
+    """
+    from repro.obs.tracer import current_tracer
+
+    tracer = current_tracer()
+    instance = _resolve(model, root_impl)
+    partition = plan(instance)
+
+    if not partition.decomposable:
+        monolithic = analyze_model(
+            instance, quantum=quantum, max_states=max_states
+        )
+        return CompositionResult(
+            partition=partition,
+            mode="monolithic-fallback",
+            verdict=monolithic.verdict,
+            monolithic=monolithic,
+            fallback_reason=partition.fallback_reason,
+        )
+
+    # Pin every island to the full model's quantum (see module docstring).
+    quantum_ps = (
+        quantum.picoseconds
+        if quantum is not None
+        else TimingQuantizer.natural(instance).quantum.picoseconds
+    )
+    source = format_model(instance.declarative)
+    root = instance.impl.name if instance.impl is not None else None
+    jobs = [
+        AnalysisJob.from_island(
+            source,
+            root=root,
+            label=island.label,
+            threads=[t.qualified_name for t in island.threads],
+            processors=[p.qualified_name for p in island.processors],
+            max_states=max_states,
+            quantum_ps=quantum_ps,
+        )
+        for island in partition.islands
+    ]
+    report = run_batch(
+        jobs, workers=workers, cache=cache, progress=progress
+    )
+
+    with tracer.span("compose.combine", islands=len(jobs)) as span:
+        outcomes = []
+        for island, result in zip(partition.islands, report.results):
+            verdict = (
+                Verdict(result.verdict)
+                if result.verdict in Verdict._value2member_map_
+                else Verdict.UNKNOWN
+            )
+            outcomes.append(
+                IslandOutcome(
+                    island=island,
+                    verdict=verdict,
+                    states=result.states,
+                    elapsed=result.elapsed,
+                    stats=result.stats,
+                    rendered=result.rendered,
+                    cached=result.cached,
+                    error=result.error,
+                )
+            )
+        combined = combine_outcomes(partition, outcomes)
+        span.set(verdict=combined.verdict.value).incr(
+            "states", combined.total_states
+        )
+    return combined

@@ -1,0 +1,36 @@
+"""Per-island instance slicing.
+
+An island's slice keeps the island's threads and processors; the
+generic :func:`repro.aadl.slice_instance` closure then pulls in
+everything the kept components imply -- containing processes/systems,
+environment devices feeding the kept threads, buses of surviving
+connections, and shared data targets.  Connections with an endpoint
+outside the island are cut, which by the coupling-graph construction
+(:mod:`repro.compose.coupling`) only ever removes pure data-port
+connections that the translation ignores anyway.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.aadl.instance import SystemInstance, SystemSlice, slice_instance
+from repro.compose.coupling import Island, Partition
+
+
+def island_slice(instance: SystemInstance, island: Island) -> SystemSlice:
+    """The analyzable sub-instance for one island."""
+    return slice_instance(
+        instance,
+        list(island.threads) + list(island.processors),
+        label=island.label,
+    )
+
+
+def partition_slices(partition: Partition) -> List[SystemSlice]:
+    """Slices for every island of a decomposable partition, in island
+    order."""
+    return [
+        island_slice(partition.instance, island)
+        for island in partition.islands
+    ]

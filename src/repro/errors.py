@@ -112,3 +112,8 @@ class SchedError(ReproError):
 
 class BatchError(ReproError):
     """Malformed batch job, manifest, or verdict-cache entry."""
+
+
+class ComposeError(ReproError):
+    """Compositional analysis cannot proceed (malformed partition,
+    island slice referencing unknown components, ...)."""

@@ -17,6 +17,7 @@ Surfaced through the CLI as ``--trace [PATH]`` / ``--profile`` on
 
 from repro.obs.bridge import SpanObserver
 from repro.obs.schema import (
+    COMPOSE_STAGES,
     PIPELINE_STAGES,
     TraceSchemaError,
     missing_pipeline_stages,
@@ -43,6 +44,7 @@ __all__ = [
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
+    "COMPOSE_STAGES",
     "PIPELINE_STAGES",
     "SCHEMA_VERSION",
     "Span",

@@ -41,6 +41,16 @@ PIPELINE_STAGES = (
     "engine.explore",
 )
 
+#: The span names a compositional (``analyze --compose``) run adds on
+#: top of :data:`PIPELINE_STAGES`: one ``compose.partition`` while the
+#: coupling graph is built, one ``compose.island`` per analyzed island
+#: (worker-side), and one ``compose.combine`` for verdict combination.
+COMPOSE_STAGES = (
+    "compose.partition",
+    "compose.island",
+    "compose.combine",
+)
+
 
 class TraceSchemaError(ReproError):
     """A trace record violates the schema contract."""

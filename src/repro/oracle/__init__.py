@@ -37,6 +37,12 @@ from repro.oracle.campaign import (
     run_campaign,
 )
 from repro.oracle.case import OracleCase
+from repro.oracle.compose import (
+    ComposeCampaignReport,
+    ComposeCaseOutcome,
+    evaluate_compose_case,
+    run_compose_campaign,
+)
 from repro.oracle.faults import FAULTS, Fault, fault_names, get_fault
 from repro.oracle.shrink import ShrinkResult, shrink_case
 from repro.oracle.verdicts import (
@@ -55,6 +61,8 @@ __all__ = [
     "CampaignReport",
     "CaseClassification",
     "CaseOutcome",
+    "ComposeCampaignReport",
+    "ComposeCaseOutcome",
     "DEFAULT_ARTIFACTS_DIR",
     "FAULTS",
     "Fault",
@@ -68,10 +76,12 @@ __all__ = [
     "classify",
     "draw_case",
     "evaluate_case",
+    "evaluate_compose_case",
     "fault_names",
     "get_fault",
     "replay_bundle",
     "run_campaign",
+    "run_compose_campaign",
     "run_pipeline",
     "shrink_case",
 ]

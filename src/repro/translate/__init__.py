@@ -26,6 +26,7 @@ from repro.translate.translator import (
     EventSendPattern,
     TranslationOptions,
     TranslationResult,
+    group_threads_by_processor,
     translate,
 )
 
@@ -37,6 +38,7 @@ __all__ = [
     "TimingQuantizer",
     "TranslationOptions",
     "TranslationResult",
+    "group_threads_by_processor",
     "priority_assignment",
     "translate",
 ]

@@ -240,6 +240,33 @@ class TranslationResult:
         )
 
 
+def group_threads_by_processor(
+    instance: SystemInstance,
+) -> Dict[ComponentInstance, List[ComponentInstance]]:
+    """Map every bound processor to its threads (Algorithm 1's outer loop).
+
+    Raises one :class:`~repro.errors.TranslationError` listing *every*
+    unbound thread, so a modeler fixing bindings sees the whole job at
+    once instead of one thread per run.  Shared with
+    :mod:`repro.compose`, whose coupling graph partitions the same
+    grouping into islands.
+    """
+    by_processor: Dict[ComponentInstance, List[ComponentInstance]] = {}
+    unbound: List[str] = []
+    for thread in instance.threads():
+        if thread.bound_processor is None:
+            unbound.append(thread.qualified_name)
+            continue
+        by_processor.setdefault(thread.bound_processor, []).append(thread)
+    if unbound:
+        noun = "thread is" if len(unbound) == 1 else "threads are"
+        raise TranslationError(
+            f"{len(unbound)} {noun} not bound to a processor: "
+            + ", ".join(sorted(unbound))
+        )
+    return by_processor
+
+
 def translate(
     instance: SystemInstance,
     options: Optional[TranslationOptions] = None,
@@ -280,14 +307,9 @@ def _translate(
     threads_out: Dict[str, ThreadTranslation] = {}
     queues_out: Dict[str, QueueTranslation] = {}
 
-    # Group threads by bound processor (Algorithm 1's outer loops).
-    by_processor: Dict[ComponentInstance, List[ComponentInstance]] = {}
-    for thread in instance.threads():
-        if thread.bound_processor is None:
-            raise TranslationError(
-                f"thread {thread.qualified_name} is unbound"
-            )
-        by_processor.setdefault(thread.bound_processor, []).append(thread)
+    # Group threads by bound processor (Algorithm 1's outer loops);
+    # raises one error naming every unbound thread.
+    by_processor = group_threads_by_processor(instance)
 
     timings: Dict[str, QuantizedTiming] = {}
     priorities: Dict[str, CpuPriority] = {}
@@ -329,8 +351,10 @@ def _translate(
     # Pre-pass: held (access) resources per thread, and -- when requested
     # -- the highest-locker priority boost.
     held_map: Dict[str, List[str]] = {}
-    for processor, bound in by_processor.items():
-        for thread in bound:
+    for processor, bound in sorted(
+        by_processor.items(), key=lambda kv: kv[0].qualified_name
+    ):
+        for thread in sorted(bound, key=lambda t: t.qualified_name):
             held_map[thread.qualified_name] = _access_resources(
                 table, instance, thread
             )

@@ -1,0 +1,178 @@
+"""The compositional ≡ monolithic oracle relation and the compose CLI."""
+
+import pytest
+
+from repro.aadl import format_model
+from repro.aadl.gallery import coupled_islands, dual_island
+from repro.analysis import Verdict
+from repro.cli import main
+from repro.oracle import (
+    AgreementStatus,
+    evaluate_compose_case,
+    run_compose_campaign,
+)
+from repro.oracle.compose import classify_agreement
+
+
+class TestAgreementRelation:
+    def test_equal_decided_verdicts_agree(self):
+        assert (
+            classify_agreement(Verdict.SCHEDULABLE, Verdict.SCHEDULABLE)
+            is AgreementStatus.AGREED
+        )
+        assert (
+            classify_agreement(
+                Verdict.UNSCHEDULABLE, Verdict.UNSCHEDULABLE
+            )
+            is AgreementStatus.AGREED
+        )
+
+    def test_decided_mismatch_disagrees(self):
+        assert (
+            classify_agreement(Verdict.SCHEDULABLE, Verdict.UNSCHEDULABLE)
+            is AgreementStatus.DISAGREED
+        )
+
+    def test_unknown_is_not_a_disagreement(self):
+        """An island can decide what the larger monolithic space cannot
+        (or vice versa); budget exhaustion is not unsoundness."""
+        assert (
+            classify_agreement(Verdict.UNKNOWN, Verdict.SCHEDULABLE)
+            is AgreementStatus.UNKNOWN
+        )
+        assert (
+            classify_agreement(Verdict.UNSCHEDULABLE, Verdict.UNKNOWN)
+            is AgreementStatus.UNKNOWN
+        )
+
+
+class TestComposeCampaign:
+    def test_case_is_seed_reproducible(self):
+        first = evaluate_compose_case(7)
+        second = evaluate_compose_case(7)
+        assert first.status is second.status
+        assert first.monolithic_verdict is second.monolithic_verdict
+        assert first.compositional_states == second.compositional_states
+
+    def test_small_campaign_agrees(self):
+        report = run_compose_campaign(seeds=8, base_seed=0)
+        assert len(report.outcomes) == 8
+        assert report.disagreements == []
+        # The draw must exercise both paths at these seeds.
+        modes = {o.mode for o in report.outcomes}
+        assert "compositional" in modes
+        assert "monolithic-fallback" in modes
+
+    def test_report_format(self):
+        report = run_compose_campaign(seeds=4, base_seed=0)
+        text = report.format()
+        assert "4 case(s)" in text
+        assert "disagreed: 0" in text
+        assert "states over decomposed cases" in text
+
+
+@pytest.fixture()
+def dual_file(tmp_path):
+    path = tmp_path / "dual.aadl"
+    path.write_text(format_model(dual_island().declarative))
+    return str(path)
+
+
+@pytest.fixture()
+def coupled_file(tmp_path):
+    path = tmp_path / "coupled.aadl"
+    path.write_text(format_model(coupled_islands().declarative))
+    return str(path)
+
+
+class TestComposeCli:
+    def test_analyze_compose_schedulable(self, dual_file, capsys):
+        assert main(["analyze", dual_file, "--compose", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "compose: 2 islands" in out
+        assert "verdict: schedulable" in out
+
+    def test_analyze_compose_unschedulable(self, tmp_path, capsys):
+        path = tmp_path / "bad.aadl"
+        path.write_text(
+            format_model(dual_island(schedulable=False).declarative)
+        )
+        assert (
+            main(["analyze", str(path), "--compose", "--jobs", "1"]) == 1
+        )
+        out = capsys.readouterr().out
+        assert "counterexample island: island-1-cpu2" in out
+
+    def test_analyze_compose_fallback_logs_reason(
+        self, coupled_file, capsys
+    ):
+        assert (
+            main(["analyze", coupled_file, "--compose", "--jobs", "1"])
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "monolithic fallback" in captured.err
+        assert "coupled" in captured.err
+        assert "verdict: schedulable" in captured.out
+
+    def test_compose_rejects_multiple_files(
+        self, dual_file, coupled_file, capsys
+    ):
+        assert (
+            main(["analyze", dual_file, coupled_file, "--compose"]) == 2
+        )
+        assert "exactly one model" in capsys.readouterr().err
+
+    def test_compose_rejects_all_modes(self, dual_file, capsys):
+        assert (
+            main(["analyze", dual_file, "--compose", "--all-modes"]) == 2
+        )
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_compose_plan_decomposable(self, dual_file, capsys):
+        assert main(["compose", "plan", dual_file]) == 0
+        out = capsys.readouterr().out
+        assert "islands: 2" in out
+
+    def test_compose_plan_coupled(self, coupled_file, capsys):
+        assert main(["compose", "plan", coupled_file]) == 0
+        out = capsys.readouterr().out
+        assert "fallback: monolithic" in out
+        assert "[event]" in out
+
+    def test_compose_with_cache(self, dual_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = [
+            "analyze", dual_file, "--compose", "--jobs", "1",
+            "--cache-dir", cache_dir,
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "[cached]" in capsys.readouterr().out
+
+    def test_oracle_compose_command(self, capsys):
+        assert main(["oracle", "compose", "--seeds", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "compose campaign: 4 case(s)" in out
+        assert "disagreed: 0" in out
+
+    def test_compose_trace_records_stages(self, dual_file, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        assert (
+            main(
+                [
+                    "analyze", dual_file, "--compose", "--jobs", "1",
+                    "--trace", trace,
+                ]
+            )
+            == 0
+        )
+        from repro.obs import COMPOSE_STAGES, validate_file
+
+        records = validate_file(trace)
+        names = {
+            r["name"] for r in records if r.get("type") == "span"
+        }
+        for stage in COMPOSE_STAGES:
+            assert stage in names

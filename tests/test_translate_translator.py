@@ -244,3 +244,160 @@ class TestLatencyFlows:
         )
         with pytest.raises(TranslationError):
             translate(inst, TranslationOptions(latency_flows=[flow]))
+
+
+def _shared_access_model(*, reverse: bool) -> "SystemBuilder":
+    """Two processors, two threads each, all four sharing one data
+    classifier -- declared in opposite orders so dict insertion order
+    differs while the model denotes the same system."""
+    b = SystemBuilder("Ordered")
+    cpus = {}
+    specs = [
+        ("alpha", "cpu_a", 2),
+        ("beta", "cpu_a", 1),
+        ("gamma", "cpu_b", 2),
+        ("delta", "cpu_b", 1),
+    ]
+    order = list(reversed(specs)) if reverse else specs
+    for _, cpu_name, _ in order:
+        if cpu_name not in cpus:
+            cpus[cpu_name] = b.processor(
+                cpu_name, scheduling=SchedulingProtocol.HIGHEST_PRIORITY_FIRST
+            )
+    for name, cpu_name, priority in order:
+        thread = b.thread(
+            name,
+            dispatch=DispatchProtocol.PERIODIC,
+            period=ms(8),
+            compute_time=(ms(1), ms(1)),
+            deadline=ms(8),
+            processor=cpus[cpu_name],
+            priority=priority,
+        )
+        thread.requires_data_access("d", classifier="SharedState")
+    return b
+
+
+class TestDeterministicOutput:
+    def test_declaration_order_does_not_change_acsr(self):
+        """Byte-for-byte identical ACSR from differently-ordered
+        declarations: the held-resources pre-pass (and every other
+        translator loop) must iterate in sorted order, or verdict-cache
+        keys would depend on dict insertion order."""
+        from repro.acsr.printer import format_env
+
+        opts = TranslationOptions(use_priority_ceiling=True)
+        first = translate(
+            _shared_access_model(reverse=False).instantiate(), opts
+        )
+        second = translate(
+            _shared_access_model(reverse=True).instantiate(), opts
+        )
+        assert format_env(first.env, first.root) == format_env(
+            second.env, second.root
+        )
+
+
+class TestUnboundDiagnostic:
+    def test_all_unbound_threads_reported_at_once(self):
+        b = SystemBuilder("Unbound")
+        b.processor("cpu")
+        for name in ("one", "two", "three"):
+            b.thread(
+                name,
+                dispatch=DispatchProtocol.PERIODIC,
+                period=ms(4),
+                compute_time=(ms(1), ms(1)),
+                deadline=ms(4),
+            )
+        with pytest.raises(TranslationError) as exc:
+            translate(
+                b.instantiate(validate=False),
+                TranslationOptions(validate=False),
+            )
+        message = str(exc.value)
+        assert "3 threads are not bound" in message
+        for name in ("one", "two", "three"):
+            assert f"Unbound.{name}" in message
+        # Sorted, so the diagnostic is stable run to run.
+        assert message.index("Unbound.one") < message.index("Unbound.three")
+        assert message.index("Unbound.three") < message.index("Unbound.two")
+
+    def test_single_unbound_thread_message(self):
+        b = SystemBuilder("Solo")
+        b.processor("cpu")
+        b.thread(
+            "only",
+            dispatch=DispatchProtocol.PERIODIC,
+            period=ms(4),
+            compute_time=(ms(1), ms(1)),
+            deadline=ms(4),
+        )
+        with pytest.raises(TranslationError, match="1 thread is not bound"):
+            translate(
+                b.instantiate(validate=False),
+                TranslationOptions(validate=False),
+            )
+
+
+class TestCrossProcessorConnections:
+    """The monolithic path must handle connections whose endpoints are
+    bound to different processors (the compose fallback relies on it)."""
+
+    def test_cross_processor_event_connection_translates(self):
+        from repro.aadl.gallery import coupled_islands
+
+        result = translate(coupled_islands())
+        assert result.num_queue_processes == 1
+        assert result.num_thread_processes == 4
+
+    def test_cross_processor_chain_explores(self):
+        from repro.aadl.gallery import coupled_islands
+        from repro.analysis import Verdict, analyze_model
+
+        result = analyze_model(coupled_islands())
+        assert result.verdict is Verdict.SCHEDULABLE
+
+    def test_cross_processor_miss_raises_remote_timeline(self):
+        """An overloaded aperiodic on the far processor must show up in
+        the raised scenario with its own dispatch/miss events."""
+        from repro.analysis import Verdict, analyze_model
+
+        b = SystemBuilder("FarMiss")
+        cpu1 = b.processor("cpu1")
+        cpu2 = b.processor("cpu2")
+        producer = b.thread(
+            "producer",
+            dispatch=DispatchProtocol.PERIODIC,
+            period=ms(4),
+            compute_time=(ms(1), ms(1)),
+            deadline=ms(4),
+            processor=cpu1,
+        )
+        producer.out_event_port("kick")
+        # steady hogs every other quantum of cpu2, so the 2 ms remote
+        # job cannot fit inside its 2 ms deadline.
+        b.thread(
+            "steady",
+            dispatch=DispatchProtocol.PERIODIC,
+            period=ms(2),
+            compute_time=(ms(1), ms(1)),
+            deadline=ms(2),
+            processor=cpu2,
+            priority=2,
+        )
+        remote = b.thread(
+            "remote",
+            dispatch=DispatchProtocol.APERIODIC,
+            compute_time=(ms(2), ms(2)),
+            deadline=ms(2),
+            processor=cpu2,
+            priority=1,
+        )
+        remote.in_event_port("kick", queue_size=1)
+        b.connect(producer, "kick", remote, "kick")
+        result = analyze_model(b.instantiate())
+        assert result.verdict is Verdict.UNSCHEDULABLE
+        rendered = result.scenario.format()
+        assert "FarMiss.remote" in rendered
+        assert "deadline_miss" in rendered
