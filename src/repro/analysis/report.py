@@ -15,7 +15,7 @@ from repro.aadl.properties import SCHEDULING_PROTOCOL, SchedulingProtocol
 from repro.analysis.schedulability import Verdict, analyze_model
 from repro.errors import SchedError
 from repro.sched.demand import edf_schedulable
-from repro.sched.rta import rta_schedulable
+from repro.sched.rta import response_times, rta_schedulable
 from repro.sched.simulation import simulate
 from repro.sched.taskmodel import extract_task_set
 from repro.sched.utilization import (
@@ -141,11 +141,33 @@ def compare_with_baselines(
                     )
                 )
         start = time.perf_counter()
+        rta_verdict = rta_schedulable(tasks, ordering=ordering)
+        # Worst margin over the set: responses are reported even past
+        # the deadline (None = diverged), so the row can say by how
+        # much the worst task misses, not just that it does.
+        responses = response_times(tasks, ordering=ordering)
+        deadlines = {task.name: task.deadline for task in tasks}
+        worst = min(
+            (
+                (deadlines[name] - response, name, response)
+                for name, response in responses.items()
+                if response is not None
+            ),
+            default=None,
+        )
+        if worst is None:
+            detail = "iteration diverged (overload)"
+        else:
+            margin, name, response = worst
+            detail = (
+                f"worst {name}: R={response} vs D={deadlines[name]}"
+            )
         rows.append(
             ComparisonRow(
                 "response-time-analysis",
-                rta_schedulable(tasks, ordering=ordering),
+                rta_verdict,
                 time.perf_counter() - start,
+                detail,
             )
         )
         sim_policy = ordering

@@ -28,6 +28,7 @@ from repro.aadl.components import DeclarativeModel
 from repro.aadl.instance import SystemInstance, instantiate
 from repro.aadl.properties import TimeValue
 from repro.analysis.raising import AadlScenario, raise_trace
+from repro.translate.quantum import TimingQuantizer
 from repro.translate.translator import (
     TranslationOptions,
     TranslationResult,
@@ -67,20 +68,42 @@ class Verdict(enum.Enum):
 
 
 class AnalysisResult:
-    """Everything the analysis produced."""
+    """Everything the analysis produced.
+
+    ``translation`` is None when an analytic portfolio tier decided the
+    verdict without translating the model to ACSR; ``decided_by`` then
+    names the tier (``"exploration"`` after an escalated portfolio run,
+    None for a plain non-portfolio analysis) and ``tier_trail`` records
+    each tier's contribution in order.
+    """
 
     def __init__(
         self,
         verdict: Verdict,
-        translation: TranslationResult,
+        translation: Optional[TranslationResult],
         exploration: ExplorationResult,
         scenario: Optional[AadlScenario],
+        *,
+        decided_by: Optional[str] = None,
+        tier_trail: Optional[Iterable[str]] = None,
+        quantizer: Optional["TimingQuantizer"] = None,
     ) -> None:
         self.verdict = verdict
         self.translation = translation
         self.exploration = exploration
         #: failing scenario (UNSCHEDULABLE only)
         self.scenario = scenario
+        self.decided_by = decided_by
+        self.tier_trail = list(tier_trail) if tier_trail is not None else []
+        self._quantizer = quantizer
+
+    @property
+    def quantizer(self) -> Optional["TimingQuantizer"]:
+        """The quantizer behind the verdict, whether the model was
+        translated or decided analytically."""
+        if self.translation is not None:
+            return self.translation.quantizer
+        return self._quantizer
 
     @property
     def schedulable(self) -> Optional[bool]:
@@ -104,8 +127,12 @@ class AnalysisResult:
             f"verdict: {self.verdict.value}",
             f"states explored: {self.exploration.num_states} "
             f"({self.exploration.elapsed:.3f}s)",
-            f"quantum: {self.translation.quantizer.quantum}",
         ]
+        quantizer = self.quantizer
+        if quantizer is not None:
+            lines.append(f"quantum: {quantizer.quantum}")
+        if self.decided_by is not None:
+            lines.append(f"decided by: {self.decided_by}")
         if show_stats and self.exploration.stats is not None:
             lines.append("engine stats:")
             for stat_line in self.exploration.stats.format().splitlines():
@@ -133,6 +160,7 @@ def analyze_model(
     stop_at_first_deadlock: bool = True,
     strategy: Union[SearchStrategy, str, None] = None,
     observers: Union[Observer, Iterable[Observer], None] = None,
+    portfolio: bool = False,
 ) -> AnalysisResult:
     """Analyze a bound AADL model for schedulability.
 
@@ -141,8 +169,27 @@ def analyze_model(
     quantization; ``options`` gives full control over the translation.
     ``strategy`` selects the engine search order (BFS by default, which
     keeps counterexamples shortest) and ``observers`` attaches engine
-    instrumentation hooks to the run.
+    instrumentation hooks to the run.  ``portfolio`` routes the model
+    through the tiered analytic portfolio first, escalating to this
+    exhaustive exploration only when no tier decides (see
+    :mod:`repro.portfolio`).
     """
+    if portfolio:
+        # Imported lazily: repro.portfolio imports this module.
+        from repro.portfolio import analyze_portfolio
+
+        return analyze_portfolio(
+            model,
+            root_impl=root_impl,
+            quantum=quantum,
+            options=options,
+            max_states=max_states,
+            max_seconds=max_seconds,
+            stop_at_first_deadlock=stop_at_first_deadlock,
+            strategy=strategy,
+            observers=observers,
+        )
+
     from repro.obs.tracer import current_tracer
 
     tracer = current_tracer()

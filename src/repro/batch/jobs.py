@@ -20,6 +20,12 @@ drawn from ambient state.  Two kinds exist:
   slice.  This is how :mod:`repro.compose` fans islands out, and the
   island membership is folded into the cache key so per-island verdicts
   persist independently of the rest of the model.
+* ``portfolio`` -- an AADL source text analyzed through the tiered
+  verdict portfolio (:func:`repro.portfolio.analyze_portfolio`):
+  analytic tiers first, exhaustive exploration on escalation.  The tier
+  chain configuration rides in ``options["tiers"]`` so portfolio
+  verdicts never share cache entries with plain ``aadl`` runs or with
+  runs under a different chain.
 
 Both kinds expose :meth:`AnalysisJob.canonical_model_text`, the
 model-side half of the persistent verdict-cache key (see
@@ -32,7 +38,7 @@ from typing import Any, Dict, Optional
 
 from repro.errors import BatchError, ReproError
 
-JOB_KINDS = ("aadl", "case", "island")
+JOB_KINDS = ("aadl", "case", "island", "portfolio")
 
 
 class AnalysisJob:
@@ -141,6 +147,35 @@ class AnalysisJob:
         )
 
     @classmethod
+    def from_portfolio(
+        cls,
+        source: str,
+        *,
+        root: Optional[str] = None,
+        job_id: Optional[str] = None,
+        max_states: int = 1_000_000,
+        quantum_us: Optional[int] = None,
+        tiers: Optional[str] = None,
+    ) -> "AnalysisJob":
+        """A tiered-portfolio schedulability check over an AADL source.
+
+        ``tiers`` is the chain's config token (see
+        :attr:`repro.portfolio.PortfolioAnalyzer.config_token`); None
+        selects the default chain.  It lives in the options dict so the
+        verdict-cache key distinguishes tier configurations.
+        """
+        return cls(
+            job_id=job_id or (root or "aadl-model"),
+            kind="portfolio",
+            payload={"source": source, "root": root},
+            options={
+                "max_states": max_states,
+                "quantum_us": quantum_us,
+                "tiers": tiers,
+            },
+        )
+
+    @classmethod
     def from_file(cls, path: str, **options: Any) -> "AnalysisJob":
         """Build a job from a file path.
 
@@ -158,7 +193,17 @@ class AnalysisJob:
             data = json.loads(text)
             if "case" in data and "tasks" not in data:
                 data = data["case"]  # accept a whole repro bundle
+            options.pop("portfolio", None)
+            options.pop("tiers", None)
             return cls.from_case(data, job_id=name, **options)
+        if options.pop("portfolio", False):
+            return cls.from_portfolio(
+                text,
+                root=options.pop("root", None),
+                job_id=name,
+                **options,
+            )
+        options.pop("tiers", None)
         return cls.from_aadl(
             text,
             root=options.pop("root", None),
@@ -324,6 +369,8 @@ def execute_job(job: AnalysisJob) -> JobResult:
                 result = _execute_case(job)
             elif job.kind == "island":
                 result = _execute_island(job)
+            elif job.kind == "portfolio":
+                result = _execute_portfolio(job)
             else:
                 result = _execute_aadl(job)
         except ReproError as exc:
@@ -350,6 +397,35 @@ def _execute_aadl(job: AnalysisJob) -> JobResult:
         instantiate(model, root),
         quantum=TimeValue(quantum_us, "us") if quantum_us else None,
         max_states=job.options.get("max_states", 1_000_000),
+    )
+    stats = result.exploration.stats
+    return JobResult(
+        job_id=job.job_id,
+        kind=job.kind,
+        verdict=result.verdict.value,
+        states=result.num_states,
+        elapsed=result.elapsed,
+        limit_hit=result.exploration.limit_hit,
+        stats=stats.as_dict() if stats is not None else None,
+        rendered=result.format(),
+    )
+
+
+def _execute_portfolio(job: AnalysisJob) -> JobResult:
+    from repro.aadl import infer_root, instantiate, parse_model
+    from repro.aadl.properties import TimeValue
+    from repro.portfolio import PortfolioAnalyzer, analyze_portfolio
+    from repro.portfolio.tiers import tiers_from_token
+
+    model = parse_model(job.payload["source"])
+    root = job.payload.get("root") or infer_root(model)
+    quantum_us = job.options.get("quantum_us")
+    analyzer = PortfolioAnalyzer(tiers_from_token(job.options.get("tiers")))
+    result = analyze_portfolio(
+        instantiate(model, root),
+        quantum=TimeValue(quantum_us, "us") if quantum_us else None,
+        max_states=job.options.get("max_states", 1_000_000),
+        analyzer=analyzer,
     )
     stats = result.exploration.stats
     return JobResult(

@@ -146,6 +146,7 @@ def _run_file_batch(args, paths: List[str]) -> int:
                     root=getattr(args, "root", None),
                     max_states=args.max_states,
                     quantum_us=args.quantum,
+                    portfolio=getattr(args, "portfolio", False),
                 )
             )
     report = run_batch(
@@ -168,13 +169,22 @@ def cmd_analyze(args) -> int:
     args.file = args.files[0]
     model, instance = _load_instance(args)
     if args.all_modes:
+        if getattr(args, "portfolio", False):
+            raise ReproError(
+                "--portfolio and --all-modes are mutually exclusive "
+                "(multi-modal models are outside the analytic tiers' "
+                "applicability domain)"
+            )
         result = analyze_all_modes(
             model, args.root, quantum=_quantum(args), max_states=args.max_states
         )
         print(result.format())
         return result.verdict.exit_code
     result = analyze_model(
-        instance, quantum=_quantum(args), max_states=args.max_states
+        instance,
+        quantum=_quantum(args),
+        max_states=args.max_states,
+        portfolio=getattr(args, "portfolio", False),
     )
     print(result.format(show_stats=args.stats))
     if args.response_times and result.verdict is Verdict.SCHEDULABLE:
@@ -212,6 +222,7 @@ def _run_compose(args) -> int:
         max_states=args.max_states,
         workers=args.jobs,
         cache=_cache_spec(args),
+        portfolio=getattr(args, "portfolio", False),
     )
     if not result.compositional:
         print(
@@ -370,6 +381,19 @@ def cmd_oracle_compose(args) -> int:
     return EXIT_VIOLATION if report.disagreements else EXIT_SCHEDULABLE
 
 
+def cmd_oracle_portfolio(args) -> int:
+    from repro.oracle import run_portfolio_campaign
+
+    report = run_portfolio_campaign(
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        max_states=args.max_states,
+        progress=args.progress,
+    )
+    print(report.format())
+    return EXIT_VIOLATION if report.disagreements else EXIT_SCHEDULABLE
+
+
 def cmd_batch_run(args) -> int:
     return _run_file_batch(args, args.files)
 
@@ -483,6 +507,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="verdict-cache directory (implies --cache)",
         )
 
+    def portfolio_options(p):
+        p.add_argument(
+            "--portfolio",
+            dest="portfolio",
+            action="store_true",
+            help="try the analytic tier chain (utilization cap/bounds, "
+            "RTA, EDF demand, simulation) before exhaustive "
+            "exploration; the result reports the deciding tier",
+        )
+        p.add_argument(
+            "--no-portfolio",
+            dest="portfolio",
+            action="store_false",
+            help="force pure exhaustive exploration (the default)",
+        )
+        p.set_defaults(portfolio=False)
+
     def tracing_options(p, profile_flag="--profile"):
         p.add_argument(
             "--trace",
@@ -567,6 +608,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print engine statistics (states/sec, cache hit rate, ...)",
     )
+    portfolio_options(p_analyze)
     p_analyze.set_defaults(func=cmd_analyze)
 
     p_validate = sub.add_parser(
@@ -655,6 +697,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print aggregated engine statistics for the whole batch",
     )
+    portfolio_options(p_batch_run)
     tracing_options(p_batch_run)
     p_batch_run.set_defaults(func=cmd_batch_run)
 
@@ -784,6 +827,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="report per-case progress to stderr",
     )
     p_oracle_compose.set_defaults(func=cmd_oracle_compose)
+
+    p_oracle_portfolio = oracle_sub.add_parser(
+        "portfolio",
+        help="seeded campaign asserting portfolio ≡ pure-exploration "
+        "verdicts (UNKNOWN-aware, witnesses cross-checked)",
+        epilog=EXIT_STATUS_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_oracle_portfolio.add_argument(
+        "--seeds",
+        type=int,
+        default=50,
+        help="number of seeded cases to draw (default 50)",
+    )
+    p_oracle_portfolio.add_argument(
+        "--base-seed",
+        type=int,
+        default=0,
+        help="first seed of the campaign (case i uses base-seed + i)",
+    )
+    p_oracle_portfolio.add_argument(
+        "--max-states",
+        type=int,
+        default=150_000,
+        help="per-analysis exploration budget",
+    )
+    p_oracle_portfolio.add_argument(
+        "--progress",
+        action="store_true",
+        help="report per-case progress to stderr",
+    )
+    p_oracle_portfolio.set_defaults(func=cmd_oracle_portfolio)
 
     p_replay = oracle_sub.add_parser(
         "replay", help="re-run a persisted repro bundle"

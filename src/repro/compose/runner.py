@@ -82,6 +82,7 @@ def analyze_compositionally(
     workers: Optional[int] = None,
     cache=None,
     progress: Optional[ProgressFn] = None,
+    portfolio: bool = False,
 ) -> CompositionResult:
     """Analyze ``model`` island by island when that is sound, falling
     back to :func:`~repro.analysis.analyze_model` (with the reason
@@ -90,6 +91,13 @@ def analyze_compositionally(
     ``workers``/``cache``/``progress`` are forwarded to
     :func:`repro.batch.pool.run_batch`; each island is one batch job,
     so island verdicts cache independently.
+
+    ``portfolio`` screens every island through the analytic tiers
+    *before* the fan-out: islands the tiers decide (microseconds,
+    in-process) never spawn an exploration job, and only the undecided
+    remainder ships to the pool -- as ordinary ``island`` jobs, so their
+    cache entries are shared with non-portfolio compose runs.  The
+    monolithic fallback likewise routes through the portfolio.
     """
     from repro.obs.tracer import current_tracer
 
@@ -99,7 +107,10 @@ def analyze_compositionally(
 
     if not partition.decomposable:
         monolithic = analyze_model(
-            instance, quantum=quantum, max_states=max_states
+            instance,
+            quantum=quantum,
+            max_states=max_states,
+            portfolio=portfolio,
         )
         return CompositionResult(
             partition=partition,
@@ -110,11 +121,25 @@ def analyze_compositionally(
         )
 
     # Pin every island to the full model's quantum (see module docstring).
-    quantum_ps = (
-        quantum.picoseconds
+    pinned_quantizer = (
+        TimingQuantizer(quantum)
         if quantum is not None
-        else TimingQuantizer.natural(instance).quantum.picoseconds
+        else TimingQuantizer.natural(instance)
     )
+    quantum_ps = pinned_quantizer.quantum.picoseconds
+
+    analytic: dict = {}
+    pending_islands = list(partition.islands)
+    if portfolio:
+        analytic = _screen_islands(
+            instance, partition, pinned_quantizer
+        )
+        pending_islands = [
+            island
+            for island in partition.islands
+            if island.label not in analytic
+        ]
+
     source = format_model(instance.declarative)
     root = instance.impl.name if instance.impl is not None else None
     jobs = [
@@ -127,15 +152,29 @@ def analyze_compositionally(
             max_states=max_states,
             quantum_ps=quantum_ps,
         )
-        for island in partition.islands
+        for island in pending_islands
     ]
-    report = run_batch(
-        jobs, workers=workers, cache=cache, progress=progress
-    )
+    explored: dict = {}
+    if jobs:
+        report = run_batch(
+            jobs, workers=workers, cache=cache, progress=progress
+        )
+        explored = {
+            island.label: result
+            for island, result in zip(pending_islands, report.results)
+        }
 
-    with tracer.span("compose.combine", islands=len(jobs)) as span:
+    with tracer.span(
+        "compose.combine",
+        islands=len(partition.islands),
+        analytic=len(analytic),
+    ) as span:
         outcomes = []
-        for island, result in zip(partition.islands, report.results):
+        for island in partition.islands:
+            if island.label in analytic:
+                outcomes.append(analytic[island.label])
+                continue
+            result = explored[island.label]
             verdict = (
                 Verdict(result.verdict)
                 if result.verdict in Verdict._value2member_map_
@@ -158,3 +197,37 @@ def analyze_compositionally(
             "states", combined.total_states
         )
     return combined
+
+
+def _screen_islands(
+    instance: SystemInstance,
+    partition: Partition,
+    quantizer: TimingQuantizer,
+) -> dict:
+    """Try the analytic tiers on each island slice, in-process.
+
+    Returns ``{label: IslandOutcome}`` for the islands a tier decided;
+    the rest escalate to the pool.  Slicing plus the tier chain costs
+    microseconds per island, far below the cost of spawning a job.
+    """
+    from repro.aadl import slice_instance
+    from repro.portfolio import PortfolioAnalyzer
+
+    analyzer = PortfolioAnalyzer()
+    decided: dict = {}
+    for island in partition.islands:
+        keep = list(island.threads) + list(island.processors)
+        sliced = slice_instance(instance, keep, label=island.label)
+        result = analyzer.try_analytic(sliced, quantizer=quantizer)
+        if result is None:
+            continue
+        stats = result.exploration.stats
+        decided[island.label] = IslandOutcome(
+            island=island,
+            verdict=result.verdict,
+            states=0,
+            elapsed=result.elapsed,
+            stats=stats.as_dict() if stats is not None else None,
+            rendered=result.format(),
+        )
+    return decided

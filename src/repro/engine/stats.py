@@ -44,6 +44,13 @@ class EngineStats:
             verdict-cache lookups (:mod:`repro.batch`); a hit means a
             whole analysis was skipped, so ``states``/``elapsed`` only
             account for the misses.  Zero outside batch runs.
+        tier_attempts / tier_hits: portfolio-tier counters
+            (:mod:`repro.portfolio`): how often each analytic tier was
+            consulted and how often it decided the verdict, keyed by
+            tier name.  A hit means the state space was never touched.
+            Empty outside portfolio runs.
+        tier_escalations: verdicts that fell through every analytic
+            tier into exhaustive exploration.
         limit_hit: which budget stopped the run (``"states"``,
             ``"transitions"``, ``"seconds"``) or ``None``.
     """
@@ -62,6 +69,9 @@ class EngineStats:
         "cache_evictions",
         "verdict_cache_hits",
         "verdict_cache_misses",
+        "tier_attempts",
+        "tier_hits",
+        "tier_escalations",
         "limit_hit",
     )
 
@@ -82,6 +92,9 @@ class EngineStats:
         verdict_cache_hits: int = 0,
         verdict_cache_misses: int = 0,
         wall_elapsed: Optional[float] = None,
+        tier_attempts: Optional[Dict[str, int]] = None,
+        tier_hits: Optional[Dict[str, int]] = None,
+        tier_escalations: int = 0,
     ) -> None:
         self.strategy = strategy
         self.states = states
@@ -98,6 +111,9 @@ class EngineStats:
         self.cache_evictions = cache_evictions
         self.verdict_cache_hits = verdict_cache_hits
         self.verdict_cache_misses = verdict_cache_misses
+        self.tier_attempts = dict(tier_attempts or {})
+        self.tier_hits = dict(tier_hits or {})
+        self.tier_escalations = tier_escalations
         self.limit_hit = limit_hit
 
     @property
@@ -135,6 +151,9 @@ class EngineStats:
             "cache_hit_rate": self.cache_hit_rate,
             "verdict_cache_hits": self.verdict_cache_hits,
             "verdict_cache_misses": self.verdict_cache_misses,
+            "tier_attempts": dict(self.tier_attempts),
+            "tier_hits": dict(self.tier_hits),
+            "tier_escalations": self.tier_escalations,
             "limit_hit": self.limit_hit,
         }
 
@@ -156,6 +175,9 @@ class EngineStats:
             cache_evictions=data.get("cache_evictions", 0),
             verdict_cache_hits=data.get("verdict_cache_hits", 0),
             verdict_cache_misses=data.get("verdict_cache_misses", 0),
+            tier_attempts=data.get("tier_attempts"),
+            tier_hits=data.get("tier_hits"),
+            tier_escalations=data.get("tier_escalations", 0),
             limit_hit=data.get("limit_hit"),
         )
 
@@ -212,6 +234,13 @@ class EngineStats:
             total.cache_evictions += snap.cache_evictions
             total.verdict_cache_hits += snap.verdict_cache_hits
             total.verdict_cache_misses += snap.verdict_cache_misses
+            for name, count in snap.tier_attempts.items():
+                total.tier_attempts[name] = (
+                    total.tier_attempts.get(name, 0) + count
+                )
+            for name, count in snap.tier_hits.items():
+                total.tier_hits[name] = total.tier_hits.get(name, 0) + count
+            total.tier_escalations += snap.tier_escalations
         total.wall_elapsed = (
             wall_elapsed if wall_elapsed is not None else total.elapsed
         )
@@ -246,6 +275,17 @@ class EngineStats:
                 f"verdict cache: {self.verdict_cache_hits} hits / "
                 f"{self.verdict_cache_misses} misses "
                 f"({self.verdict_cache_hit_rate:.1%} hit rate)"
+            )
+        if self.tier_attempts or self.tier_escalations:
+            lines.append("portfolio tiers:")
+            for name in self.tier_attempts:
+                hits = self.tier_hits.get(name, 0)
+                lines.append(
+                    f"  {name}: {self.tier_attempts[name]} attempt(s), "
+                    f"{hits} hit(s)"
+                )
+            lines.append(
+                f"  escalated to exploration: {self.tier_escalations}"
             )
         if self.limit_hit is not None:
             lines.append(f"budget exhausted: {self.limit_hit}")

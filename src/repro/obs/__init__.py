@@ -19,6 +19,7 @@ from repro.obs.bridge import SpanObserver
 from repro.obs.schema import (
     COMPOSE_STAGES,
     PIPELINE_STAGES,
+    PORTFOLIO_STAGES,
     TraceSchemaError,
     missing_pipeline_stages,
     validate_file,
@@ -46,6 +47,7 @@ __all__ = [
     "NullTracer",
     "COMPOSE_STAGES",
     "PIPELINE_STAGES",
+    "PORTFOLIO_STAGES",
     "SCHEMA_VERSION",
     "Span",
     "SpanObserver",

@@ -51,6 +51,17 @@ COMPOSE_STAGES = (
     "compose.combine",
 )
 
+#: The span names a portfolio (``analyze --portfolio``) run may add:
+#: one ``portfolio.tier.<name>`` per analytic tier consulted (the
+#: suffix is the tier's name, e.g. ``portfolio.tier.rta``) and one
+#: ``portfolio.escalate`` wrapping the exhaustive exploration when no
+#: tier decides.  Prefixes, not exact names: the tier set is
+#: configurable.
+PORTFOLIO_STAGES = (
+    "portfolio.tier.",
+    "portfolio.escalate",
+)
+
 
 class TraceSchemaError(ReproError):
     """A trace record violates the schema contract."""

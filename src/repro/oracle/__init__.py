@@ -44,6 +44,12 @@ from repro.oracle.compose import (
     run_compose_campaign,
 )
 from repro.oracle.faults import FAULTS, Fault, fault_names, get_fault
+from repro.oracle.portfolio import (
+    PortfolioCampaignReport,
+    PortfolioCaseOutcome,
+    evaluate_portfolio_case,
+    run_portfolio_campaign,
+)
 from repro.oracle.shrink import ShrinkResult, shrink_case
 from repro.oracle.verdicts import (
     AgreementStatus,
@@ -69,6 +75,8 @@ __all__ = [
     "OracleCase",
     "OracleVerdict",
     "PROFILES",
+    "PortfolioCampaignReport",
+    "PortfolioCaseOutcome",
     "ReplayResult",
     "ReproBundle",
     "ShrinkResult",
@@ -77,11 +85,13 @@ __all__ = [
     "draw_case",
     "evaluate_case",
     "evaluate_compose_case",
+    "evaluate_portfolio_case",
     "fault_names",
     "get_fault",
     "replay_bundle",
     "run_campaign",
     "run_compose_campaign",
     "run_pipeline",
+    "run_portfolio_campaign",
     "shrink_case",
 ]

@@ -33,7 +33,7 @@ from repro.engine.observers import Observer
 from repro.errors import SchedError
 from repro.oracle.case import OracleCase
 from repro.sched.demand import edf_schedulable
-from repro.sched.rta import rta_schedulable
+from repro.sched.rta import rta_exactness, rta_schedulable
 from repro.sched.simulation import simulate
 from repro.sched.taskmodel import TaskSet
 from repro.sched.utilization import hyperbolic_bound_test, liu_layland_test
@@ -210,8 +210,9 @@ def classical_verdicts(case: OracleCase) -> List[OracleVerdict]:
                 OracleVerdict(
                     "response-time-analysis",
                     # Synchronous release is the critical instant: exact
-                    # there, only an upper bound once offsets shift it.
-                    "exact" if synchronous else "sufficient",
+                    # there, only an upper bound once offsets shift it
+                    # (the guard lives with RTA itself).
+                    rta_exactness(tasks),
                     rta,
                     f"ordering={ordering}",
                 )

@@ -1,0 +1,211 @@
+"""Applicability screening for the analytic tiers.
+
+The classical tests speak for the ACSR model only on its *classical
+fragment*: independent periodic threads statically bound to processors,
+with no queued connections, shared data, modes, buses or devices (pure
+data-port connections are inert: the translator gives them no queue
+process, so they do not perturb the task model).  On that
+fragment the translation of each processor's threads is exactly the
+periodic task set the textbook algorithms assume -- extracted with the
+*same* quantizer the translation itself uses, so the analytic verdict
+and the exploration verdict are about the same quantized model.
+
+Anything outside the fragment (event-driven dispatch, communication,
+modal behaviour) makes the model's behaviours richer than any task-set
+abstraction, and the portfolio must escalate to exhaustive exploration.
+:func:`build_context` encodes that boundary in one place and returns
+either the per-processor :class:`AnalyticUnit` list or the reason the
+tiers must stand aside.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.aadl.instance import SystemInstance
+from repro.aadl.properties import (
+    DISPATCH_PROTOCOL,
+    SCHEDULING_PROTOCOL,
+    DispatchProtocol,
+    SchedulingProtocol,
+)
+from repro.errors import QuantizationError, SchedError
+from repro.sched.taskmodel import TaskSet, extract_task_set
+from repro.translate.quantum import TimingQuantizer
+
+#: Fixed-priority protocols and the task ordering each induces.
+FIXED_PRIORITY_ORDERING = {
+    SchedulingProtocol.RATE_MONOTONIC: "rate",
+    SchedulingProtocol.DEADLINE_MONOTONIC: "deadline",
+    SchedulingProtocol.HIGHEST_PRIORITY_FIRST: "explicit",
+}
+
+
+class AnalyticUnit:
+    """One processor's independent task set, ready for classical tests.
+
+    On the classical fragment processors do not interact, so each unit
+    is analyzed on its own and the model-level verdict is the
+    conjunction (mirroring the compositional island decomposition).
+    """
+
+    __slots__ = ("processor", "tasks", "protocol", "ordering", "synchronous")
+
+    def __init__(
+        self,
+        processor: str,
+        tasks: TaskSet,
+        protocol: SchedulingProtocol,
+    ) -> None:
+        self.processor = processor
+        self.tasks = tasks
+        self.protocol = protocol
+        #: fixed-priority task ordering, or None for dynamic priorities
+        self.ordering = FIXED_PRIORITY_ORDERING.get(protocol)
+        self.synchronous = all(task.offset == 0 for task in tasks)
+
+    @property
+    def sim_policy(self) -> Optional[str]:
+        """The :func:`repro.sched.simulation.simulate` policy name."""
+        if self.ordering is not None:
+            return self.ordering
+        if self.protocol is SchedulingProtocol.EARLIEST_DEADLINE_FIRST:
+            return "edf"
+        if self.protocol is SchedulingProtocol.LEAST_LAXITY_FIRST:
+            return "llf"
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"AnalyticUnit({self.processor!r}, {self.protocol.value}, "
+            f"{len(self.tasks)} tasks)"
+        )
+
+
+class PortfolioContext:
+    """The task-model view of an instance, or the reason there is none."""
+
+    __slots__ = ("units", "quantizer", "inapplicable")
+
+    def __init__(
+        self,
+        units: List[AnalyticUnit],
+        quantizer: Optional[TimingQuantizer],
+        inapplicable: Optional[str] = None,
+    ) -> None:
+        self.units = units
+        self.quantizer = quantizer
+        #: why the analytic tiers cannot speak for this model (None when
+        #: they can)
+        self.inapplicable = inapplicable
+
+    @property
+    def applicable(self) -> bool:
+        return self.inapplicable is None
+
+    def __repr__(self) -> str:
+        if self.inapplicable is not None:
+            return f"PortfolioContext(inapplicable: {self.inapplicable})"
+        return f"PortfolioContext({len(self.units)} unit(s))"
+
+
+def build_context(
+    instance: SystemInstance,
+    quantizer: Optional[TimingQuantizer] = None,
+) -> PortfolioContext:
+    """Screen ``instance`` and extract per-processor analytic units.
+
+    ``quantizer`` pins the quantum when the caller will escalate with a
+    quantum override; the default is the same exact GCD quantizer the
+    translation uses, which keeps the analytic and exploration verdicts
+    about the same discrete model.
+    """
+    reason = _outside_classical_fragment(instance)
+    if reason is not None:
+        return PortfolioContext([], None, reason)
+    try:
+        quantizer = quantizer or TimingQuantizer.natural(instance)
+    except QuantizationError as exc:
+        return PortfolioContext([], None, str(exc))
+
+    units: List[AnalyticUnit] = []
+    for processor in instance.processors():
+        bound = [
+            t for t in instance.threads() if t.bound_processor is processor
+        ]
+        if not bound:
+            continue
+        protocol = processor.property(SCHEDULING_PROTOCOL)
+        if not isinstance(protocol, SchedulingProtocol):
+            return PortfolioContext(
+                [],
+                None,
+                f"processor {processor.qualified_name}: missing or invalid "
+                f"Scheduling_Protocol",
+            )
+        try:
+            tasks = extract_task_set(instance, processor, quantizer)
+        except (SchedError, QuantizationError) as exc:
+            # e.g. a missing period or an infeasible deadline: the
+            # exhaustive translation is the tool that judges those.
+            return PortfolioContext([], None, str(exc))
+        if len(tasks) != len(bound):
+            return PortfolioContext(
+                [],
+                None,
+                f"processor {processor.qualified_name}: some bound threads "
+                f"fall outside the periodic task model",
+            )
+        units.append(
+            AnalyticUnit(processor.qualified_name, tasks, protocol)
+        )
+    if not units:
+        return PortfolioContext(
+            [], None, "no processor-bound periodic threads"
+        )
+    return PortfolioContext(units, quantizer)
+
+
+def _outside_classical_fragment(instance: SystemInstance) -> Optional[str]:
+    """The reason the classical task model does not cover ``instance``,
+    or None when it does."""
+    threads = instance.threads()
+    if not threads:
+        return "model has no threads"
+    for thread in threads:
+        protocol = thread.property(DISPATCH_PROTOCOL)
+        if protocol is not DispatchProtocol.PERIODIC:
+            # Sporadic threads translate to event-driven dispatchers
+            # whose behaviours the periodic abstraction cannot bound.
+            name = getattr(protocol, "value", protocol)
+            return (
+                f"{thread.qualified_name}: dispatch protocol {name} is "
+                f"outside the periodic task model"
+            )
+        if thread.bound_processor is None:
+            return f"{thread.qualified_name}: not bound to a processor"
+    # Pure data-port connections into periodic threads get no queue
+    # process from the translator (paper S2: periodic threads ignore
+    # external events) -- they are semantically inert, exactly as the
+    # compositional partitioner treats them.  Anything queued or carried
+    # by a bus changes the resource picture and escapes the task model.
+    from repro.translate.translator import _needs_queue
+
+    for conn in instance.connections:
+        if _needs_queue(conn):
+            return (
+                f"connection {conn.qualified_name} is queued; classical "
+                f"tests assume independent tasks"
+            )
+        if conn.buses:
+            return (
+                f"connection {conn.qualified_name} is bus-bound; its "
+                f"resource demand is outside the task model"
+            )
+    if instance.access_connections:
+        return "model has shared data access"
+    if instance.active_modes:
+        return "model has multi-modal components"
+    if instance.buses() or instance.devices():
+        return "model has buses or devices"
+    return None

@@ -1,0 +1,135 @@
+"""Synthesized counterexamples for analytic UNSCHEDULABLE verdicts.
+
+When an exact or necessary tier rejects a model, the user still deserves
+the artifact exploration would have produced: a concrete failing
+scenario in AADL terms.  The tiers synthesize one by *running* the
+deterministic scheduler simulation up to the first deadline miss and
+rendering that prefix as an :class:`~repro.analysis.raising.AadlScenario`
+-- the same type the trace raiser produces, so the timeline renderer,
+the JSON export and every downstream consumer work unchanged.
+
+For verdicts whose witness search is itself bounded (an over-utilized
+unit whose first miss lies beyond the hunt horizon), the fallback is an
+*explanation-only* scenario: the analytic fact as a ``deadline_miss``
+event with no timeline.  The verdict never depends on finding the
+witness -- soundness comes from the tier, the scenario is illustration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.raising import (
+    PREEMPTED,
+    RUNNING,
+    WAITING,
+    AadlScenario,
+    ScenarioEvent,
+)
+from repro.errors import SchedError
+from repro.sched.simulation import SimulationResult, simulate
+from repro.sched.taskmodel import TaskSet
+
+
+def scenario_from_simulation(
+    tasks: TaskSet, sim: SimulationResult
+) -> AadlScenario:
+    """Render a simulated run (typically stopped at its first miss) as
+    an AADL-level scenario: dispatch/complete events, per-quantum
+    activity rows and the deadline-miss instant."""
+    duration = len(sim.schedule)
+    events: List[ScenarioEvent] = []
+    activity = {task.name: [] for task in tasks}
+    # name -> [release, absolute deadline, remaining, started]
+    jobs: dict = {task.name: None for task in tasks}
+
+    for now in range(duration):
+        for task in tasks:
+            if now >= task.offset and (now - task.offset) % task.period == 0:
+                jobs[task.name] = [now, now + task.deadline, task.wcet, False]
+                events.append(ScenarioEvent(now, "dispatch", task.name))
+        running = sim.schedule[now]
+        for task in tasks:
+            job = jobs[task.name]
+            if job is not None and job[2] > 0 and now >= job[1]:
+                # The simulator abandoned this late job; mirror it.
+                jobs[task.name] = job = None
+            if running == task.name:
+                activity[task.name].append(RUNNING)
+                job[2] -= 1
+                job[3] = True
+                if job[2] == 0:
+                    events.append(
+                        ScenarioEvent(now + 1, "complete", task.name)
+                    )
+                    jobs[task.name] = None
+            elif job is not None:
+                activity[task.name].append(PREEMPTED if job[3] else WAITING)
+            else:
+                activity[task.name].append(WAITING)
+
+    misses: List[str] = []
+    deadlines = {task.name: task.deadline for task in tasks}
+    for name, time in sim.misses:
+        if name not in misses:
+            misses.append(name)
+        events.append(
+            ScenarioEvent(
+                time,
+                "deadline_miss",
+                name,
+                f"deadline {deadlines[name]} quanta",
+            )
+        )
+    events.sort(key=lambda event: event.time)
+    return AadlScenario(
+        events,
+        activity,
+        duration,
+        deadlocked=bool(misses),
+        misses=misses,
+        overflows=[],
+    )
+
+
+def miss_witness(
+    tasks: TaskSet, *, policy: Optional[str], horizon: int
+) -> Optional[AadlScenario]:
+    """Hunt for a concrete deadline miss within ``horizon`` quanta.
+
+    Returns None when the policy is unavailable (e.g. missing explicit
+    priorities) or no miss shows up inside the window -- the caller
+    falls back to :func:`explanation_witness`.
+    """
+    if policy is None or horizon < 1:
+        return None
+    try:
+        sim = simulate(
+            tasks, policy=policy, horizon=horizon, stop_at_first_miss=True
+        )
+    except SchedError:
+        return None
+    if not sim.misses:
+        return None
+    return scenario_from_simulation(tasks, sim)
+
+
+def explanation_witness(
+    tasks: TaskSet, detail: str
+) -> AadlScenario:
+    """Timeline-less scenario carrying an analytic unschedulability fact.
+
+    Names the longest-period task as the designated casualty (under any
+    priority assignment an overloaded processor starves its least urgent
+    work first), with the analytic reason in the event detail.
+    """
+    victim = max(tasks, key=lambda task: (task.period, task.name))
+    event = ScenarioEvent(0, "deadline_miss", victim.name, detail)
+    return AadlScenario(
+        [event],
+        {},
+        0,
+        deadlocked=False,
+        misses=[victim.name],
+        overflows=[],
+    )

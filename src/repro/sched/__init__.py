@@ -28,7 +28,12 @@ from repro.sched.utilization import (
     liu_layland_test,
     utilization,
 )
-from repro.sched.rta import response_time, rta_schedulable
+from repro.sched.rta import (
+    response_time,
+    response_times,
+    rta_exactness,
+    rta_schedulable,
+)
 from repro.sched.demand import demand_bound_function, edf_schedulable
 from repro.sched.simulation import SimulationResult, simulate
 
@@ -43,6 +48,8 @@ __all__ = [
     "liu_layland_bound",
     "liu_layland_test",
     "response_time",
+    "response_times",
+    "rta_exactness",
     "rta_schedulable",
     "simulate",
     "utilization",

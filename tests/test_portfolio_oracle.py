@@ -1,0 +1,71 @@
+"""The portfolio ≡ exploration oracle relation and its CLI entry."""
+
+import pytest
+
+from repro.cli import main
+from repro.oracle import (
+    AgreementStatus,
+    evaluate_portfolio_case,
+    run_portfolio_campaign,
+)
+
+
+class TestPortfolioCase:
+    def test_case_is_seed_reproducible(self):
+        first = evaluate_portfolio_case(7, 7)
+        second = evaluate_portfolio_case(7, 7)
+        assert first.status is second.status
+        assert first.portfolio_verdict is second.portfolio_verdict
+        assert first.decided_by == second.decided_by
+
+    def test_outcome_records_deciding_tier(self):
+        outcome = evaluate_portfolio_case(0, 0)
+        assert outcome.decided_by is not None
+        assert outcome.status is not AgreementStatus.DISAGREED
+
+
+class TestPortfolioCampaign:
+    @pytest.fixture(scope="class")
+    def smoke_report(self):
+        # The 50-seed regression the issue pins: portfolio and pure
+        # exploration must agree on every seed.
+        return run_portfolio_campaign(seeds=50, base_seed=0)
+
+    def test_fifty_seed_regression_agrees(self, smoke_report):
+        assert len(smoke_report.outcomes) == 50
+        assert smoke_report.disagreements == []
+
+    def test_analytic_tiers_carry_the_load(self, smoke_report):
+        """The acceptance bar: at least half the verdicts must come
+        from analytic tiers with zero states explored."""
+        analytic = smoke_report.analytic
+        assert len(analytic) >= 25
+        assert all(o.portfolio_states == 0 for o in analytic)
+
+    def test_histogram_and_format(self, smoke_report):
+        histogram = smoke_report.tier_histogram()
+        assert sum(histogram.values()) == 50
+        text = smoke_report.format()
+        assert "50 case(s)" in text
+        assert "decided by:" in text
+        assert "disagreed: 0" in text
+
+
+class TestPortfolioOracleCli:
+    def test_oracle_portfolio_command(self, capsys):
+        assert (
+            main(
+                [
+                    "oracle",
+                    "portfolio",
+                    "--seeds",
+                    "6",
+                    "--base-seed",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "portfolio campaign: 6 case(s)" in out
+        assert "disagreed: 0" in out
