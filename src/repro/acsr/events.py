@@ -71,7 +71,15 @@ class EventLabel:
             raise AcsrSemanticsError(
                 f"event priority must be int or Expr, got {type(priority).__name__}"
             )
-        key = (name, direction, priority, via)
+        # Open (expression-priority) labels intern by the expression's
+        # structural key so independently built but structurally equal
+        # labels are identical (required by symmetry detection).
+        key = (
+            name,
+            direction,
+            priority if isinstance(priority, int) else priority.key(),
+            via,
+        )
         cached = _LABEL_INTERN.get(key)
         if cached is not None:
             return cached

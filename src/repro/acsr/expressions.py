@@ -71,6 +71,19 @@ class Expr:
     def free_params(self) -> FrozenSet[str]:
         raise NotImplementedError
 
+    def key(self) -> tuple:
+        """Hashable structural identity.
+
+        Expression objects themselves compare by identity (see the NOTE
+        below); term interning uses ``key()`` instead, so two
+        structurally equal expressions built independently -- e.g. by
+        the translator for two replicated threads -- produce the *same*
+        hash-consed :class:`~repro.acsr.terms.Guard` / event label.
+        Symmetry detection (:mod:`repro.engine.reduce`) relies on this:
+        renamed-equal definitions must be pointer-equal.
+        """
+        raise NotImplementedError
+
     # -- operator sugar ------------------------------------------------
 
     def __add__(self, other: "ExprLike") -> "Expr":
@@ -140,6 +153,9 @@ class Const(Expr):
     def free_params(self) -> FrozenSet[str]:
         return frozenset()
 
+    def key(self) -> tuple:
+        return ("const", self.value)
+
     def __repr__(self) -> str:
         return f"Const({self.value})"
 
@@ -170,6 +186,9 @@ class Param(Expr):
     def free_params(self) -> FrozenSet[str]:
         return frozenset((self.name,))
 
+    def key(self) -> tuple:
+        return ("param", self.name)
+
     def __repr__(self) -> str:
         return f"Param({self.name!r})"
 
@@ -195,6 +214,9 @@ class BinOp(Expr):
     def free_params(self) -> FrozenSet[str]:
         return self.left.free_params() | self.right.free_params()
 
+    def key(self) -> tuple:
+        return ("binop", self.op, self.left.key(), self.right.key())
+
     def __repr__(self) -> str:
         return f"BinOp({self.op!r}, {self.left!r}, {self.right!r})"
 
@@ -213,6 +235,10 @@ class BoolExpr:
         raise NotImplementedError
 
     def free_params(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def key(self) -> tuple:
+        """Hashable structural identity (see :meth:`Expr.key`)."""
         raise NotImplementedError
 
     def __and__(self, other: "BoolExpr") -> "BoolExpr":
@@ -245,6 +271,9 @@ class Cmp(BoolExpr):
     def free_params(self) -> FrozenSet[str]:
         return self.left.free_params() | self.right.free_params()
 
+    def key(self) -> tuple:
+        return ("cmp", self.op, self.left.key(), self.right.key())
+
     def __repr__(self) -> str:
         return f"Cmp({self.op!r}, {self.left!r}, {self.right!r})"
 
@@ -272,6 +301,9 @@ class BoolOp(BoolExpr):
     def free_params(self) -> FrozenSet[str]:
         return self.left.free_params() | self.right.free_params()
 
+    def key(self) -> tuple:
+        return ("boolop", self.op, self.left.key(), self.right.key())
+
     def __repr__(self) -> str:
         return f"BoolOp({self.op!r}, {self.left!r}, {self.right!r})"
 
@@ -293,6 +325,9 @@ class Not(BoolExpr):
     def free_params(self) -> FrozenSet[str]:
         return self.inner.free_params()
 
+    def key(self) -> tuple:
+        return ("not", self.inner.key())
+
     def __repr__(self) -> str:
         return f"Not({self.inner!r})"
 
@@ -310,6 +345,9 @@ class TrueExpr(BoolExpr):
 
     def free_params(self) -> FrozenSet[str]:
         return frozenset()
+
+    def key(self) -> tuple:
+        return ("true",)
 
     def __repr__(self) -> str:
         return "TrueExpr()"

@@ -62,15 +62,23 @@ class Action:
                     f"got {type(priority).__name__}"
                 )
             normalized[resource] = priority
-        key = tuple(sorted(normalized.items(), key=lambda kv: kv[0]))
+        pairs_out = tuple(sorted(normalized.items(), key=lambda kv: kv[0]))
+        # Open (expression-priority) actions intern by the expressions'
+        # structural keys so independently built but structurally equal
+        # actions are identical (required by symmetry detection); the
+        # stored pairs keep the real priority objects.
+        key = tuple(
+            (res, pri if isinstance(pri, int) else pri.key())
+            for res, pri in pairs_out
+        )
         cached = _ACTION_INTERN.get(key)
         if cached is not None:
             return cached
         self = object.__new__(cls)
-        self._pairs = key
+        self._pairs = pairs_out
         self._resources = frozenset(normalized)
         self._hash = hash(key)
-        self._ground = all(isinstance(p, int) for _, p in key)
+        self._ground = all(isinstance(p, int) for _, p in pairs_out)
         _ACTION_INTERN[key] = self
         return self
 

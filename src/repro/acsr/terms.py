@@ -497,7 +497,11 @@ class Guard(Term):
             )
         if not isinstance(body, Term):
             raise AcsrSemanticsError(f"Guard body must be a Term, got {body!r}")
-        key = ("guard", id(condition), body)
+        # Intern by the condition's *structural* key: independently built
+        # but structurally equal guards (e.g. for replicated threads)
+        # must hash-cons to the same term, or renamed-equal definitions
+        # would not be pointer-equal (see repro.engine.reduce).
+        key = ("guard", condition.key(), body)
 
         def build() -> "Guard":
             self = object.__new__(cls)
@@ -550,8 +554,11 @@ class ProcRef(Term):
                     f"process argument must be int or Expr, got {arg!r}"
                 )
         args_t = tuple(normalized)
+        # Expression arguments intern by structural key (see Guard): two
+        # independently built but structurally equal open references must
+        # be the same term for symmetry detection to work.
         key = ("ref", name) + tuple(
-            (a if isinstance(a, int) else ("expr", id(a))) for a in args_t
+            (a if isinstance(a, int) else ("expr",) + a.key()) for a in args_t
         )
 
         def build() -> "ProcRef":

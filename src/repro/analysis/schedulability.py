@@ -161,6 +161,8 @@ def analyze_model(
     strategy: Union[SearchStrategy, str, None] = None,
     observers: Union[Observer, Iterable[Observer], None] = None,
     portfolio: bool = False,
+    reduction: Union[str, Iterable[str], None] = None,
+    reduction_fault: Optional[str] = None,
 ) -> AnalysisResult:
     """Analyze a bound AADL model for schedulability.
 
@@ -172,7 +174,11 @@ def analyze_model(
     instrumentation hooks to the run.  ``portfolio`` routes the model
     through the tiered analytic portfolio first, escalating to this
     exhaustive exploration only when no tier decides (see
-    :mod:`repro.portfolio`).
+    :mod:`repro.portfolio`).  ``reduction`` enables state-space
+    reduction passes (``"sym,por"``-style spec; see
+    :mod:`repro.engine.reduce`) -- the verdict, including honest
+    UNKNOWN on truncation, is preserved; ``reduction_fault`` injects a
+    registered reduction bug for oracle self-tests.
     """
     if portfolio:
         # Imported lazily: repro.portfolio imports this module.
@@ -188,6 +194,8 @@ def analyze_model(
             stop_at_first_deadlock=stop_at_first_deadlock,
             strategy=strategy,
             observers=observers,
+            reduction=reduction,
+            reduction_fault=reduction_fault,
         )
 
     from repro.obs.tracer import current_tracer
@@ -210,6 +218,13 @@ def analyze_model(
             options.quantum = quantum
 
         translation = translate(instance, options)
+        reduction_obj = None
+        if reduction is not None or reduction_fault is not None:
+            from repro.engine.reduce import build_reduction
+
+            reduction_obj = build_reduction(
+                translation, reduction, fault=reduction_fault
+            )
         exploration = explore(
             translation.system,
             strategy=strategy,
@@ -220,6 +235,7 @@ def analyze_model(
             ),
             stop_at_first_deadlock=stop_at_first_deadlock,
             observers=observers,
+            reduction=reduction_obj,
         )
 
         trace = exploration.first_deadlock_trace()

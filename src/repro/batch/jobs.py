@@ -84,13 +84,24 @@ class AnalysisJob:
         job_id: Optional[str] = None,
         max_states: int = 1_000_000,
         quantum_us: Optional[int] = None,
+        reduce: Optional[str] = None,
     ) -> "AnalysisJob":
-        """A schedulability check over an AADL source text."""
+        """A schedulability check over an AADL source text.
+
+        ``reduce`` is a canonical reduction-spec token (see
+        :func:`repro.engine.reduce.reduction_token`); it rides in the
+        options dict only when set, so reduced runs never share a
+        verdict-cache entry with unreduced ones (whose keys stay
+        unchanged).
+        """
+        options = {"max_states": max_states, "quantum_us": quantum_us}
+        if reduce:
+            options["reduce"] = reduce
         return cls(
             job_id=job_id or (root or "aadl-model"),
             kind="aadl",
             payload={"source": source, "root": root},
-            options={"max_states": max_states, "quantum_us": quantum_us},
+            options=options,
         )
 
     @classmethod
@@ -124,6 +135,7 @@ class AnalysisJob:
         job_id: Optional[str] = None,
         max_states: int = 1_000_000,
         quantum_ps: Optional[int] = None,
+        reduce: Optional[str] = None,
     ) -> "AnalysisJob":
         """A schedulability check of one processor island.
 
@@ -131,8 +143,13 @@ class AnalysisJob:
         worker re-instantiates ``source`` and slices to them.
         ``quantum_ps`` pins the quantum to the *full* model's natural
         quantum so island semantics match the monolithic analysis
-        (an island alone could have a coarser GCD).
+        (an island alone could have a coarser GCD).  ``reduce`` is the
+        canonical reduction-spec token, cache-key material like the
+        other options (present only when set).
         """
+        options = {"max_states": max_states, "quantum_ps": quantum_ps}
+        if reduce:
+            options["reduce"] = reduce
         return cls(
             job_id=job_id or label,
             kind="island",
@@ -143,7 +160,7 @@ class AnalysisJob:
                 "threads": sorted(threads),
                 "processors": sorted(processors),
             },
-            options={"max_states": max_states, "quantum_ps": quantum_ps},
+            options=options,
         )
 
     @classmethod
@@ -156,23 +173,29 @@ class AnalysisJob:
         max_states: int = 1_000_000,
         quantum_us: Optional[int] = None,
         tiers: Optional[str] = None,
+        reduce: Optional[str] = None,
     ) -> "AnalysisJob":
         """A tiered-portfolio schedulability check over an AADL source.
 
         ``tiers`` is the chain's config token (see
         :attr:`repro.portfolio.PortfolioAnalyzer.config_token`); None
         selects the default chain.  It lives in the options dict so the
-        verdict-cache key distinguishes tier configurations.
+        verdict-cache key distinguishes tier configurations.  ``reduce``
+        (the reduction-spec token, present only when set) applies to the
+        exploration tier on escalation.
         """
+        options = {
+            "max_states": max_states,
+            "quantum_us": quantum_us,
+            "tiers": tiers,
+        }
+        if reduce:
+            options["reduce"] = reduce
         return cls(
             job_id=job_id or (root or "aadl-model"),
             kind="portfolio",
             payload={"source": source, "root": root},
-            options={
-                "max_states": max_states,
-                "quantum_us": quantum_us,
-                "tiers": tiers,
-            },
+            options=options,
         )
 
     @classmethod
@@ -397,6 +420,7 @@ def _execute_aadl(job: AnalysisJob) -> JobResult:
         instantiate(model, root),
         quantum=TimeValue(quantum_us, "us") if quantum_us else None,
         max_states=job.options.get("max_states", 1_000_000),
+        reduction=job.options.get("reduce"),
     )
     stats = result.exploration.stats
     return JobResult(
@@ -426,6 +450,7 @@ def _execute_portfolio(job: AnalysisJob) -> JobResult:
         quantum=TimeValue(quantum_us, "us") if quantum_us else None,
         max_states=job.options.get("max_states", 1_000_000),
         analyzer=analyzer,
+        reduction=job.options.get("reduce"),
     )
     stats = result.exploration.stats
     return JobResult(
@@ -470,6 +495,7 @@ def _execute_island(job: AnalysisJob) -> JobResult:
             sliced,
             quantum=TimeValue(quantum_ps, "ps") if quantum_ps else None,
             max_states=job.options.get("max_states", 1_000_000),
+            reduction=job.options.get("reduce"),
         )
         span.set(verdict=result.verdict.value).incr(
             "states", result.num_states

@@ -17,6 +17,8 @@ scenario.  The CLI exposes each step plus the baselines::
     repro compose plan model.aadl                   # partition, no analysis
     repro oracle run --seeds 200 --profile smoke    # differential campaign
     repro oracle compose --seeds 50                 # compositional =? monolithic
+    repro analyze model.aadl --reduce               # symmetry + POR reduction
+    repro oracle reduce --seeds 50                  # reduced =? unreduced
     repro oracle replay artifacts/oracle/x.json     # re-run a repro bundle
     repro analyze model.aadl --trace out.jsonl      # record a span trace
     repro trace summary out.jsonl                   # per-stage profile
@@ -58,6 +60,12 @@ exit status:
   1  unschedulable, deadlock, violation or disagreement found
   2  usage or model error
   3  verdict unknown (state budget exhausted before an answer)
+
+State-space reduction (--reduce) shrinks how many states exploration
+visits, never the exit contract: a reduced run that exhausts its budget
+still exits 3 (unknown) rather than reading the covered quotient space
+as proof, and a deadlock found in the reduced space maps to a real
+failing scenario (up to replica renaming under symmetry).
 """
 
 
@@ -133,6 +141,9 @@ def _run_file_batch(args, paths: List[str]) -> int:
     inputs across the worker pool and honour the batch exit contract."""
     from repro.batch import AnalysisJob, run_batch
 
+    from repro.engine.reduce import reduction_token
+
+    reduce_token = reduction_token(getattr(args, "reduce", None))
     job_list = []
     for path in paths:
         if path.endswith(".json"):
@@ -147,6 +158,7 @@ def _run_file_batch(args, paths: List[str]) -> int:
                     max_states=args.max_states,
                     quantum_us=args.quantum,
                     portfolio=getattr(args, "portfolio", False),
+                    reduce=reduce_token,
                 )
             )
     report = run_batch(
@@ -175,6 +187,12 @@ def cmd_analyze(args) -> int:
                 "(multi-modal models are outside the analytic tiers' "
                 "applicability domain)"
             )
+        if getattr(args, "reduce", None):
+            raise ReproError(
+                "--reduce and --all-modes are mutually exclusive "
+                "(per-mode task sets differ, so replica detection "
+                "would have to re-run per mode)"
+            )
         result = analyze_all_modes(
             model, args.root, quantum=_quantum(args), max_states=args.max_states
         )
@@ -185,6 +203,7 @@ def cmd_analyze(args) -> int:
         quantum=_quantum(args),
         max_states=args.max_states,
         portfolio=getattr(args, "portfolio", False),
+        reduction=getattr(args, "reduce", None),
     )
     print(result.format(show_stats=args.stats))
     if args.response_times and result.verdict is Verdict.SCHEDULABLE:
@@ -223,6 +242,7 @@ def _run_compose(args) -> int:
         workers=args.jobs,
         cache=_cache_spec(args),
         portfolio=getattr(args, "portfolio", False),
+        reduction=getattr(args, "reduce", None),
     )
     if not result.compositional:
         print(
@@ -381,6 +401,22 @@ def cmd_oracle_compose(args) -> int:
     return EXIT_VIOLATION if report.disagreements else EXIT_SCHEDULABLE
 
 
+def cmd_oracle_reduce(args) -> int:
+    from repro.oracle import run_reduce_campaign
+
+    report = run_reduce_campaign(
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        max_states=args.max_states,
+        spec=args.spec,
+        fault=args.fault,
+        jitter_fraction=args.jitter_fraction,
+        progress=args.progress,
+    )
+    print(report.format())
+    return EXIT_VIOLATION if report.disagreements else EXIT_SCHEDULABLE
+
+
 def cmd_oracle_portfolio(args) -> int:
     from repro.oracle import run_portfolio_campaign
 
@@ -524,6 +560,27 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.set_defaults(portfolio=False)
 
+    def reduce_options(p):
+        p.add_argument(
+            "--reduce",
+            dest="reduce",
+            nargs="?",
+            const="sym,por",
+            default=None,
+            metavar="PASSES",
+            help="canonicalize states under replica symmetry and prune "
+            "commuting interleavings (comma list of passes: sym, por; "
+            "bare --reduce enables both).  Verdict-preserving: same "
+            "exit status as the unreduced run (see docs/reduction.md)",
+        )
+        p.add_argument(
+            "--no-reduce",
+            dest="reduce",
+            action="store_const",
+            const=None,
+            help="force unreduced exploration (the default)",
+        )
+
     def tracing_options(p, profile_flag="--profile"):
         p.add_argument(
             "--trace",
@@ -609,6 +666,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print engine statistics (states/sec, cache hit rate, ...)",
     )
     portfolio_options(p_analyze)
+    reduce_options(p_analyze)
     p_analyze.set_defaults(func=cmd_analyze)
 
     p_validate = sub.add_parser(
@@ -626,6 +684,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_translate.set_defaults(func=cmd_translate)
 
+    # Deliberately no reduce_options here: reduction passes are built
+    # from translation metadata (replica name tables, cluster owners),
+    # which a raw ACSR file does not carry, and walk/--dot traces must
+    # stay concrete rather than quotient-space representatives.
     p_acsr = sub.add_parser(
         "acsr", help="explore a raw ACSR file (process/system declarations)"
     )
@@ -698,6 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print aggregated engine statistics for the whole batch",
     )
     portfolio_options(p_batch_run)
+    reduce_options(p_batch_run)
     tracing_options(p_batch_run)
     p_batch_run.set_defaults(func=cmd_batch_run)
 
@@ -827,6 +890,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="report per-case progress to stderr",
     )
     p_oracle_compose.set_defaults(func=cmd_oracle_compose)
+
+    p_oracle_reduce = oracle_sub.add_parser(
+        "reduce",
+        help="seeded campaign asserting reduced ≡ unreduced verdicts "
+        "on replicated workloads (UNKNOWN-aware)",
+        epilog=EXIT_STATUS_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_oracle_reduce.add_argument(
+        "--seeds",
+        type=int,
+        default=50,
+        help="number of seeded cases to draw (default 50)",
+    )
+    p_oracle_reduce.add_argument(
+        "--base-seed",
+        type=int,
+        default=0,
+        help="first seed of the campaign (case i uses base-seed + i)",
+    )
+    p_oracle_reduce.add_argument(
+        "--max-states",
+        type=int,
+        default=150_000,
+        help="per-analysis exploration budget",
+    )
+    p_oracle_reduce.add_argument(
+        "--spec",
+        default="sym,por",
+        metavar="PASSES",
+        help="reduction passes under test (default sym,por)",
+    )
+    p_oracle_reduce.add_argument(
+        "--fault",
+        default=None,
+        help="inject a known reduction bug into the reduced side "
+        "(harness self-test; see repro.engine.reduce.REDUCTION_FAULTS)",
+    )
+    p_oracle_reduce.add_argument(
+        "--jitter-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of draws given offset jitter so symmetry must "
+        "decline to fire (default 0.25)",
+    )
+    p_oracle_reduce.add_argument(
+        "--progress",
+        action="store_true",
+        help="report per-case progress to stderr",
+    )
+    p_oracle_reduce.set_defaults(func=cmd_oracle_reduce)
 
     p_oracle_portfolio = oracle_sub.add_parser(
         "portfolio",

@@ -83,6 +83,7 @@ def analyze_compositionally(
     cache=None,
     progress: Optional[ProgressFn] = None,
     portfolio: bool = False,
+    reduction: Union[str, None] = None,
 ) -> CompositionResult:
     """Analyze ``model`` island by island when that is sound, falling
     back to :func:`~repro.analysis.analyze_model` (with the reason
@@ -98,10 +99,18 @@ def analyze_compositionally(
     remainder ships to the pool -- as ordinary ``island`` jobs, so their
     cache entries are shared with non-portfolio compose runs.  The
     monolithic fallback likewise routes through the portfolio.
+
+    ``reduction`` (a ``"sym,por"``-style spec) is forwarded to every
+    island job and to the monolithic fallback; the spec rides in each
+    job's options, so reduced and unreduced runs never share verdict
+    cache entries.
     """
     from repro.obs.tracer import current_tracer
 
+    from repro.engine.reduce import reduction_token
+
     tracer = current_tracer()
+    reduce_token = reduction_token(reduction)
     instance = _resolve(model, root_impl)
     partition = plan(instance)
 
@@ -111,6 +120,7 @@ def analyze_compositionally(
             quantum=quantum,
             max_states=max_states,
             portfolio=portfolio,
+            reduction=reduce_token,
         )
         return CompositionResult(
             partition=partition,
@@ -151,6 +161,7 @@ def analyze_compositionally(
             processors=[p.qualified_name for p in island.processors],
             max_states=max_states,
             quantum_ps=quantum_ps,
+            reduce=reduce_token,
         )
         for island in pending_islands
     ]

@@ -16,7 +16,11 @@ layers:
   bounds with uniform raise-vs-truncate semantics;
 * :class:`~repro.engine.observers.Observer` -- instrumentation hooks
   over the exploration event stream, summarized per run in an
-  :class:`~repro.engine.stats.EngineStats` snapshot.
+  :class:`~repro.engine.stats.EngineStats` snapshot;
+* :class:`~repro.engine.reduce.Reduction` -- optional state-space
+  reduction passes (symmetry canonicalization, partial-order ample
+  filtering) applied between the provider and the visited set; see
+  ``docs/reduction.md``.
 
 See ``docs/engine.md`` for the architecture and how to add a custom
 search strategy.  ``repro.versa.Explorer`` remains as a thin
@@ -38,6 +42,16 @@ from repro.engine.observers import (
     RecordingObserver,
 )
 from repro.engine.provider import SuccessorProvider
+from repro.engine.reduce import (
+    PartialOrderReduction,
+    Reduction,
+    ReductionPass,
+    SymmetryReduction,
+    build_reduction,
+    detect_replica_classes,
+    parse_reduction_spec,
+    reduction_token,
+)
 from repro.engine.result import (
     ExplorationResult,
     IncompleteExplorationWarning,
@@ -63,12 +77,20 @@ __all__ = [
     "LIMIT_STATES",
     "LIMIT_TRANSITIONS",
     "Observer",
+    "PartialOrderReduction",
     "ProgressObserver",
     "RandomWalk",
     "RecordingObserver",
+    "Reduction",
+    "ReductionPass",
     "SearchStrategy",
     "SuccessorProvider",
+    "SymmetryReduction",
     "TransitionCache",
+    "build_reduction",
+    "detect_replica_classes",
     "explore",
     "make_strategy",
+    "parse_reduction_spec",
+    "reduction_token",
 ]

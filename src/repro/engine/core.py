@@ -50,6 +50,7 @@ from repro.engine.strategies import SearchStrategy, make_strategy
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.acsr.definitions import ClosedSystem
     from repro.acsr.terms import Term
+    from repro.engine.reduce import Reduction
 
 
 def explore(
@@ -64,6 +65,7 @@ def explore(
     stop_at_target: bool = False,
     observers: Union[Observer, Iterable[Observer], None] = None,
     provider: Optional[SuccessorProvider] = None,
+    reduction: Optional["Reduction"] = None,
 ) -> ExplorationResult:
     """Explore the state space of ``system`` from its root.
 
@@ -84,6 +86,12 @@ def explore(
             ``target_states``.
         stop_at_target: stop as soon as the predicate matches.
         observers: an observer or sequence of observers to notify.
+        reduction: optional :class:`~repro.engine.reduce.Reduction`
+            pipeline.  States are canonicalized to orbit representatives
+            before the visited-set check and step sets pass through the
+            ample filter; a nonempty step set never becomes empty, so
+            deadlock detection and UNKNOWN-on-truncation semantics are
+            preserved exactly.
 
     Returns:
         An :class:`~repro.engine.result.ExplorationResult` whose
@@ -103,7 +111,7 @@ def explore(
         from repro.obs.bridge import SpanObserver
 
         with tracer.span("engine.explore") as span:
-            return _explore(
+            result = _explore(
                 system,
                 strategy=strategy,
                 prioritized=prioritized,
@@ -114,7 +122,11 @@ def explore(
                 stop_at_target=stop_at_target,
                 observers=[combine(observers), SpanObserver(span)],
                 provider=provider,
+                reduction=reduction,
             )
+            if reduction is not None:
+                _trace_reduction(tracer, result.stats)
+            return result
     return _explore(
         system,
         strategy=strategy,
@@ -126,7 +138,19 @@ def explore(
         stop_at_target=stop_at_target,
         observers=observers,
         provider=provider,
+        reduction=reduction,
     )
+
+
+def _trace_reduction(tracer, stats: EngineStats) -> None:
+    """Emit per-pass reduction spans summarizing this run's counters."""
+    if stats.states_canonicalized or stats.orbits_merged:
+        with tracer.span("reduce.canonicalize") as span:
+            span.incr("states_canonicalized", stats.states_canonicalized)
+            span.incr("orbits_merged", stats.orbits_merged)
+    if stats.por_pruned:
+        with tracer.span("reduce.ample") as span:
+            span.incr("por_pruned", stats.por_pruned)
 
 
 def _explore(
@@ -141,6 +165,7 @@ def _explore(
     stop_at_target: bool,
     observers: Union[Observer, Iterable[Observer], None],
     provider: Optional[SuccessorProvider],
+    reduction: Optional["Reduction"] = None,
 ) -> ExplorationResult:
     search = make_strategy(strategy)
     if provider is None:
@@ -151,8 +176,11 @@ def _explore(
 
     start = time.perf_counter()
     hits0, misses0, evictions0 = provider.cache_counters()
+    reduction0 = reduction.counters() if reduction is not None else {}
 
     initial = provider.root
+    if reduction is not None:
+        initial = reduction.canonicalize(initial)
     parent: Dict["Term", Tuple[Optional["Term"], Optional[object]]] = {
         initial: (None, None)
     }
@@ -197,6 +225,17 @@ def _explore(
 
         state = search.pop()
         steps = provider.successors(state)
+        if reduction is not None and steps:
+            # Ample filter first (it inspects the genuine labels), then
+            # map each successor to its orbit representative so the
+            # visited map stores one state per equivalence class.  A
+            # nonempty step set stays nonempty, so the deadlock check
+            # below still sees exactly the states with no transitions.
+            steps = reduction.filter(state, steps)
+            steps = tuple(
+                (label, reduction.canonicalize(successor))
+                for label, successor in steps
+            )
         expanded += 1
         if observer is not None:
             observer.on_state(state, len(parent))
@@ -274,6 +313,7 @@ def _explore(
 
     elapsed = time.perf_counter() - start
     hits1, misses1, evictions1 = provider.cache_counters()
+    reduction1 = reduction.counters() if reduction is not None else {}
     stats = EngineStats(
         strategy=search.name,
         states=len(parent),
@@ -286,6 +326,17 @@ def _explore(
         cache_hits=hits1 - hits0,
         cache_misses=misses1 - misses0,
         cache_evictions=evictions1 - evictions0,
+        states_canonicalized=(
+            reduction1.get("states_canonicalized", 0)
+            - reduction0.get("states_canonicalized", 0)
+        ),
+        orbits_merged=(
+            reduction1.get("orbits_merged", 0)
+            - reduction0.get("orbits_merged", 0)
+        ),
+        por_pruned=(
+            reduction1.get("por_pruned", 0) - reduction0.get("por_pruned", 0)
+        ),
         limit_hit=limit_hit,
     )
     result = ExplorationResult(

@@ -51,6 +51,14 @@ class EngineStats:
             Empty outside portfolio runs.
         tier_escalations: verdicts that fell through every analytic
             tier into exhaustive exploration.
+        states_canonicalized: distinct states mapped to their orbit
+            representative by symmetry reduction
+            (:mod:`repro.engine.reduce`).  Zero outside reduced runs.
+        orbits_merged: canonicalizations that actually changed the
+            state -- each one is a visited-set entry saved by merging
+            an orbit.
+        por_pruned: transitions dropped by the partial-order (ample)
+            filter.
         limit_hit: which budget stopped the run (``"states"``,
             ``"transitions"``, ``"seconds"``) or ``None``.
     """
@@ -72,6 +80,9 @@ class EngineStats:
         "tier_attempts",
         "tier_hits",
         "tier_escalations",
+        "states_canonicalized",
+        "orbits_merged",
+        "por_pruned",
         "limit_hit",
     )
 
@@ -95,6 +106,9 @@ class EngineStats:
         tier_attempts: Optional[Dict[str, int]] = None,
         tier_hits: Optional[Dict[str, int]] = None,
         tier_escalations: int = 0,
+        states_canonicalized: int = 0,
+        orbits_merged: int = 0,
+        por_pruned: int = 0,
     ) -> None:
         self.strategy = strategy
         self.states = states
@@ -114,6 +128,9 @@ class EngineStats:
         self.tier_attempts = dict(tier_attempts or {})
         self.tier_hits = dict(tier_hits or {})
         self.tier_escalations = tier_escalations
+        self.states_canonicalized = states_canonicalized
+        self.orbits_merged = orbits_merged
+        self.por_pruned = por_pruned
         self.limit_hit = limit_hit
 
     @property
@@ -154,6 +171,9 @@ class EngineStats:
             "tier_attempts": dict(self.tier_attempts),
             "tier_hits": dict(self.tier_hits),
             "tier_escalations": self.tier_escalations,
+            "states_canonicalized": self.states_canonicalized,
+            "orbits_merged": self.orbits_merged,
+            "por_pruned": self.por_pruned,
             "limit_hit": self.limit_hit,
         }
 
@@ -178,6 +198,9 @@ class EngineStats:
             tier_attempts=data.get("tier_attempts"),
             tier_hits=data.get("tier_hits"),
             tier_escalations=data.get("tier_escalations", 0),
+            states_canonicalized=data.get("states_canonicalized", 0),
+            orbits_merged=data.get("orbits_merged", 0),
+            por_pruned=data.get("por_pruned", 0),
             limit_hit=data.get("limit_hit"),
         )
 
@@ -241,6 +264,9 @@ class EngineStats:
             for name, count in snap.tier_hits.items():
                 total.tier_hits[name] = total.tier_hits.get(name, 0) + count
             total.tier_escalations += snap.tier_escalations
+            total.states_canonicalized += snap.states_canonicalized
+            total.orbits_merged += snap.orbits_merged
+            total.por_pruned += snap.por_pruned
         total.wall_elapsed = (
             wall_elapsed if wall_elapsed is not None else total.elapsed
         )
@@ -286,6 +312,12 @@ class EngineStats:
                 )
             lines.append(
                 f"  escalated to exploration: {self.tier_escalations}"
+            )
+        if self.states_canonicalized or self.orbits_merged or self.por_pruned:
+            lines.append(
+                f"reduction: {self.states_canonicalized} states "
+                f"canonicalized, {self.orbits_merged} orbits merged, "
+                f"{self.por_pruned} transitions pruned"
             )
         if self.limit_hit is not None:
             lines.append(f"budget exhausted: {self.limit_hit}")

@@ -20,6 +20,7 @@ from repro.obs.schema import (
     COMPOSE_STAGES,
     PIPELINE_STAGES,
     PORTFOLIO_STAGES,
+    REDUCTION_STAGES,
     TraceSchemaError,
     missing_pipeline_stages,
     validate_file,
@@ -48,6 +49,7 @@ __all__ = [
     "COMPOSE_STAGES",
     "PIPELINE_STAGES",
     "PORTFOLIO_STAGES",
+    "REDUCTION_STAGES",
     "SCHEMA_VERSION",
     "Span",
     "SpanObserver",

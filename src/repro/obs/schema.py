@@ -62,6 +62,18 @@ PORTFOLIO_STAGES = (
     "portfolio.escalate",
 )
 
+#: The span names a reduced (``analyze --reduce``) run adds when the
+#: corresponding pass actually fired: ``reduce.canonicalize`` under
+#: symmetry (counters ``states_canonicalized`` / ``orbits_merged``) and
+#: ``reduce.ample`` under partial-order reduction (counter
+#: ``por_pruned``).  Emitted once per exploration, after the search,
+#: from the engine's accumulated counters; absent when the pass never
+#: changed anything, so their presence is itself a signal.
+REDUCTION_STAGES = (
+    "reduce.canonicalize",
+    "reduce.ample",
+)
+
 
 class TraceSchemaError(ReproError):
     """A trace record violates the schema contract."""

@@ -44,6 +44,12 @@ from repro.oracle.compose import (
     run_compose_campaign,
 )
 from repro.oracle.faults import FAULTS, Fault, fault_names, get_fault
+from repro.oracle.reduce import (
+    ReduceCampaignReport,
+    ReduceCaseOutcome,
+    evaluate_reduce_case,
+    run_reduce_campaign,
+)
 from repro.oracle.portfolio import (
     PortfolioCampaignReport,
     PortfolioCaseOutcome,
@@ -77,6 +83,8 @@ __all__ = [
     "PROFILES",
     "PortfolioCampaignReport",
     "PortfolioCaseOutcome",
+    "ReduceCampaignReport",
+    "ReduceCaseOutcome",
     "ReplayResult",
     "ReproBundle",
     "ShrinkResult",
@@ -86,12 +94,14 @@ __all__ = [
     "evaluate_case",
     "evaluate_compose_case",
     "evaluate_portfolio_case",
+    "evaluate_reduce_case",
     "fault_names",
     "get_fault",
     "replay_bundle",
     "run_campaign",
     "run_compose_campaign",
     "run_pipeline",
+    "run_reduce_campaign",
     "run_portfolio_campaign",
     "shrink_case",
 ]

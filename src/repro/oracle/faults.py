@@ -10,6 +10,12 @@ persisted as a replayable bundle.
 
 Faults never touch the classical-oracle side; the oracles keep judging
 the model as specified.
+
+Reduction faults are a separate registry
+(:data:`repro.engine.reduce.REDUCTION_FAULTS`, exercised by ``repro
+oracle reduce --fault ...``): they perturb the reduction passes rather
+than the task set, so the reduced-vs-unreduced campaign can prove it
+catches an unsound reduction.
 """
 
 from __future__ import annotations

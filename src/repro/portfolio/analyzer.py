@@ -221,6 +221,8 @@ def analyze_portfolio(
     strategy=None,
     observers=None,
     analyzer: Optional[PortfolioAnalyzer] = None,
+    reduction=None,
+    reduction_fault=None,
 ) -> AnalysisResult:
     """Tiered analysis: analytic tiers first, exploration on escalation.
 
@@ -228,6 +230,8 @@ def analyze_portfolio(
     (same signature plus ``analyzer``); the result's ``decided_by``
     names the deciding tier, or ``"exploration"`` after escalation, and
     the per-tier counters land on the engine stats either way.
+    ``reduction`` / ``reduction_fault`` only matter on escalation --
+    the analytic tiers never build the state space at all.
     """
     from repro.obs.tracer import current_tracer
 
@@ -266,6 +270,8 @@ def analyze_portfolio(
             stop_at_first_deadlock=stop_at_first_deadlock,
             strategy=strategy,
             observers=observers,
+            reduction=reduction,
+            reduction_fault=reduction_fault,
         )
     result.decided_by = "exploration"
     result.tier_trail = trail + ["escalated to exhaustive exploration"]

@@ -31,7 +31,7 @@ ACSR entity             meaning
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 _SANITIZE = str.maketrans({".": "_", "-": "_", ">": "_", "+": "_"})
 
@@ -167,6 +167,19 @@ class NameTable:
             for name, (k, element) in self._entries.items()
             if k == kind
         }
+
+    def entries_for(self, aadl_element: str) -> List[Tuple[str, str]]:
+        """All ``(kind, acsr_name)`` pairs recorded for one AADL element.
+
+        This is the per-unit name harvest used by the symmetry detector
+        (:mod:`repro.engine.reduce`): the full generated-name footprint
+        of a thread, processor, connection or flow.
+        """
+        return [
+            (kind, name)
+            for name, (kind, element) in self._entries.items()
+            if element == aadl_element
+        ]
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -12,6 +12,7 @@ from repro.workloads.generators import (
     chain_system,
     multiprocessor_system,
     random_periodic_system,
+    replicated_system,
     sweep_task_sets,
     task_set_builder,
     task_set_to_system,
@@ -27,6 +28,7 @@ __all__ = [
     "multiprocessor_system",
     "offset_task_set",
     "random_periodic_system",
+    "replicated_system",
     "sweep_task_sets",
     "task_set_builder",
     "task_set_to_system",

@@ -150,6 +150,53 @@ def chain_system(
     return builder.instantiate()
 
 
+def replicated_system(
+    n_replicas: int,
+    threads_per_replica: int,
+    *,
+    utilization_per_replica: float = 0.5,
+    scheduling: SchedulingProtocol = SchedulingProtocol.RATE_MONOTONIC,
+    periods: Sequence[int] = (4, 8),
+    offset_jitter: bool = False,
+    rng: Optional[np.random.Generator] = None,
+) -> SystemInstance:
+    """One task set drawn once and instantiated on ``n_replicas``
+    identical, independent processors -- the symmetric regime the
+    symmetry reduction (:mod:`repro.engine.reduce`) targets: every
+    replica processor is interchangeable with every other.
+
+    ``offset_jitter=True`` gives replica ``p``'s first thread a dispatch
+    offset of ``p`` ms: the replicas stay near-identical but become
+    distinguishable, so symmetry detection must *not* fire (the
+    ``overeager-sym`` fault merges them anyway, which is what the oracle
+    campaign catches).
+    """
+    rng = rng or np.random.default_rng()
+    tasks = integer_task_set(
+        threads_per_replica,
+        utilization_per_replica,
+        periods=periods,
+        rng=rng,
+        name_prefix="t",
+    )
+    builder = SystemBuilder("Replicated")
+    for p in range(n_replicas):
+        cpu = builder.processor(f"cpu{p}", scheduling=scheduling)
+        for index, task in enumerate(tasks):
+            builder.thread(
+                f"r{p}{task.name}",
+                dispatch=DispatchProtocol.PERIODIC,
+                period=ms(task.period),
+                compute_time=(ms(task.wcet), ms(task.wcet)),
+                deadline=ms(task.deadline),
+                processor=cpu,
+                offset=(
+                    ms(p) if offset_jitter and index == 0 and p > 0 else None
+                ),
+            )
+    return builder.instantiate()
+
+
 def multiprocessor_system(
     n_processors: int,
     threads_per_processor: int,
