@@ -1,0 +1,152 @@
+"""T-SERVE: analysis-service throughput, cold misses vs cache hits.
+
+Boots a real :class:`~repro.serve.ReproServer` (thread executor,
+ephemeral port) and measures end-to-end HTTP request throughput in two
+phases over the same client path:
+
+* **miss phase** -- N requests with distinct cache keys; every one
+  queues, runs the full AADL -> ACSR -> exploration pipeline in a
+  worker, and answers through the verdict endpoint;
+* **hit phase** -- 5N requests that all repeat proven keys (a 100% >=
+  90% hit rate), each answered inline from the shared
+  :class:`~repro.batch.cache.VerdictCache` on submit.
+
+The service's reason to exist is that the hit path costs one HTTP
+round trip plus one cache read instead of a model-checking run, so the
+asserted shape is a >= 10x throughput ratio -- loose against the
+measured ~100x+, tight against any regression that silently drops the
+cache out of the serve path.
+"""
+
+import asyncio
+import json
+import threading
+import time
+from http.client import HTTPConnection
+
+from repro.aadl.gallery import cruise_control_text
+from repro.batch import VerdictCache
+from repro.serve import AnalysisService, ReproServer
+
+from conftest import print_table
+
+#: distinct proofs in the miss phase (split by state budget, which is
+#: cache-key material)
+MISS_JOBS = 6
+#: requests in the hit phase, all repeats
+HIT_REQUESTS = 30
+
+
+def _boot(tmp_path):
+    service = AnalysisService(
+        cache=VerdictCache(str(tmp_path / "cache")),
+        workers=2,
+        backlog=MISS_JOBS + 2,
+        executor="thread",
+        artifacts_dir=None,
+    )
+    server = ReproServer(service, host="127.0.0.1", port=0)
+    started = threading.Event()
+    holder = {}
+
+    def run():
+        async def main():
+            await server.start()
+            holder["addr"] = server.address
+            holder["loop"] = asyncio.get_running_loop()
+            holder["stop"] = asyncio.Event()
+            started.set()
+            await holder["stop"].wait()
+            await server.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(10)
+    stop = lambda: (  # noqa: E731 - tiny teardown closure
+        holder["loop"].call_soon_threadsafe(holder["stop"].set),
+        thread.join(30),
+    )
+    return holder["addr"], service, stop
+
+
+def _request(addr, method, path, body=None):
+    conn = HTTPConnection(*addr, timeout=120)
+    conn.request(
+        method,
+        path,
+        body=json.dumps(body) if body is not None else None,
+        headers={"Content-Type": "application/json"},
+    )
+    resp = conn.getresponse()
+    data = json.loads(resp.read())
+    conn.close()
+    return resp.status, data
+
+def _analyze_and_wait(addr, budget):
+    """Submit one request and block until its verdict is final."""
+    status, body = _request(
+        addr,
+        "POST",
+        "/v1/analyze",
+        {
+            "source": cruise_control_text(),
+            "options": {"max_states": budget},
+        },
+    )
+    if status == 200:  # answered inline (cache hit)
+        return body["disposition"]
+    rid = body["request_id"]
+    while True:
+        status, result = _request(addr, "GET", f"/v1/jobs/{rid}/result")
+        if status != 202:
+            assert status == 200, result
+            return body["disposition"]
+        time.sleep(0.01)
+
+
+def test_cache_hit_throughput_dominates_misses(benchmark, tmp_path):
+    budgets = [100_000 + i for i in range(MISS_JOBS)]
+    addr, service, stop = _boot(tmp_path)
+    try:
+        t0 = time.perf_counter()
+        for budget in budgets:
+            disposition = _analyze_and_wait(addr, budget)
+            assert disposition == "queued"
+        miss_elapsed = time.perf_counter() - t0
+        hits_before = service.cache.hits
+
+        def hit_phase():
+            for i in range(HIT_REQUESTS):
+                disposition = _analyze_and_wait(
+                    addr, budgets[i % MISS_JOBS]
+                )
+                assert disposition == "cached"
+
+        t1 = time.perf_counter()
+        benchmark.pedantic(hit_phase, rounds=1, iterations=1)
+        hit_elapsed = time.perf_counter() - t1
+        assert service.cache.hits - hits_before == HIT_REQUESTS
+    finally:
+        stop()
+
+    miss_rps = MISS_JOBS / miss_elapsed
+    hit_rps = HIT_REQUESTS / hit_elapsed
+    # The acceptance bar: a >= 90%-hit workload must clear 10x the
+    # all-miss throughput (measured here at 100% hits).
+    assert hit_rps >= 10 * miss_rps, (
+        f"hit throughput {hit_rps:.1f} rps is under 10x miss "
+        f"throughput {miss_rps:.1f} rps"
+    )
+
+    print_table(
+        "serve throughput (thread executor, 2 workers, one client)",
+        ["phase", "requests", "wall s", "req/s"],
+        [
+            ("all-miss", MISS_JOBS, f"{miss_elapsed:.2f}",
+             f"{miss_rps:.1f}"),
+            ("all-hit", HIT_REQUESTS, f"{hit_elapsed:.2f}",
+             f"{hit_rps:.1f}"),
+        ],
+    )

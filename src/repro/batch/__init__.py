@@ -29,8 +29,14 @@ from repro.batch.cache import (
     cache_key,
     resolve_cache,
 )
-from repro.batch.jobs import AnalysisJob, JobResult, execute_job
+from repro.batch.jobs import (
+    BATCH_FAULTS,
+    AnalysisJob,
+    JobResult,
+    execute_job,
+)
 from repro.batch.pool import (
+    WORKER_DIED,
     BatchReport,
     ProgressFn,
     resolve_workers,
@@ -40,12 +46,14 @@ from repro.batch.sweeps import utilization_sweep_jobs
 
 __all__ = [
     "AnalysisJob",
+    "BATCH_FAULTS",
     "BatchReport",
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_CACHE_DIR",
     "JobResult",
     "ProgressFn",
     "VerdictCache",
+    "WORKER_DIED",
     "cache_key",
     "execute_job",
     "resolve_cache",

@@ -40,6 +40,45 @@ from repro.errors import BatchError, ReproError
 
 JOB_KINDS = ("aadl", "case", "island", "portfolio")
 
+#: Crash-injection faults for harness self-tests -- the batch analogue
+#: of :mod:`repro.oracle.faults` and ``REDUCTION_FAULTS``.  A job whose
+#: options carry ``batch_fault`` triggers the named failure inside the
+#: worker *before* any analysis runs, which is how the tests (and the
+#: serve smoke) exercise the pool's crash paths deterministically:
+#:
+#: * ``raise`` -- throw a non-:class:`ReproError` (a worker bug);
+#: * ``sigkill`` -- hard-kill the worker process mid-job (the pool must
+#:   survive and report the job as lost);
+#: * ``block:<path>`` -- park the worker until ``<path>`` exists (a
+#:   deterministic "slow job" for backpressure/coalescing tests).
+#:
+#: Real workloads never set the option; it participates in the cache
+#: key like any other option, so faulted runs cannot poison real ones.
+BATCH_FAULTS = ("raise", "sigkill", "block")
+
+
+def _apply_batch_fault(spec: str) -> None:
+    import os
+    import time
+
+    if spec == "raise":
+        raise RuntimeError("injected batch fault: unexpected worker exception")
+    if spec == "sigkill":
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+    if spec.startswith("block:"):
+        path = spec[len("block:"):]
+        deadline = time.monotonic() + 30.0
+        while not os.path.exists(path):
+            if time.monotonic() > deadline:
+                raise BatchError(f"batch fault block:{path} timed out")
+            time.sleep(0.01)
+        return
+    raise BatchError(
+        f"unknown batch fault {spec!r}; choose from {list(BATCH_FAULTS)}"
+    )
+
 
 class AnalysisJob:
     """One analysis request.
@@ -204,7 +243,8 @@ class AnalysisJob:
 
         ``*.aadl`` becomes an ``aadl`` job; ``*.json`` is read as a
         serialized oracle case (the :meth:`OracleCase.to_dict` layout,
-        also the ``case`` field of a repro bundle).
+        also the ``case`` field of a repro bundle) or a ``repro.serve``
+        result bundle (whose ``job`` field replays verbatim).
         """
         import json
         import os
@@ -214,6 +254,9 @@ class AnalysisJob:
         name = os.path.basename(path)
         if path.endswith(".json"):
             data = json.loads(text)
+            if "job" in data and "kind" not in data:
+                # A repro.serve bundle: replay the embedded job as-is.
+                return cls.from_dict(data["job"])
             if "case" in data and "tasks" not in data:
                 data = data["case"]  # accept a whole repro bundle
             options.pop("portfolio", None)
@@ -306,6 +349,7 @@ class JobResult:
         "rendered",
         "error",
         "cached",
+        "deduped",
     )
 
     def __init__(
@@ -323,6 +367,7 @@ class JobResult:
         rendered: Optional[str] = None,
         error: Optional[str] = None,
         cached: bool = False,
+        deduped: bool = False,
     ) -> None:
         self.job_id = job_id
         self.kind = kind
@@ -336,6 +381,9 @@ class JobResult:
         self.rendered = rendered
         self.error = error
         self.cached = cached
+        #: served from an identical job earlier in the same batch (the
+        #: in-process analogue of a verdict-cache hit)
+        self.deduped = deduped
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -378,9 +426,14 @@ class JobResult:
 def execute_job(job: AnalysisJob) -> JobResult:
     """Run one job to completion in the current process.
 
-    Library errors are captured as ``verdict="error"`` results rather
-    than raised, so one malformed model cannot abort a whole batch; the
-    report maps them to the usage-error exit code.
+    *Any* exception is captured as a ``verdict="error"`` result rather
+    than raised, so neither a malformed model (:class:`ReproError`) nor
+    an unexpected worker bug can abort a whole batch -- a crash
+    propagating out of a pool worker would otherwise kill every sibling
+    job.  Library errors keep their message; unexpected exceptions
+    additionally preserve the full traceback string in ``error`` so the
+    bug stays diagnosable from the report.  The report maps both to the
+    usage-error exit code.
     """
     from repro.obs.tracer import current_tracer
 
@@ -388,6 +441,9 @@ def execute_job(job: AnalysisJob) -> JobResult:
         "batch.job", job_id=job.job_id, kind=job.kind
     ) as span:
         try:
+            fault = job.options.get("batch_fault")
+            if fault:
+                _apply_batch_fault(fault)
             if job.kind == "case":
                 result = _execute_case(job)
             elif job.kind == "island":
@@ -403,6 +459,19 @@ def execute_job(job: AnalysisJob) -> JobResult:
                 kind=job.kind,
                 verdict="error",
                 error=str(exc),
+            )
+        except Exception as exc:
+            import traceback
+
+            span.set(verdict="error")
+            return JobResult(
+                job_id=job.job_id,
+                kind=job.kind,
+                verdict="error",
+                error=(
+                    f"unexpected {type(exc).__name__}: {exc}\n"
+                    + traceback.format_exc()
+                ),
             )
         span.set(verdict=result.verdict)
         return result

@@ -5,13 +5,29 @@
 
 1. consults the persistent :class:`~repro.batch.cache.VerdictCache`
    (when given) and serves hits without running anything;
-2. fans the misses across a :mod:`multiprocessing` pool (``workers``
+2. dedupes identical jobs *within* the batch by cache key: the first
+   occurrence executes, every duplicate is served from its result
+   (marked ``deduped``) -- the in-process seed of the request
+   coalescing :mod:`repro.serve` does across clients;
+3. fans the remaining misses across a process pool (``workers``
    processes, default ``os.cpu_count()``; ``workers=1`` runs inline
    with no pool overhead);
-3. merges every per-job :class:`~repro.engine.stats.EngineStats`
+4. merges every per-job :class:`~repro.engine.stats.EngineStats`
    snapshot -- workers serialize them as dicts -- into one aggregate,
    with verdict-cache hit/miss counters folded in;
-4. writes freshly computed results back to the cache.
+5. writes freshly computed results back to the cache.
+
+Crash safety: a worker that *raises* is already contained inside
+:func:`~repro.batch.jobs.execute_job` (any exception becomes a
+``verdict="error"`` result), and a worker that *dies* -- SIGKILL, OOM
+kill, interpreter abort -- breaks the shared
+:class:`~concurrent.futures.ProcessPoolExecutor` without identifying
+the killer, so the runner salvages: every job lost with the pool is
+re-run alone in a fresh single-worker pool.  Innocent casualties
+complete on the retry; a job that also kills its private pool is
+definitively the killer and is reported as an ``error`` result.  Either
+way :func:`run_batch` returns a complete :class:`BatchReport`, never a
+traceback.
 
 Determinism: jobs embed all of their own seeds and options, workers
 share no mutable state, and results are reported in input order -- so
@@ -26,6 +42,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.engine.stats import EngineStats
@@ -35,6 +52,14 @@ from repro.batch.jobs import AnalysisJob, JobResult, execute_job
 
 #: Progress callback: ``(done, total, result)`` after every job.
 ProgressFn = Callable[[int, int, JobResult], None]
+
+#: The ``error`` text of a job whose worker died (SIGKILL/OOM) in both
+#: the shared pool and its private salvage pool.
+WORKER_DIED = (
+    "worker process died while executing this job (hard crash: "
+    "SIGKILL, out-of-memory kill or interpreter abort); the job also "
+    "killed its private salvage worker and was abandoned"
+)
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -57,16 +82,27 @@ def _execute_payload(data: Dict) -> Dict:
     tracing never adds cross-process coordination to the hot path.
     """
     trace_path = data.pop("_trace_path", None)
-    if trace_path is None:
-        return execute_job(AnalysisJob.from_dict(data)).to_dict()
+    try:
+        if trace_path is None:
+            return execute_job(AnalysisJob.from_dict(data)).to_dict()
 
-    from repro.obs.tracer import Tracer, activate
+        from repro.obs.tracer import Tracer, activate
 
-    tracer = Tracer(worker=f"w{os.getpid()}")
-    with activate(tracer):
-        result = execute_job(AnalysisJob.from_dict(data)).to_dict()
-    tracer.write_jsonl(trace_path)
-    return result
+        tracer = Tracer(worker=f"w{os.getpid()}")
+        with activate(tracer):
+            result = execute_job(AnalysisJob.from_dict(data)).to_dict()
+        tracer.write_jsonl(trace_path)
+        return result
+    except Exception as exc:
+        # execute_job already captures everything; this guards the thin
+        # shell around it (payload deserialization, trace writing) so a
+        # worker never raises back through the pool.
+        return JobResult(
+            job_id=data.get("job_id", "?"),
+            kind=data.get("kind", "aadl"),
+            verdict="error",
+            error=f"worker shell failure: {type(exc).__name__}: {exc}",
+        ).to_dict()
 
 
 def _pool_context():
@@ -74,6 +110,76 @@ def _pool_context():
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn"
     )
+
+
+def _run_pool(
+    jobs: Sequence[AnalysisJob],
+    pending: List[int],
+    payloads: Dict[int, Dict],
+    n_workers: int,
+    finish: Callable[[int, JobResult], None],
+) -> None:
+    """Fan ``pending`` jobs across a process pool, surviving worker
+    death.
+
+    A hard worker death (SIGKILL, OOM kill) breaks the whole
+    :class:`ProcessPoolExecutor`: every unfinished future raises
+    :class:`BrokenExecutor` and nothing says which job was the killer.
+    Futures that completed *before* the break keep their results, so
+    only the genuinely lost jobs enter the salvage pass, where each
+    re-runs alone in a fresh single-worker pool: innocents complete,
+    and a job that breaks its private pool too is reported as an
+    ``error`` result (:data:`WORKER_DIED`).
+    """
+    context = _pool_context()
+    lost: List[int] = []
+    with ProcessPoolExecutor(
+        max_workers=min(n_workers, len(pending)), mp_context=context
+    ) as executor:
+        futures = {
+            index: executor.submit(_execute_payload, payloads[index])
+            for index in pending
+        }
+        for index in pending:
+            try:
+                data = futures[index].result()
+            except BrokenExecutor:
+                lost.append(index)
+            except Exception as exc:
+                # _execute_payload never raises; this covers transport
+                # failures (a payload that cannot pickle, ...).
+                finish(
+                    index,
+                    JobResult(
+                        job_id=jobs[index].job_id,
+                        kind=jobs[index].kind,
+                        verdict="error",
+                        error=f"pool transport failure: "
+                        f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+            else:
+                finish(index, JobResult.from_dict(data))
+    for index in lost:
+        try:
+            with ProcessPoolExecutor(
+                max_workers=1, mp_context=context
+            ) as salvage:
+                data = salvage.submit(
+                    _execute_payload, dict(payloads[index])
+                ).result()
+        except BrokenExecutor:
+            finish(
+                index,
+                JobResult(
+                    job_id=jobs[index].job_id,
+                    kind=jobs[index].kind,
+                    verdict="error",
+                    error=WORKER_DIED,
+                ),
+            )
+        else:
+            finish(index, JobResult.from_dict(data))
 
 
 class BatchReport:
@@ -131,7 +237,11 @@ class BatchReport:
             f"{self.elapsed:.2f}s wall clock"
         ]
         for result in self.results:
-            mark = " (cached)" if result.cached else ""
+            mark = (
+                " (cached)"
+                if result.cached
+                else " (deduped)" if result.deduped else ""
+            )
             detail = (
                 f"error: {result.error}"
                 if result.error
@@ -193,43 +303,64 @@ def run_batch(
 
     results: List[Optional[JobResult]] = [None] * len(jobs)
     keys: List[Optional[str]] = [None] * len(jobs)
+    primary_of: Dict[str, int] = {}
+    duplicates: Dict[int, List[int]] = {}
     pending: List[int] = []
     done = 0
 
-    for index, job in enumerate(jobs):
-        if store is None:
-            pending.append(index)
-            continue
-        try:
-            key = cache_key(job)
-        except ReproError:
-            # Unkeyable (malformed) jobs still run, so the batch can
-            # report them as error results instead of aborting here.
-            pending.append(index)
-            continue
-        keys[index] = key
-        stored = store.get(key)
-        if stored is None:
-            pending.append(index)
-            continue
-        hit = JobResult.from_dict(stored)
-        hit.job_id = job.job_id  # stored entries carry no provenance
-        hit.cached = True
-        results[index] = hit
-        done += 1
-        if progress is not None:
-            progress(done, len(jobs), hit)
-
-    def finish(index: int, result: JobResult) -> None:
+    def record(index: int, result: JobResult) -> None:
         nonlocal done
         results[index] = result
+        done += 1
+        if progress is not None:
+            progress(done, len(jobs), result)
+
+    def dedupe_from(index: int, primary: JobResult) -> JobResult:
+        dup = JobResult.from_dict(primary.to_dict())
+        dup.job_id = jobs[index].job_id
+        dup.cached = primary.cached
+        dup.deduped = True
+        return dup
+
+    def finish(index: int, result: JobResult) -> None:
         if store is not None and keys[index] is not None and result.error is None:
             stored = result.to_dict()
             stored["cached"] = False
             store.put(keys[index], stored, job_id=result.job_id)
-        done += 1
-        if progress is not None:
-            progress(done, len(jobs), result)
+        record(index, result)
+        for dup_index in duplicates.pop(index, ()):
+            record(dup_index, dedupe_from(dup_index, result))
+
+    for index, job in enumerate(jobs):
+        try:
+            key = cache_key(job)
+        except ReproError:
+            # Unkeyable (malformed) jobs still run individually, so the
+            # batch can report them as error results instead of
+            # aborting here.
+            key = None
+        keys[index] = key
+        if key is not None:
+            prior = primary_of.get(key)
+            if prior is not None:
+                # In-batch duplicate: ride the first occurrence instead
+                # of executing (and caching) the same work twice.
+                served = results[prior]
+                if served is not None:
+                    record(index, dedupe_from(index, served))
+                else:
+                    duplicates.setdefault(prior, []).append(index)
+                continue
+            primary_of[key] = index
+        if store is not None and key is not None:
+            stored = store.get(key)
+            if stored is not None:
+                hit = JobResult.from_dict(stored)
+                hit.job_id = job.job_id  # entries carry no provenance
+                hit.cached = True
+                record(index, hit)
+                continue
+        pending.append(index)
 
     if len(pending) <= 1 or n_workers <= 1:
         # Inline path: jobs run in-process, so the parent tracer sees
@@ -237,22 +368,18 @@ def run_batch(
         for index in pending:
             finish(index, execute_job(jobs[index]))
     else:
-        payloads = [jobs[index].to_dict() for index in pending]
+        payloads = {index: jobs[index].to_dict() for index in pending}
         trace_dir: Optional[str] = None
         if tracer.enabled:
             import tempfile
 
             trace_dir = tempfile.mkdtemp(prefix="repro-batch-trace-")
-            for position, payload in enumerate(payloads):
-                payload["_trace_path"] = os.path.join(
+            for position, index in enumerate(pending):
+                payloads[index]["_trace_path"] = os.path.join(
                     trace_dir, f"job-{position}.jsonl"
                 )
         try:
-            with _pool_context().Pool(min(n_workers, len(pending))) as pool:
-                for index, data in zip(
-                    pending, pool.imap(_execute_payload, payloads)
-                ):
-                    finish(index, JobResult.from_dict(data))
+            _run_pool(jobs, pending, payloads, n_workers, finish)
         finally:
             if trace_dir is not None:
                 import shutil
@@ -277,7 +404,9 @@ def run_batch(
         (
             EngineStats.from_dict(result.stats)
             for result in final
-            if result.stats is not None and not result.cached
+            if result.stats is not None
+            and not result.cached
+            and not result.deduped
         ),
         wall_elapsed=wall,
     )

@@ -510,6 +510,34 @@ def cmd_simulate(args) -> int:
     return status
 
 
+def cmd_serve(args) -> int:
+    from repro.serve import DEFAULT_ARTIFACTS_DIR, run_server
+
+    cache = None
+    if not args.no_cache:
+        from repro.batch import DEFAULT_CACHE_DIR, VerdictCache
+
+        cache = VerdictCache(
+            args.cache_dir or DEFAULT_CACHE_DIR,
+            max_entries=args.cache_max_entries,
+            max_bytes=args.cache_max_bytes,
+        )
+    return run_server(
+        host=args.host,
+        port=args.port,
+        cache=cache,
+        workers=args.workers,
+        backlog=args.backlog,
+        executor=args.executor,
+        artifacts_dir=(
+            None
+            if args.no_bundles
+            else (args.artifacts or DEFAULT_ARTIFACTS_DIR)
+        ),
+        trace=not args.no_trace,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1011,6 +1039,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of slowest spans to list (default 5)",
     )
     p_trace_summary.set_defaults(func=cmd_trace_summary)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the analysis service: HTTP/JSON submissions, SSE "
+        "progress, shared verdict cache, crash-isolated workers",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default local)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="bind port (0 picks an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent analysis workers (default 2)",
+    )
+    p_serve.add_argument(
+        "--backlog",
+        type=int,
+        default=16,
+        metavar="N",
+        help="bounded queue depth; a full queue answers 429 (default 16)",
+    )
+    p_serve.add_argument(
+        "--executor",
+        choices=["process", "thread"],
+        default="process",
+        help="worker isolation: 'process' survives hard worker crashes "
+        "(default); 'thread' is cheaper but shares the interpreter",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="verdict-cache directory (default artifacts/cache)",
+    )
+    p_serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the shared verdict cache (every request re-proves)",
+    )
+    p_serve.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU-evict the cache beyond N entries",
+    )
+    p_serve.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="LRU-evict the cache beyond BYTES on disk",
+    )
+    p_serve.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="replayable bundle directory (default artifacts/serve)",
+    )
+    p_serve.add_argument(
+        "--no-bundles",
+        action="store_true",
+        help="do not persist result bundles",
+    )
+    p_serve.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="skip per-job span tracing (no 'span' SSE events)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_sim = sub.add_parser(
         "simulate",

@@ -117,3 +117,13 @@ class BatchError(ReproError):
 class ComposeError(ReproError):
     """Compositional analysis cannot proceed (malformed partition,
     island slice referencing unknown components, ...)."""
+
+
+class ServeError(ReproError):
+    """Malformed analysis-service request (missing source, ill-typed
+    option, unknown job id...)."""
+
+
+class BackpressureError(ServeError):
+    """The service's bounded job queue is full; the request was
+    rejected rather than accepted beyond capacity (HTTP 429)."""

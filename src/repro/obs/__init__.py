@@ -21,11 +21,13 @@ from repro.obs.schema import (
     PIPELINE_STAGES,
     PORTFOLIO_STAGES,
     REDUCTION_STAGES,
+    SERVE_STAGES,
     TraceSchemaError,
     missing_pipeline_stages,
     validate_file,
     validate_records,
 )
+from repro.obs.sse import format_event, parse_stream
 from repro.obs.summary import TraceSummary, summarize, summarize_file
 from repro.obs.tracer import (
     DEFAULT_TRACES_DIR,
@@ -51,6 +53,7 @@ __all__ = [
     "PORTFOLIO_STAGES",
     "REDUCTION_STAGES",
     "SCHEMA_VERSION",
+    "SERVE_STAGES",
     "Span",
     "SpanObserver",
     "TraceSchemaError",
@@ -58,8 +61,10 @@ __all__ = [
     "Tracer",
     "activate",
     "current_tracer",
+    "format_event",
     "install_tracer",
     "missing_pipeline_stages",
+    "parse_stream",
     "read_trace",
     "summarize",
     "summarize_file",

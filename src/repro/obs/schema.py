@@ -62,6 +62,12 @@ PORTFOLIO_STAGES = (
     "portfolio.escalate",
 )
 
+#: The span names a served analysis (:mod:`repro.serve`) adds: one
+#: ``serve.job`` per executed request, recorded in the worker and
+#: wrapping the ordinary :data:`PIPELINE_STAGES` spans; its records are
+#: also what the SSE progress stream replays to the client.
+SERVE_STAGES = ("serve.job",)
+
 #: The span names a reduced (``analyze --reduce``) run adds when the
 #: corresponding pass actually fired: ``reduce.canonicalize`` under
 #: symmetry (counters ``states_canonicalized`` / ``orbits_merged``) and

@@ -1,0 +1,59 @@
+"""Server-Sent Events encoding for span and lifecycle streams.
+
+:mod:`repro.serve` streams a job's progress -- queue lifecycle events
+plus the :mod:`repro.obs` spans its worker recorded -- to HTTP clients
+as `Server-Sent Events <https://html.spec.whatwg.org/multipage/
+server-sent-events.html>`_: a ``text/event-stream`` body of
+``event:`` / ``data:`` line pairs separated by blank lines.  This
+module owns the wire format in both directions so the server, the
+tests and the CI smoke agree on it byte-for-byte:
+
+* :func:`format_event` encodes one ``(event, data)`` pair, with the
+  JSON payload kept to a single line (SSE treats every line break as a
+  field separator);
+* :func:`parse_stream` decodes a whole stream back into ``(event,
+  data)`` pairs -- the client half, used by the smoke tests and usable
+  from scripts against a live server.
+
+Span records ride the stream under ``event: span`` with their JSONL
+schema (:mod:`repro.obs.schema`) unchanged, so a client can feed them
+straight back into :func:`repro.obs.summarize`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["format_event", "parse_stream"]
+
+
+def format_event(event: str, data: Dict[str, Any]) -> bytes:
+    """Encode one SSE message (``event:`` + single-line JSON ``data:``)."""
+    if "\n" in event or "\r" in event:
+        raise ValueError(f"SSE event name cannot span lines: {event!r}")
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return f"event: {event}\ndata: {payload}\n\n".encode("utf-8")
+
+
+def parse_stream(text: str) -> List[Tuple[str, Dict[str, Any]]]:
+    """Decode a ``text/event-stream`` body into ``(event, data)`` pairs.
+
+    Tolerates SSE comment lines (leading ``:``) and ignores messages
+    without a ``data:`` field; multi-line ``data:`` fields are joined
+    with newlines per the SSE specification.
+    """
+    messages: List[Tuple[str, Dict[str, Any]]] = []
+    for block in text.split("\n\n"):
+        event = "message"
+        data_lines: List[str] = []
+        for line in block.splitlines():
+            if line.startswith(":"):
+                continue
+            if line.startswith("event:"):
+                event = line[len("event:"):].strip()
+            elif line.startswith("data:"):
+                data_lines.append(line[len("data:"):].strip())
+        if data_lines:
+            messages.append((event, json.loads("\n".join(data_lines))))
+    return messages

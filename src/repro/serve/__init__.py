@@ -1,0 +1,44 @@
+"""Analysis-as-a-service: the batch pool behind an HTTP/JSON API.
+
+``repro.serve`` turns the crash-hardened :mod:`repro.batch` machinery
+into a long-running service (``repro serve``): clients POST AADL
+sources, the service keys them through the shared content-addressed
+:class:`~repro.batch.cache.VerdictCache`, coalesces concurrent requests
+for the same proof, queues misses onto a bounded backlog (full == HTTP
+429) and runs them in crash-isolated worker processes; progress streams
+back as Server-Sent Events built from :mod:`repro.obs` spans, and every
+completed request leaves a replayable repro bundle that ``repro batch
+run`` accepts verbatim.  Verdicts answer with the repo's 0/1/2/3 exit
+contract mapped onto HTTP status codes.
+
+Layering (all stdlib, no dependencies):
+
+* :mod:`repro.serve.service` -- the protocol-free core: queue,
+  coalescing map, executor, cache, bundles;
+* :mod:`repro.serve.http` -- minimal HTTP/1.1 over asyncio streams;
+* :mod:`repro.serve.server` -- the router and SSE streaming.
+
+See ``docs/serve.md`` for the API reference and operational notes.
+"""
+
+from repro.serve.server import ReproServer, VERDICT_STATUS, run_server
+from repro.serve.service import (
+    DEFAULT_ARTIFACTS_DIR,
+    DISPOSITIONS,
+    EXIT_CODES,
+    AnalysisService,
+    JobRecord,
+    job_from_request,
+)
+
+__all__ = [
+    "AnalysisService",
+    "DEFAULT_ARTIFACTS_DIR",
+    "DISPOSITIONS",
+    "EXIT_CODES",
+    "JobRecord",
+    "ReproServer",
+    "VERDICT_STATUS",
+    "job_from_request",
+    "run_server",
+]

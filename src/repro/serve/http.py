@@ -1,0 +1,183 @@
+"""Minimal HTTP/1.1 primitives for the analysis server.
+
+The standard library has an HTTP *client* and a synchronous
+``http.server``, but nothing that speaks HTTP over asyncio streams --
+and this repo adds no dependencies -- so :mod:`repro.serve` carries the
+~100 lines of wire format itself: request parsing off a
+``StreamReader`` (:func:`read_request`) and response formatting
+(:func:`response` / :func:`json_response`).  Deliberately small
+surface: HTTP/1.1, ``Connection: close`` on every exchange (the server
+never reuses a connection; SSE streams until done and closes), bodies
+gated by ``Content-Length`` with a hard size cap.  That subset is
+exactly what ``urllib``/``http.client``/``curl`` need and keeps the
+parser honest about what it does not implement (no chunked request
+bodies, no pipelining, no TLS -- front it with a real proxy for
+anything public-facing).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.errors import ServeError
+
+#: Hard cap on request bodies (an AADL source, not a dataset).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Hard cap on the request line + header block.
+MAX_HEADER_BYTES = 64 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(ServeError):
+    """A malformed or oversized request; carries the status to send."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        super().__init__(message)
+
+
+class Request:
+    """One parsed request: method, split target, headers, raw body."""
+
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Any:
+        """The body decoded as JSON; :class:`HttpError` 400 on junk."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+
+    def __repr__(self) -> str:
+        return f"Request({self.method} {self.path})"
+
+
+async def read_request(reader) -> Optional[Request]:
+    """Parse one request off an asyncio ``StreamReader``.
+
+    Returns None on a clean EOF before any bytes (client closed an
+    idle connection); raises :class:`HttpError` on malformed or
+    oversized input so the caller can answer with the right status.
+    """
+    try:
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "header block too large") from None
+    if len(header_blob) > MAX_HEADER_BYTES:
+        raise HttpError(413, "header block too large")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    path = unquote(split.path) or "/"
+    query = dict(parse_qsl(split.query))
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length: {length_header!r}")
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length: {length_header!r}")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(
+                413, f"body of {length} bytes exceeds {MAX_BODY_BYTES}"
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "body shorter than Content-Length") from None
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+    return Request(method.upper(), path, query, headers, body)
+
+
+def response(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+) -> bytes:
+    """Format a complete ``Connection: close`` response."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in extra_headers:
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(
+    status: int,
+    payload: Any,
+    *,
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+) -> bytes:
+    """A JSON body with the right headers, sorted keys, trailing LF."""
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
+        "utf-8"
+    )
+    return response(status, body, extra_headers=extra_headers)
+
+
+def sse_preamble() -> bytes:
+    """Headers opening a ``text/event-stream`` response (no length:
+    the stream ends when the connection closes)."""
+    return (
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/event-stream\r\n"
+        "Cache-Control: no-store\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("latin-1")

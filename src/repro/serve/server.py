@@ -1,0 +1,321 @@
+"""The HTTP face of the analysis service: routing and SSE streaming.
+
+:class:`ReproServer` glues :class:`~repro.serve.service.AnalysisService`
+to ``asyncio.start_server`` with a hand-rolled router.  The API:
+
+========  ============================  =====================================
+method    path                          meaning
+========  ============================  =====================================
+GET       ``/healthz``                  liveness probe
+GET       ``/v1/stats``                 service counters + cache metrics
+POST      ``/v1/analyze``               submit an AADL source (JSON body)
+GET       ``/v1/jobs/<id>``             request state summary
+GET       ``/v1/jobs/<id>/result``      verdict, status-mapped (see below)
+GET       ``/v1/jobs/<id>/events``      SSE progress stream
+GET       ``/v1/jobs/<id>/bundle``      replayable repro bundle
+========  ============================  =====================================
+
+``/result`` maps the repo-wide 0/1/2/3 exit contract onto HTTP status
+codes (:data:`VERDICT_STATUS`): ``schedulable`` is 200, ``unschedulable``
+is 422 (the request was fine, the *model* fails its deadlines),
+``error`` is 400 and ``unknown`` is 503 with ``Retry-After`` (a bigger
+budget might answer; the analysis, not the service, is what was
+unavailable).  A still-running job answers 202.  A full queue rejects
+the submit itself with 429.  Every response also carries the literal
+``exit_code`` so scripts can treat HTTP and CLI runs identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import BackpressureError, ServeError
+from repro.obs.sse import format_event
+from repro.serve.http import (
+    HttpError,
+    Request,
+    json_response,
+    read_request,
+    sse_preamble,
+)
+from repro.serve.service import AnalysisService, JobRecord
+
+logger = logging.getLogger(__name__)
+
+#: Verdict -> HTTP status for ``GET /v1/jobs/<id>/result``: the
+#: 0/1/2/3 exit contract in HTTP clothing.
+VERDICT_STATUS = {
+    "schedulable": 200,
+    "unschedulable": 422,
+    "error": 400,
+    "unknown": 503,
+}
+
+
+class ReproServer:
+    """One listening socket in front of an :class:`AnalysisService`.
+
+    ``port=0`` binds an ephemeral port (the tests do this); the bound
+    address is available as :attr:`address` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        service: AnalysisService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually-bound ``(host, port)``."""
+        if self._server is None or not self._server.sockets:
+            return (self.host, self.port)
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return (host, port)
+
+    async def start(self) -> None:
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except HttpError as exc:
+                writer.write(
+                    json_response(exc.status, {"error": str(exc)})
+                )
+                return
+            if request is None:  # client closed an idle connection
+                return
+            await self._route(request, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-response
+        except Exception:
+            logger.exception("unhandled error serving a request")
+            try:
+                writer.write(
+                    json_response(500, {"error": "internal server error"})
+                )
+            except Exception:
+                pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _route(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        path = request.path.rstrip("/") or "/"
+        if path == "/healthz":
+            writer.write(self._require_get(request) or json_response(
+                200, {"status": "ok"}
+            ))
+            return
+        if path == "/v1/stats":
+            writer.write(self._require_get(request) or json_response(
+                200, self.service.stats()
+            ))
+            return
+        if path == "/v1/analyze":
+            if request.method != "POST":
+                writer.write(json_response(
+                    405,
+                    {"error": "use POST"},
+                    extra_headers=(("Allow", "POST"),),
+                ))
+                return
+            writer.write(self._submit(request))
+            return
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            request_id, _, action = rest.partition("/")
+            record = self.service.get(request_id)
+            if record is None or not request_id:
+                writer.write(json_response(
+                    404, {"error": f"unknown request id {request_id!r}"}
+                ))
+                return
+            blocked = self._require_get(request)
+            if blocked:
+                writer.write(blocked)
+                return
+            if action == "":
+                writer.write(json_response(200, record.summary()))
+            elif action == "result":
+                writer.write(self._result(record))
+            elif action == "bundle":
+                writer.write(self._bundle(record))
+            elif action == "events":
+                await self._stream_events(record, writer)
+            else:
+                writer.write(json_response(
+                    404, {"error": f"unknown job action {action!r}"}
+                ))
+            return
+        writer.write(json_response(
+            404, {"error": f"no route for {request.path!r}"}
+        ))
+
+    @staticmethod
+    def _require_get(request: Request) -> Optional[bytes]:
+        if request.method not in ("GET", "HEAD"):
+            return json_response(
+                405, {"error": "use GET"}, extra_headers=(("Allow", "GET"),)
+            )
+        return None
+
+    # -- endpoints -------------------------------------------------------
+
+    def _submit(self, request: Request) -> bytes:
+        try:
+            body = request.json()
+            record, disposition = self.service.submit_request(body)
+        except BackpressureError as exc:
+            return json_response(
+                429,
+                {"error": str(exc), "backlog": self.service.backlog},
+                extra_headers=(("Retry-After", "1"),),
+            )
+        except HttpError as exc:
+            return json_response(exc.status, {"error": str(exc)})
+        except ServeError as exc:
+            return json_response(400, {"error": str(exc)})
+        payload: Dict[str, Any] = {
+            "request_id": record.request_id,
+            "state": record.state,
+            "disposition": disposition,
+            "cache_key": record.key,
+            "links": {
+                "status": f"/v1/jobs/{record.request_id}",
+                "result": f"/v1/jobs/{record.request_id}/result",
+                "events": f"/v1/jobs/{record.request_id}/events",
+                "bundle": f"/v1/jobs/{record.request_id}/bundle",
+            },
+        }
+        # Already-done submissions (cache hit, invalid model) answer
+        # with the final verdict inline; everything else is a 202.
+        if record.state == "done" and record.result is not None:
+            payload["verdict"] = record.result.verdict
+            payload["exit_code"] = record.exit_code()
+            return json_response(200, payload)
+        return json_response(202, payload)
+
+    def _result(self, record: JobRecord) -> bytes:
+        if record.state != "done" or record.result is None:
+            return json_response(
+                202,
+                {
+                    "request_id": record.request_id,
+                    "state": record.state,
+                    "verdict": None,
+                },
+                extra_headers=(("Retry-After", "1"),),
+            )
+        result = record.result
+        status = VERDICT_STATUS.get(result.verdict, 500)
+        payload: Dict[str, Any] = {
+            "request_id": record.request_id,
+            "state": "done",
+            "disposition": record.disposition,
+            "exit_code": record.exit_code(),
+            "result": result.to_dict(),
+        }
+        headers: Tuple[Tuple[str, str], ...] = ()
+        if result.verdict == "unknown":
+            # A bigger state budget might decide; invite a retry.
+            headers = (("Retry-After", "5"),)
+        return json_response(status, payload, extra_headers=headers)
+
+    def _bundle(self, record: JobRecord) -> bytes:
+        if record.bundle_path is None:
+            return json_response(
+                404,
+                {
+                    "error": "no bundle for this request "
+                    "(still running, or bundles disabled)"
+                },
+            )
+        try:
+            with open(record.bundle_path, "r", encoding="utf-8") as handle:
+                blob = handle.read()
+        except OSError as exc:
+            return json_response(404, {"error": f"bundle unreadable: {exc}"})
+        return json_response(200, json.loads(blob))
+
+    async def _stream_events(
+        self, record: JobRecord, writer: asyncio.StreamWriter
+    ) -> None:
+        """Replay the record's event history, then stream live events
+        until the terminal ``result`` event; the connection then
+        closes, which is how clients know the stream is complete."""
+        queue = self.service.subscribe(record)
+        writer.write(sse_preamble())
+        try:
+            while True:
+                event, data = await queue.get()
+                writer.write(format_event(event, data))
+                await writer.drain()
+                if event == "result":
+                    return
+        finally:
+            self.service.unsubscribe(record, queue)
+
+
+async def _serve(service: AnalysisService, host: str, port: int) -> None:
+    server = ReproServer(service, host=host, port=port)
+    await server.start()
+    bound_host, bound_port = server.address
+    print(f"repro serve listening on http://{bound_host}:{bound_port}")
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()
+
+
+def run_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    **service_options: Any,
+) -> int:
+    """Build a service and serve until interrupted (the CLI entry)."""
+    service = AnalysisService(**service_options)
+    try:
+        asyncio.run(_serve(service, host, port))
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    return 0

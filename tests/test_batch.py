@@ -443,8 +443,12 @@ class TestAggregateWallClock:
         assert clone.elapsed == pytest.approx(4.0)
 
     def test_parallel_batch_reports_wall_clock(self, tmp_path):
+        # Two *distinct* models: identical jobs would dedupe in-batch
+        # and leave only one actual execution.
         jobs = [
-            AnalysisJob.from_aadl(cruise_control_text(), job_id=f"j{i}")
+            AnalysisJob.from_aadl(
+                cruise_control_text(overloaded=bool(i)), job_id=f"j{i}"
+            )
             for i in range(2)
         ]
         report = run_batch(jobs, workers=2)

@@ -309,13 +309,19 @@ class TestCliTracing:
         assert main(["trace", "summary", str(path)]) == 2
 
     def test_batch_trace_merges_worker_spans(self, model_file, tmp_path):
+        # The second model must differ from the first: identical inputs
+        # now dedupe by cache key and execute only once, which would
+        # leave a single worker to observe.  A lighter compute time
+        # keeps the variant schedulable.
+        variant = tmp_path / "variant.aadl"
+        variant.write_text(cruise_control_text().replace("20 ms", "15 ms"))
         out = str(tmp_path / "batch.jsonl")
         code = main(
             [
                 "batch",
                 "run",
                 model_file,
-                model_file,
+                str(variant),
                 "--jobs",
                 "2",
                 "--trace",
