@@ -40,6 +40,7 @@ from repro.aadl.properties import (
     COMPUTE_EXECUTION_TIME,
     DISPATCH_OFFSET,
     DISPATCH_PROTOCOL,
+    EXECUTION_TIME,
     OVERFLOW_HANDLING_PROTOCOL,
     PERIOD,
     PRIORITY,
@@ -75,6 +76,18 @@ class ProcessorHandle:
 
     def __repr__(self) -> str:
         return f"ProcessorHandle({self.name!r})"
+
+
+class VirtualProcessorHandle:
+    """Builder-side handle for a virtual processor (ARINC-653
+    partition server): threads bind to it like a processor."""
+
+    def __init__(self, builder: "SystemBuilder", name: str) -> None:
+        self.builder = builder
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"VirtualProcessorHandle({self.name!r})"
 
 
 class BusHandle:
@@ -181,6 +194,7 @@ class SystemBuilder:
         self._impl = ComponentImplementation(f"{name}.impl")
         self._threads: Dict[str, ThreadHandle] = {}
         self._processors: Dict[str, ProcessorHandle] = {}
+        self._virtual_processors: Dict[str, VirtualProcessorHandle] = {}
         self._buses: Dict[str, BusHandle] = {}
         self._conn_count = 0
         self._impl_registered = False
@@ -208,6 +222,49 @@ class SystemBuilder:
         self._processors[name] = handle
         return handle
 
+    def virtual_processor(
+        self,
+        name: str,
+        *,
+        period: TimeLike,
+        budget: TimeLike,
+        scheduling: Union[SchedulingProtocol, str] = (
+            SchedulingProtocol.RATE_MONOTONIC
+        ),
+        processor: Optional[ProcessorHandle] = None,
+        priority: Optional[int] = None,
+    ) -> VirtualProcessorHandle:
+        """Add a virtual processor: a periodic server supplying
+        ``budget`` units of every ``period`` (the ARINC-653 partition
+        shape), scheduling its bound threads with ``scheduling`` and
+        itself bound to ``processor``.  ``priority`` ranks the server
+        task on an HPF host."""
+        if isinstance(scheduling, str):
+            scheduling = SchedulingProtocol.parse(scheduling)
+        ctype = ComponentType(
+            f"{name}_vproc", ComponentCategory.VIRTUAL_PROCESSOR
+        )
+        ctype.add_property(SCHEDULING_PROTOCOL, scheduling)
+        ctype.add_property(PERIOD, _as_time(period, "period"))
+        ctype.add_property(EXECUTION_TIME, _as_time(budget, "budget"))
+        if priority is not None:
+            ctype.add_property(PRIORITY, priority)
+        self.model.add_type(ctype)
+        self._impl.add_subcomponent(
+            Subcomponent(
+                name, ComponentCategory.VIRTUAL_PROCESSOR, ctype.name
+            )
+        )
+        if processor is not None:
+            self._impl.add_property(
+                ACTUAL_PROCESSOR_BINDING,
+                ReferenceValue((processor.name,)),
+                applies_to=(name,),
+            )
+        handle = VirtualProcessorHandle(self, name)
+        self._virtual_processors[name] = handle
+        return handle
+
     def bus(self, name: str) -> BusHandle:
         """Add a bus component."""
         ctype = ComponentType(f"{name}_bus", ComponentCategory.BUS)
@@ -227,11 +284,14 @@ class SystemBuilder:
         compute_time: Union[Tuple[TimeLike, TimeLike], TimeLike],
         deadline: TimeLike,
         period: Optional[TimeLike] = None,
-        processor: Optional[ProcessorHandle] = None,
+        processor: Optional[
+            Union[ProcessorHandle, VirtualProcessorHandle]
+        ] = None,
         priority: Optional[int] = None,
         offset: Optional[TimeLike] = None,
     ) -> ThreadHandle:
-        """Add a thread with its timing properties and binding."""
+        """Add a thread with its timing properties and binding (to a
+        processor or a virtual processor)."""
         if isinstance(dispatch, str):
             dispatch = DispatchProtocol.parse(dispatch)
         ctype = ComponentType(f"{name}_thr", ComponentCategory.THREAD)

@@ -26,6 +26,7 @@ class ComponentCategory(enum.Enum):
     THREAD = "thread"
     THREAD_GROUP = "thread group"
     PROCESSOR = "processor"
+    VIRTUAL_PROCESSOR = "virtual processor"
     BUS = "bus"
     MEMORY = "memory"
     DEVICE = "device"
@@ -42,6 +43,7 @@ class ComponentCategory(enum.Enum):
     def is_execution_platform(self) -> bool:
         return self in (
             ComponentCategory.PROCESSOR,
+            ComponentCategory.VIRTUAL_PROCESSOR,
             ComponentCategory.BUS,
             ComponentCategory.MEMORY,
             ComponentCategory.DEVICE,

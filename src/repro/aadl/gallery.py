@@ -489,3 +489,108 @@ def priority_inversion_trio() -> SystemInstance:
     )
     low.requires_data_access("d", classifier="SharedState")
     return b.instantiate()
+
+
+# An ARINC-653 style integrated-modular-avionics node: one physical
+# processor time-partitioned into two virtual-processor partitions
+# (flight control at 5 of every 10 ms, displays at 5 of every 20 ms)
+# plus a directly-bound health-monitor thread.  Both partitions pass
+# their BDR interface check analytically -- `repro analyze --hier`
+# decides this model without any flattened simulation.
+_ARINC_PARTITIONS_TEXT = """
+processor CoreModule
+  properties
+    Scheduling_Protocol => RMS;
+end CoreModule;
+
+virtual processor FlightPartition
+  properties
+    Scheduling_Protocol => RMS;
+    Period => 10 ms;
+    Execution_Time => 5 ms;
+end FlightPartition;
+
+virtual processor DisplayPartition
+  properties
+    Scheduling_Protocol => EDF;
+    Period => 20 ms;
+    Execution_Time => 5 ms;
+end DisplayPartition;
+
+thread ControlLaw
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 40 ms;
+    Compute_Execution_Time => 4 ms .. 4 ms;
+    Compute_Deadline => 40 ms;
+end ControlLaw;
+
+thread Navigation
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 80 ms;
+    Compute_Execution_Time => 8 ms .. 8 ms;
+    Compute_Deadline => 80 ms;
+end Navigation;
+
+thread PrimaryDisplay
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 100 ms;
+    Compute_Execution_Time => 5 ms .. 5 ms;
+    Compute_Deadline => 100 ms;
+end PrimaryDisplay;
+
+thread StatusPage
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 200 ms;
+    Compute_Execution_Time => 10 ms .. 10 ms;
+    Compute_Deadline => 200 ms;
+end StatusPage;
+
+thread HealthMonitor
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 20 ms;
+    Compute_Execution_Time => 2 ms .. 2 ms;
+    Compute_Deadline => 20 ms;
+end HealthMonitor;
+
+system Avionics
+end Avionics;
+
+system implementation Avionics.impl
+  subcomponents
+    core: processor CoreModule;
+    flight: virtual processor FlightPartition;
+    display: virtual processor DisplayPartition;
+    control_law: thread ControlLaw;
+    navigation: thread Navigation;
+    primary_display: thread PrimaryDisplay;
+    status_page: thread StatusPage;
+    health_monitor: thread HealthMonitor;
+  properties
+    Actual_Processor_Binding => reference(core) applies to flight;
+    Actual_Processor_Binding => reference(core) applies to display;
+    Actual_Processor_Binding => reference(flight) applies to control_law;
+    Actual_Processor_Binding => reference(flight) applies to navigation;
+    Actual_Processor_Binding => reference(display)
+        applies to primary_display;
+    Actual_Processor_Binding => reference(display) applies to status_page;
+    Actual_Processor_Binding => reference(core) applies to health_monitor;
+end Avionics.impl;
+"""
+
+
+def arinc_partitions_text() -> str:
+    """Textual AADL for the two-partition ARINC-653 node."""
+    return _ARINC_PARTITIONS_TEXT
+
+
+def arinc_partitions() -> SystemInstance:
+    """Instantiated ARINC-653 node: two budgeted partitions plus a
+    direct thread on the host, all schedulable by the BDR interface
+    check alone."""
+    model = parse_model(arinc_partitions_text())
+    return instantiate(model, "Avionics.impl")

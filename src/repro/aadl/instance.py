@@ -148,11 +148,30 @@ class ComponentInstance:
             if inst.category is category
         ]
 
+    @property
+    def host_processor(self) -> Optional["ComponentInstance"]:
+        """The physical processor this component ultimately executes on.
+
+        Follows one level of indirection: a thread bound to a virtual
+        processor executes on the virtual processor's own bound
+        processor.  None while unbound.
+        """
+        target = self.bound_processor
+        if (
+            target is not None
+            and target.category is ComponentCategory.VIRTUAL_PROCESSOR
+        ):
+            return target.bound_processor
+        return target
+
     def threads(self) -> List["ComponentInstance"]:
         return self.by_category(ComponentCategory.THREAD)
 
     def processors(self) -> List["ComponentInstance"]:
         return self.by_category(ComponentCategory.PROCESSOR)
+
+    def virtual_processors(self) -> List["ComponentInstance"]:
+        return self.by_category(ComponentCategory.VIRTUAL_PROCESSOR)
 
     def buses(self) -> List["ComponentInstance"]:
         return self.by_category(ComponentCategory.BUS)
@@ -492,6 +511,8 @@ def slice_instance(
 
     * the ancestors of every kept component (so containment navigation
       still reaches them);
+    * the binding chain of every kept component (a thread's virtual
+      processor and that virtual processor's host processor);
     * devices that are the ultimate source of a connection into a kept
       component (environment stubs belong with their consumer);
     * buses a kept connection is bound to;
@@ -506,6 +527,17 @@ def slice_instance(
         while node is not None and node is not base:
             kept.add(node)
             node = node.parent
+    # Processor bindings come along: a kept thread keeps the virtual
+    # processor it is bound to and that virtual processor's host, so a
+    # partitioned island stays analyzable (and re-instantiable) alone.
+    for component in list(kept):
+        target = component.bound_processor
+        while target is not None and target not in kept:
+            node = target
+            while node is not None and node is not base:
+                kept.add(node)
+                node = node.parent
+            target = target.bound_processor
     # Devices feeding kept components come along.
     for conn in base.connections:
         source = conn.source.component
@@ -820,7 +852,7 @@ def _check_port_endpoint(
 
 
 def _resolve_bindings(root: SystemInstance) -> None:
-    # Thread -> processor bindings.
+    # Thread -> processor (or virtual processor) bindings.
     for thread in root.threads():
         found = thread.property_with_holder(ACTUAL_PROCESSOR_BINDING)
         if found is None:
@@ -832,12 +864,35 @@ def _resolve_bindings(root: SystemInstance) -> None:
                 f"be a reference value, got {value!r}"
             )
         target = holder.resolve_path(value.path)
-        if target.category is not ComponentCategory.PROCESSOR:
+        if target.category not in (
+            ComponentCategory.PROCESSOR,
+            ComponentCategory.VIRTUAL_PROCESSOR,
+        ):
             raise AadlPropertyError(
                 f"{thread.qualified_name}: bound to non-processor "
                 f"{target.qualified_name}"
             )
         thread.bound_processor = target
+
+    # Virtual processor -> physical processor bindings (the ARINC-653
+    # partition-to-module mapping).
+    for vproc in root.virtual_processors():
+        found = vproc.property_with_holder(ACTUAL_PROCESSOR_BINDING)
+        if found is None:
+            continue
+        value, holder = found
+        if not isinstance(value, ReferenceValue):
+            raise AadlPropertyError(
+                f"{vproc.qualified_name}: Actual_Processor_Binding must "
+                f"be a reference value, got {value!r}"
+            )
+        target = holder.resolve_path(value.path)
+        if target.category is not ComponentCategory.PROCESSOR:
+            raise AadlPropertyError(
+                f"{vproc.qualified_name}: virtual processor bound to "
+                f"non-processor {target.qualified_name}"
+            )
+        vproc.bound_processor = target
 
     # Connection -> bus bindings.
     for sem_conn in root.connections:

@@ -72,7 +72,9 @@ from repro.aadl.properties import (
 
 _TIME_UNITS = {"ps", "ns", "us", "ms", "sec", "min", "hr"}
 
-_CATEGORY_WORDS = {c.value for c in ComponentCategory}
+# Two-word categories ("thread group", "virtual processor") are
+# recognized by their leading word plus a follow-up token check.
+_CATEGORY_WORDS = {c.value for c in ComponentCategory} | {"virtual"}
 
 _TOKEN_RE = re.compile(
     r"""
@@ -183,9 +185,16 @@ class _Parser:
                 raise self.error(
                     f"expected a component category, found {token.text!r}"
                 )
-            category = ComponentCategory.parse(self.advance().text)
-            if category is ComponentCategory.THREAD and self.accept("group"):
-                category = ComponentCategory.THREAD_GROUP
+            word = self.advance()
+            if word.lower == "virtual":
+                self.expect("processor")
+                category = ComponentCategory.VIRTUAL_PROCESSOR
+            else:
+                category = ComponentCategory.parse(word.text)
+                if category is ComponentCategory.THREAD and self.accept(
+                    "group"
+                ):
+                    category = ComponentCategory.THREAD_GROUP
             if self.at("implementation"):
                 self.advance()
                 impl = self.parse_implementation(category, model)
@@ -321,10 +330,14 @@ class _Parser:
             raise self.error(
                 f"expected a component category, found {category_word.text!r}"
             )
-        category = ComponentCategory.parse(category_word.text)
-        if category is ComponentCategory.THREAD and self.at("group"):
-            self.advance()
-            category = ComponentCategory.THREAD_GROUP
+        if category_word.lower == "virtual":
+            self.expect("processor")
+            category = ComponentCategory.VIRTUAL_PROCESSOR
+        else:
+            category = ComponentCategory.parse(category_word.text)
+            if category is ComponentCategory.THREAD and self.at("group"):
+                self.advance()
+                category = ComponentCategory.THREAD_GROUP
         classifier = self.parse_classifier()
         sub = Subcomponent(name, category, classifier)
         self.parse_optional_property_block(sub)

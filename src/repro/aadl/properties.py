@@ -279,6 +279,9 @@ DISPATCH_PROTOCOL = "dispatch_protocol"
 DISPATCH_OFFSET = "dispatch_offset"
 PERIOD = "period"
 COMPUTE_EXECUTION_TIME = "compute_execution_time"
+#: Per-replenishment execution budget of a virtual processor (the
+#: ARINC-653 partition server: ``Execution_Time`` out of ``Period``).
+EXECUTION_TIME = "execution_time"
 COMPUTE_DEADLINE = "compute_deadline"
 DEADLINE = "deadline"
 PRIORITY = "priority"

@@ -31,11 +31,13 @@ from repro.aadl.properties import (
     COMPUTE_EXECUTION_TIME,
     DEADLINE,
     DISPATCH_PROTOCOL,
+    EXECUTION_TIME,
     PERIOD,
     PRIORITY,
     SCHEDULING_PROTOCOL,
     DispatchProtocol,
     SchedulingProtocol,
+    TimeValue,
 )
 
 
@@ -139,6 +141,54 @@ def collect_violations(instance: SystemInstance) -> List[str]:
                     problems.append(
                         f"thread {thread.qualified_name} bound to HPF "
                         f"processor lacks Priority"
+                    )
+
+    for vproc in instance.virtual_processors():
+        name = vproc.qualified_name
+        bound = [t for t in threads if t.bound_processor is vproc]
+        if vproc.bound_processor is None:
+            problems.append(
+                f"virtual processor {name} is not bound to a processor"
+            )
+        if not bound:
+            continue
+        period = vproc.property(PERIOD)
+        budget = vproc.property(EXECUTION_TIME)
+        if period is None:
+            problems.append(
+                f"virtual processor {name} has bound threads but lacks "
+                f"Period (replenishment)"
+            )
+        if budget is None:
+            problems.append(
+                f"virtual processor {name} has bound threads but lacks "
+                f"Execution_Time (budget)"
+            )
+        if (
+            isinstance(period, TimeValue)
+            and isinstance(budget, TimeValue)
+            and budget.picoseconds > period.picoseconds
+        ):
+            problems.append(
+                f"virtual processor {name}: Execution_Time exceeds Period"
+            )
+        protocol = vproc.property(SCHEDULING_PROTOCOL)
+        if protocol is None:
+            problems.append(
+                f"virtual processor {name} has bound threads but lacks "
+                f"Scheduling_Protocol"
+            )
+        elif not isinstance(protocol, SchedulingProtocol):
+            problems.append(
+                f"virtual processor {name}: Scheduling_Protocol has "
+                f"non-enum value {protocol!r}"
+            )
+        elif protocol is SchedulingProtocol.HIGHEST_PRIORITY_FIRST:
+            for thread in bound:
+                if thread.property_int(PRIORITY) is None:
+                    problems.append(
+                        f"thread {thread.qualified_name} bound to HPF "
+                        f"virtual processor lacks Priority"
                     )
 
     return problems

@@ -26,6 +26,12 @@ drawn from ambient state.  Two kinds exist:
   chain configuration rides in ``options["tiers"]`` so portfolio
   verdicts never share cache entries with plain ``aadl`` runs or with
   runs under a different chain.
+* ``hier`` -- an AADL source text with virtual-processor partitions,
+  analyzed hierarchically (:func:`repro.hier.analyze_hier`): each
+  partition against its BDR interface, each host against its servers.
+  The derived interface parameters are folded into the cache key (a
+  ``-- hier:`` header in the canonical text), so editing a server's
+  budget or replenishment invalidates exactly the affected entries.
 
 Both kinds expose :meth:`AnalysisJob.canonical_model_text`, the
 model-side half of the persistent verdict-cache key (see
@@ -38,7 +44,7 @@ from typing import Any, Dict, Optional
 
 from repro.errors import BatchError, ReproError
 
-JOB_KINDS = ("aadl", "case", "island", "portfolio")
+JOB_KINDS = ("aadl", "case", "island", "portfolio", "hier")
 
 #: Crash-injection faults for harness self-tests -- the batch analogue
 #: of :mod:`repro.oracle.faults` and ``REDUCTION_FAULTS``.  A job whose
@@ -238,6 +244,38 @@ class AnalysisJob:
         )
 
     @classmethod
+    def from_hier(
+        cls,
+        source: str,
+        *,
+        root: Optional[str] = None,
+        job_id: Optional[str] = None,
+        quantum_us: Optional[int] = None,
+        max_window: Optional[int] = None,
+        fault: Optional[str] = None,
+    ) -> "AnalysisJob":
+        """A hierarchical (BDR-interface) check over a partitioned AADL
+        source.
+
+        ``max_window`` caps the flattened-simulation window (quanta);
+        ``fault`` injects a :data:`repro.hier.HIER_FAULTS` derivation
+        bug (self-tests only).  Both are cache-key material, present
+        only when set, so faulted or window-capped runs never share an
+        entry with honest ones.
+        """
+        options: Dict[str, Any] = {"quantum_us": quantum_us}
+        if max_window:
+            options["max_window"] = max_window
+        if fault:
+            options["hier_fault"] = fault
+        return cls(
+            job_id=job_id or (root or "aadl-model"),
+            kind="hier",
+            payload={"source": source, "root": root},
+            options=options,
+        )
+
+    @classmethod
     def from_file(cls, path: str, **options: Any) -> "AnalysisJob":
         """Build a job from a file path.
 
@@ -323,6 +361,18 @@ class AnalysisJob:
         if self.kind == "island":
             members = ",".join(sorted(self.payload.get("threads", ())))
             header += f"-- island: {members}\n"
+        if self.kind == "hier":
+            # Fold the derived (alpha, delta) interface of every
+            # partition into the key: a server-parameter edit changes
+            # the supply contract even though thread timing is intact.
+            from repro.aadl import instantiate
+            from repro.hier import derive_interfaces
+
+            interfaces = derive_interfaces(instantiate(model, root))
+            tokens = ";".join(
+                interfaces[name].token for name in sorted(interfaces)
+            )
+            header += f"-- hier: {tokens}\n"
         return header + format_model(model)
 
     def __repr__(self) -> str:
@@ -450,6 +500,8 @@ def execute_job(job: AnalysisJob) -> JobResult:
                 result = _execute_island(job)
             elif job.kind == "portfolio":
                 result = _execute_portfolio(job)
+            elif job.kind == "hier":
+                result = _execute_hier(job)
             else:
                 result = _execute_aadl(job)
         except ReproError as exc:
@@ -559,16 +611,68 @@ def _execute_island(job: AnalysisJob) -> JobResult:
     label = job.payload["label"]
     sliced = slice_instance(instance, keep, label=label)
     quantum_ps = job.options.get("quantum_ps")
+    quantum = TimeValue(quantum_ps, "ps") if quantum_ps else None
+    partitioned = any(
+        thread.bound_processor is not None
+        and thread.bound_processor is not thread.host_processor
+        for thread in sliced.threads()
+    )
     with current_tracer().span("compose.island", island=label) as span:
-        result = analyze_model(
-            sliced,
-            quantum=TimeValue(quantum_ps, "ps") if quantum_ps else None,
-            max_states=job.options.get("max_states", 1_000_000),
-            reduction=job.options.get("reduce"),
-        )
+        if partitioned:
+            # The ACSR translation has no server semantics; analyze the
+            # partitioned island with the hierarchical (BDR) pipeline,
+            # still pinned to the full model's quantum.
+            from repro.hier import analyze_hier
+            from repro.translate.quantum import TimingQuantizer
+
+            result = analyze_hier(
+                sliced,
+                quantizer=(
+                    TimingQuantizer(quantum) if quantum is not None else None
+                ),
+            )
+        else:
+            result = analyze_model(
+                sliced,
+                quantum=quantum,
+                max_states=job.options.get("max_states", 1_000_000),
+                reduction=job.options.get("reduce"),
+            )
         span.set(verdict=result.verdict.value).incr(
             "states", result.num_states
         )
+    stats = result.exploration.stats
+    return JobResult(
+        job_id=job.job_id,
+        kind=job.kind,
+        verdict=result.verdict.value,
+        states=result.num_states,
+        elapsed=result.elapsed,
+        limit_hit=result.exploration.limit_hit,
+        stats=stats.as_dict() if stats is not None else None,
+        rendered=result.format(),
+    )
+
+
+def _execute_hier(job: AnalysisJob) -> JobResult:
+    from repro.aadl import infer_root, instantiate, parse_model
+    from repro.aadl.properties import TimeValue
+    from repro.hier import DEFAULT_MAX_WINDOW, analyze_hier
+    from repro.translate.quantum import TimingQuantizer
+
+    model = parse_model(job.payload["source"])
+    root = job.payload.get("root") or infer_root(model)
+    quantum_us = job.options.get("quantum_us")
+    result = analyze_hier(
+        instantiate(model, root),
+        quantizer=(
+            TimingQuantizer(TimeValue(quantum_us, "us"))
+            if quantum_us
+            else None
+        ),
+        max_window=job.options.get("max_window", DEFAULT_MAX_WINDOW),
+        fault=job.options.get("hier_fault"),
+    )
     stats = result.exploration.stats
     return JobResult(
         job_id=job.job_id,

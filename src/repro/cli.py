@@ -176,6 +176,8 @@ def cmd_analyze(args) -> int:
         # Compositional analysis subsumes the batch path: islands fan
         # out through the same pool/cache, so this branch comes first.
         return _run_compose(args)
+    if getattr(args, "hier", False):
+        return _run_hier(args)
     if len(args.files) > 1 or _cache_spec(args) is not None:
         return _run_file_batch(args, args.files)
     args.file = args.files[0]
@@ -220,6 +222,35 @@ def cmd_analyze(args) -> int:
         print("baselines:")
         for row in compare_with_baselines(instance, max_states=args.max_states):
             print(f"  {row!r}")
+    return result.verdict.exit_code
+
+
+def _run_hier(args) -> int:
+    from repro.hier import DEFAULT_MAX_WINDOW, analyze_hier
+    from repro.translate.quantum import TimingQuantizer
+
+    if len(args.files) != 1:
+        raise ReproError("--hier analyzes exactly one model at a time")
+    if getattr(args, "all_modes", False):
+        raise ReproError(
+            "--hier and --all-modes are mutually exclusive (partition "
+            "servers and modal reconfiguration do not compose yet)"
+        )
+    args.file = args.files[0]
+    _, instance = _load_instance(args)
+    quantum = _quantum(args)
+    result = analyze_hier(
+        instance,
+        quantizer=TimingQuantizer(quantum) if quantum is not None else None,
+        max_window=(
+            args.max_window
+            if args.max_window is not None
+            else DEFAULT_MAX_WINDOW
+        ),
+    )
+    print(result.format(show_stats=args.stats))
+    for line in result.tier_trail:
+        print(line)
     return result.verdict.exit_code
 
 
@@ -411,6 +442,20 @@ def cmd_oracle_reduce(args) -> int:
         spec=args.spec,
         fault=args.fault,
         jitter_fraction=args.jitter_fraction,
+        progress=args.progress,
+    )
+    print(report.format())
+    return EXIT_VIOLATION if report.disagreements else EXIT_SCHEDULABLE
+
+
+def cmd_oracle_hier(args) -> int:
+    from repro.oracle import run_hier_campaign
+
+    report = run_hier_campaign(
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        max_window=args.max_window,
+        fault=args.fault,
         progress=args.progress,
     )
     print(report.format())
@@ -676,6 +721,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="decompose into processor islands and analyze each "
         "separately (falls back to monolithic analysis, with the "
         "reason, when the islands are coupled)",
+    )
+    p_analyze.add_argument(
+        "--hier",
+        action="store_true",
+        help="hierarchical analysis: check threads bound to virtual "
+        "processors against each partition's bounded-delay (BDR) "
+        "supply interface (escalates to a supply-aware flattened "
+        "simulation per partition)",
+    )
+    p_analyze.add_argument(
+        "--max-window",
+        type=int,
+        default=None,
+        metavar="QUANTA",
+        help="flattened-simulation window cap for --hier (verdict "
+        "demotes to unknown past it)",
     )
     p_analyze.add_argument(
         "--baselines",
@@ -969,6 +1030,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="report per-case progress to stderr",
     )
     p_oracle_reduce.set_defaults(func=cmd_oracle_reduce)
+
+    p_oracle_hier = oracle_sub.add_parser(
+        "hier",
+        help="seeded campaign asserting the BDR interface check never "
+        "passes a partition the flattened simulation fails",
+        epilog=EXIT_STATUS_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_oracle_hier.add_argument(
+        "--seeds",
+        type=int,
+        default=50,
+        help="number of seeded cases to draw (default 50)",
+    )
+    p_oracle_hier.add_argument(
+        "--base-seed",
+        type=int,
+        default=0,
+        help="first seed of the campaign (case i uses base-seed + i)",
+    )
+    p_oracle_hier.add_argument(
+        "--max-window",
+        type=int,
+        default=1 << 16,
+        help="flattened-simulation window cap per partition",
+    )
+    p_oracle_hier.add_argument(
+        "--fault",
+        default=None,
+        help="inject a known interface-derivation bug into the analytic "
+        "side (harness self-test; see repro.hier.interface.HIER_FAULTS)",
+    )
+    p_oracle_hier.add_argument(
+        "--progress",
+        action="store_true",
+        help="report per-case progress to stderr",
+    )
+    p_oracle_hier.set_defaults(func=cmd_oracle_hier)
 
     p_oracle_portfolio = oracle_sub.add_parser(
         "portfolio",

@@ -43,7 +43,7 @@ from repro.aadl.instance import (
 )
 from repro.translate.translator import (
     _needs_queue,
-    group_threads_by_processor,
+    group_threads_by_host,
 )
 
 EDGE_KINDS = ("event", "bus", "data")
@@ -111,7 +111,7 @@ class Island:
             bound = [
                 t.qualified_name
                 for t in self.threads
-                if t.bound_processor is processor
+                if t.host_processor is processor
             ]
             lines.append(f"  {processor.qualified_name}: " + ", ".join(bound))
         return "\n".join(lines)
@@ -241,8 +241,10 @@ class Partition:
 def _processor_of(
     component: ComponentInstance,
 ) -> Optional[ComponentInstance]:
+    # Partitioned threads couple through their *host*: a virtual
+    # processor shares its physical processor's island.
     if component.category is ComponentCategory.THREAD:
-        return component.bound_processor
+        return component.host_processor
     return None
 
 
@@ -281,7 +283,7 @@ def build_coupling_graph(instance: SystemInstance) -> CouplingGraph:
     Raises :class:`~repro.errors.TranslationError` when threads are
     unbound (the same failure the translator itself would report).
     """
-    by_processor = group_threads_by_processor(instance)
+    by_processor = group_threads_by_host(instance)
     processors = list(by_processor)
     edges: List[CouplingEdge] = []
 

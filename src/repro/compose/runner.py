@@ -115,13 +115,26 @@ def analyze_compositionally(
     partition = plan(instance)
 
     if not partition.decomposable:
-        monolithic = analyze_model(
-            instance,
-            quantum=quantum,
-            max_states=max_states,
-            portfolio=portfolio,
-            reduction=reduce_token,
-        )
+        if _is_partitioned(instance):
+            # Exploration cannot express server supply; the portfolio
+            # screens analytically and escalates to the hierarchical
+            # (BDR) analysis instead of the ACSR translation.
+            from repro.portfolio import analyze_portfolio
+
+            monolithic = analyze_portfolio(
+                instance,
+                quantum=quantum,
+                max_states=max_states,
+                reduction=reduce_token,
+            )
+        else:
+            monolithic = analyze_model(
+                instance,
+                quantum=quantum,
+                max_states=max_states,
+                portfolio=portfolio,
+                reduction=reduce_token,
+            )
         return CompositionResult(
             partition=partition,
             mode="monolithic-fallback",
@@ -208,6 +221,16 @@ def analyze_compositionally(
             "states", combined.total_states
         )
     return combined
+
+
+def _is_partitioned(instance: SystemInstance) -> bool:
+    """True when any thread executes inside a virtual-processor
+    partition rather than directly on its host."""
+    return any(
+        thread.bound_processor is not None
+        and thread.bound_processor is not thread.host_processor
+        for thread in instance.threads()
+    )
 
 
 def _screen_islands(

@@ -59,6 +59,13 @@ class EngineStats:
             an orbit.
         por_pruned: transitions dropped by the partial-order (ample)
             filter.
+        hier_partitions_checked: virtual-processor partitions checked
+            against their BDR interface (:mod:`repro.hier`).  Zero
+            outside hierarchical runs.
+        hier_interface_hits: partitions the analytic demand-vs-supply
+            check settled (no flattened simulation needed).
+        hier_sim_escalations: partitions that fell through to the
+            supply-aware flattened simulation.
         limit_hit: which budget stopped the run (``"states"``,
             ``"transitions"``, ``"seconds"``) or ``None``.
     """
@@ -83,6 +90,9 @@ class EngineStats:
         "states_canonicalized",
         "orbits_merged",
         "por_pruned",
+        "hier_partitions_checked",
+        "hier_interface_hits",
+        "hier_sim_escalations",
         "limit_hit",
     )
 
@@ -109,6 +119,9 @@ class EngineStats:
         states_canonicalized: int = 0,
         orbits_merged: int = 0,
         por_pruned: int = 0,
+        hier_partitions_checked: int = 0,
+        hier_interface_hits: int = 0,
+        hier_sim_escalations: int = 0,
     ) -> None:
         self.strategy = strategy
         self.states = states
@@ -131,6 +144,9 @@ class EngineStats:
         self.states_canonicalized = states_canonicalized
         self.orbits_merged = orbits_merged
         self.por_pruned = por_pruned
+        self.hier_partitions_checked = hier_partitions_checked
+        self.hier_interface_hits = hier_interface_hits
+        self.hier_sim_escalations = hier_sim_escalations
         self.limit_hit = limit_hit
 
     @property
@@ -174,6 +190,9 @@ class EngineStats:
             "states_canonicalized": self.states_canonicalized,
             "orbits_merged": self.orbits_merged,
             "por_pruned": self.por_pruned,
+            "hier_partitions_checked": self.hier_partitions_checked,
+            "hier_interface_hits": self.hier_interface_hits,
+            "hier_sim_escalations": self.hier_sim_escalations,
             "limit_hit": self.limit_hit,
         }
 
@@ -201,6 +220,9 @@ class EngineStats:
             states_canonicalized=data.get("states_canonicalized", 0),
             orbits_merged=data.get("orbits_merged", 0),
             por_pruned=data.get("por_pruned", 0),
+            hier_partitions_checked=data.get("hier_partitions_checked", 0),
+            hier_interface_hits=data.get("hier_interface_hits", 0),
+            hier_sim_escalations=data.get("hier_sim_escalations", 0),
             limit_hit=data.get("limit_hit"),
         )
 
@@ -267,6 +289,9 @@ class EngineStats:
             total.states_canonicalized += snap.states_canonicalized
             total.orbits_merged += snap.orbits_merged
             total.por_pruned += snap.por_pruned
+            total.hier_partitions_checked += snap.hier_partitions_checked
+            total.hier_interface_hits += snap.hier_interface_hits
+            total.hier_sim_escalations += snap.hier_sim_escalations
         total.wall_elapsed = (
             wall_elapsed if wall_elapsed is not None else total.elapsed
         )
@@ -312,6 +337,13 @@ class EngineStats:
                 )
             lines.append(
                 f"  escalated to exploration: {self.tier_escalations}"
+            )
+        if self.hier_partitions_checked:
+            lines.append(
+                f"hier: {self.hier_partitions_checked} partition(s) "
+                f"checked, {self.hier_interface_hits} settled by the "
+                f"interface, {self.hier_sim_escalations} escalated to "
+                f"flattened simulation"
             )
         if self.states_canonicalized or self.orbits_merged or self.por_pruned:
             lines.append(

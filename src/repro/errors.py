@@ -119,6 +119,11 @@ class ComposeError(ReproError):
     island slice referencing unknown components, ...)."""
 
 
+class HierError(ReproError):
+    """Hierarchical (BDR-interface) analysis cannot proceed (missing
+    server parameters, degenerate budget, unsupported protocol...)."""
+
+
 class ServeError(ReproError):
     """Malformed analysis-service request (missing source, ill-typed
     option, unknown job id...)."""

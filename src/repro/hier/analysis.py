@@ -1,0 +1,255 @@
+"""Hierarchical schedulability analysis of partitioned AADL systems.
+
+``analyze_hier`` is the entry point behind ``repro analyze --hier``: it
+decides an ARINC-653 style model -- threads bound to virtual processors
+whose server parameters (``Period``, ``Execution_Time``) carve up each
+physical processor -- without ever flattening partitions onto a full
+processor (which would silently over-supply them; the translator
+refuses such models for exactly that reason).
+
+The three stages mirror the :data:`repro.obs.schema.HIER_STAGES` spans:
+
+1. ``hier.derive`` -- build the per-partition BDR interfaces and the
+   host/partition analytic units (shared with the portfolio's context
+   extraction, so both paths reason about the same quantized model);
+2. ``hier.check`` -- demand-vs-supply against each partition's
+   interface (:mod:`repro.hier.check`), and an exact host-level check
+   that every processor can honour its servers' contracts alongside
+   its directly-bound threads;
+3. ``hier.flatten`` -- for partitions the (sufficient) interface check
+   cannot settle, the supply-aware flattened simulation
+   (:mod:`repro.hier.flatten`) decides exactly for the end-of-period
+   server semantics; a window past the cap demotes to UNKNOWN rather
+   than truncating.
+
+The verdict is the conjunction over partitions and hosts, packaged as
+an ordinary :class:`~repro.analysis.schedulability.AnalysisResult` so
+the CLI, batch pool and report consume it unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.aadl.instance import SystemInstance
+from repro.aadl.properties import EXECUTION_TIME, PERIOD, SchedulingProtocol
+from repro.analysis.schedulability import AnalysisResult, Verdict
+from repro.engine.result import ExplorationResult
+from repro.engine.stats import EngineStats
+from repro.errors import HierError
+from repro.hier.check import check_partition
+from repro.hier.flatten import DEFAULT_MAX_WINDOW, simulate_partition
+from repro.hier.interface import BdrInterface
+from repro.sched.simulation import simulate
+from repro.translate.quantum import TimingQuantizer
+
+
+def derive_interfaces(
+    instance: SystemInstance,
+    quantizer: Optional[TimingQuantizer] = None,
+    *,
+    fault: Optional[str] = None,
+) -> Dict[str, BdrInterface]:
+    """BDR interfaces of every thread-bearing virtual processor, keyed
+    by qualified name.  ``fault`` injects a registered
+    :data:`~repro.hier.interface.HIER_FAULTS` derivation bug (oracle
+    self-tests only)."""
+    quantizer = quantizer or TimingQuantizer.natural(instance)
+    interfaces: Dict[str, BdrInterface] = {}
+    threads = instance.threads()
+    for vproc in instance.virtual_processors():
+        if not any(t.bound_processor is vproc for t in threads):
+            continue
+        name = vproc.qualified_name
+        period_tv = vproc.property_time(PERIOD)
+        budget_tv = vproc.property_time(EXECUTION_TIME)
+        if period_tv is None or budget_tv is None:
+            raise HierError(
+                f"virtual processor {name}: missing server Period or "
+                f"Execution_Time"
+            )
+        interfaces[name] = BdrInterface.from_server(
+            name,
+            quantizer.quanta_ceil(period_tv),
+            quantizer.quanta_floor(budget_tv),
+            fault=fault,
+        )
+    return interfaces
+
+
+def analyze_hier(
+    instance: SystemInstance,
+    *,
+    quantizer: Optional[TimingQuantizer] = None,
+    max_window: int = DEFAULT_MAX_WINDOW,
+    fault: Optional[str] = None,
+) -> AnalysisResult:
+    """Decide a partitioned system through its BDR interfaces."""
+    from repro.obs.tracer import current_tracer
+
+    tracer = current_tracer()
+    start = time.perf_counter()
+    # Deferred: portfolio.context imports repro.hier.interface.
+    from repro.portfolio.context import build_context
+
+    with tracer.span("hier.derive", root=instance.qualified_name) as span:
+        context = build_context(instance, quantizer=quantizer)
+        if not context.applicable:
+            raise HierError(
+                f"hierarchical analysis inapplicable: "
+                f"{context.inapplicable}"
+            )
+        partition_units = [
+            u for u in context.units if u.interface is not None
+        ]
+        host_units = [u for u in context.units if u.interface is None]
+        if not partition_units:
+            raise HierError(
+                "model has no thread-bearing virtual processors; use the "
+                "plain analysis"
+            )
+        if fault:
+            faulty = derive_interfaces(
+                instance, context.quantizer, fault=fault
+            )
+            for unit in partition_units:
+                unit.interface = faulty[unit.processor]
+        span.set(
+            partitions=len(partition_units),
+            hosts=len(host_units),
+            interfaces=",".join(
+                u.interface.token for u in partition_units
+            ),
+        )
+
+    trail: List[str] = []
+    verdicts: List[Verdict] = []
+    partitions_checked = 0
+    interface_hits = 0
+    sim_escalations = 0
+
+    for unit in partition_units:
+        partitions_checked += 1
+        with tracer.span("hier.check", partition=unit.processor) as span:
+            check = check_partition(
+                unit.tasks,
+                unit.interface,
+                ordering=unit.ordering,
+                edf=(
+                    unit.protocol
+                    is SchedulingProtocol.EARLIEST_DEADLINE_FIRST
+                ),
+            )
+            span.set(
+                interface=unit.interface.token,
+                ok=None if check is None else check.ok,
+            )
+        if check is not None and check.ok:
+            interface_hits += 1
+            verdicts.append(Verdict.SCHEDULABLE)
+            trail.append(
+                f"hier: {unit.processor} schedulable by interface "
+                f"({check.detail})"
+            )
+            continue
+        # Interface conservatism (or no analytic test for the policy):
+        # the flattened supply-aware run decides exactly for the
+        # end-of-period server semantics.
+        sim_escalations += 1
+        with tracer.span("hier.flatten", partition=unit.processor) as span:
+            run = simulate_partition(
+                unit.tasks,
+                unit.interface.period,
+                unit.interface.budget,
+                policy=unit.sim_policy or "rate",
+                max_window=max_window,
+            )
+            span.set(horizon=run.horizon, schedulable=run.schedulable)
+        if run.schedulable is None:
+            verdicts.append(Verdict.UNKNOWN)
+            trail.append(
+                f"hier: {unit.processor} window {run.horizon} exceeds "
+                f"cap {max_window}; verdict unknown"
+            )
+        elif run.schedulable:
+            verdicts.append(Verdict.SCHEDULABLE)
+            trail.append(
+                f"hier: {unit.processor} schedulable by flattened "
+                f"simulation (horizon {run.horizon})"
+            )
+        else:
+            name, miss_t = run.misses[0]
+            verdicts.append(Verdict.UNSCHEDULABLE)
+            trail.append(
+                f"hier: {unit.processor} unschedulable -- {name} misses "
+                f"at t={miss_t} under server "
+                f"({unit.interface.period},{unit.interface.budget})"
+            )
+
+    for unit in host_units:
+        with tracer.span("hier.check", host=unit.processor) as span:
+            if unit.tasks.utilization > 1.0 + 1e-12:
+                verdicts.append(Verdict.UNSCHEDULABLE)
+                trail.append(
+                    f"hier: host {unit.processor} over-utilized "
+                    f"(U={unit.tasks.utilization:.4f} > 1)"
+                )
+                span.set(ok=False)
+                continue
+            sim = simulate(unit.tasks, policy=unit.sim_policy or "rate")
+            span.set(ok=sim.schedulable)
+        if sim.schedulable:
+            verdicts.append(Verdict.SCHEDULABLE)
+            trail.append(
+                f"hier: host {unit.processor} honours its servers "
+                f"(clean run over {sim.horizon})"
+            )
+        else:
+            name, miss_t = sim.misses[0]
+            verdicts.append(Verdict.UNSCHEDULABLE)
+            trail.append(
+                f"hier: host {unit.processor} unschedulable -- {name} "
+                f"misses at t={miss_t}"
+            )
+
+    verdict = Verdict.combine(verdicts)
+    elapsed = time.perf_counter() - start
+    stats = EngineStats(
+        strategy="hier",
+        states=0,
+        transitions=0,
+        expanded=0,
+        elapsed=elapsed,
+        frontier_peak=0,
+        parent_map_bytes=0,
+        cache_hits=0,
+        cache_misses=0,
+        cache_evictions=0,
+        limit_hit=None,
+        tier_hits={"hier": 1} if verdict is not Verdict.UNKNOWN else {},
+        hier_partitions_checked=partitions_checked,
+        hier_interface_hits=interface_hits,
+        hier_sim_escalations=sim_escalations,
+    )
+    exploration = ExplorationResult(
+        None,  # type: ignore[arg-type]
+        num_states=0,
+        num_transitions=0,
+        deadlock_states=[],
+        target_states=[],
+        completed=verdict is not Verdict.UNKNOWN,
+        elapsed=elapsed,
+        parent={},
+        transitions=None,
+        stats=stats,
+    )
+    return AnalysisResult(
+        verdict,
+        None,
+        exploration,
+        None,
+        decided_by="hier",
+        tier_trail=trail,
+        quantizer=context.quantizer,
+    )

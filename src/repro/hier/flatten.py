@@ -1,0 +1,141 @@
+"""Flattened reference semantics: simulate a partition under its server.
+
+The BDR interface deliberately under-promises supply; this module is
+the other side of the oracle relation -- a concrete, supply-aware
+discrete simulation of the partition's task set under the periodic
+server ``(P, Q)`` itself.  The server grants its budget in one slot at
+the **end** of each replenishment period, which is the worst fixed
+phasing for a synchronous release (the first ``P - Q`` quanta after a
+critical instant deliver nothing, and consecutive grants are separated
+by up to ``2 (P - Q)`` -- exactly the gap the BDR delay bounds).
+
+Because the BDR supply bound is below *every* phasing of the server, a
+task set accepted against the interface must also survive this
+simulation; the converse direction (simulation passes where the
+interface check fails) is ordinary interface conservatism.  The hier
+oracle campaign (:mod:`repro.oracle.hier`) gates on exactly that
+asymmetry.
+
+The run is exact for its semantics: the simulated window covers
+``O_max + 2 * lcm(H, P)`` -- the joint repetition period of the task
+releases and the supply pattern, with the Leung--Merrill lead-in --
+after which a miss-free schedule repeats forever.  A window above the
+caller's cap returns None (UNKNOWN) instead of silently truncating.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.errors import SchedError
+from repro.sched.simulation import _Job, _pick
+from repro.sched.taskmodel import TaskSet
+
+#: Windows above this many quanta report UNKNOWN rather than running a
+#: (possibly astronomically long) exact simulation; same default budget
+#: as the portfolio's simulation tier.
+DEFAULT_MAX_WINDOW = 1 << 20
+
+
+class FlattenedRun:
+    """Outcome of one supply-aware partition simulation."""
+
+    __slots__ = ("horizon", "misses", "schedulable", "supply_slots")
+
+    def __init__(
+        self,
+        horizon: int,
+        misses: List[Tuple[str, int]],
+        schedulable: Optional[bool],
+        supply_slots: int,
+    ) -> None:
+        self.horizon = horizon
+        self.misses = misses
+        #: True/False when the window was simulated; None when it
+        #: exceeded the cap and the run never started (UNKNOWN)
+        self.schedulable = schedulable
+        self.supply_slots = supply_slots
+
+    def __repr__(self) -> str:
+        return (
+            f"FlattenedRun(horizon={self.horizon}, "
+            f"schedulable={self.schedulable})"
+        )
+
+
+def flattened_window(tasks: TaskSet, server_period: int) -> int:
+    """The exact window: lead-in plus twice the joint repetition period."""
+    max_offset = max(task.offset for task in tasks)
+    cycle = _lcm(tasks.hyperperiod, server_period)
+    return max_offset + 2 * cycle
+
+
+def simulate_partition(
+    tasks: TaskSet,
+    server_period: int,
+    server_budget: int,
+    *,
+    policy: str = "rate",
+    max_window: int = DEFAULT_MAX_WINDOW,
+) -> FlattenedRun:
+    """Simulate ``tasks`` under the end-of-period server ``(P, Q)``.
+
+    Policies are those of :func:`repro.sched.simulation.simulate`.
+    Supply exists in quantum ``t`` iff ``t mod P >= P - Q``.
+    """
+    if len(tasks) == 0:
+        return FlattenedRun(0, [], True, 0)
+    if not (1 <= server_budget <= server_period):
+        raise SchedError(
+            f"server budget {server_budget} out of range "
+            f"[1, {server_period}]"
+        )
+    horizon = flattened_window(tasks, server_period)
+    if horizon > max_window:
+        return FlattenedRun(horizon, [], None, 0)
+
+    static_rank = {}
+    if policy in ("rate", "deadline", "explicit"):
+        if policy == "rate":
+            ordered = tasks.by_rate_monotonic()
+        elif policy == "deadline":
+            ordered = tasks.by_deadline_monotonic()
+        else:
+            ordered = tasks.by_explicit_priority()
+        static_rank = {task.name: idx for idx, task in enumerate(ordered)}
+    elif policy not in ("edf", "llf"):
+        raise SchedError(f"unknown policy {policy!r}")
+
+    ready: List[_Job] = []
+    misses: List[Tuple[str, int]] = []
+    supply_slots = 0
+    blackout = server_period - server_budget
+    for now in range(horizon):
+        for task in tasks:
+            if now >= task.offset and (now - task.offset) % task.period == 0:
+                ready.append(_Job(task, now))
+        still_ready: List[_Job] = []
+        for job in ready:
+            if job.remaining > 0 and now >= job.deadline:
+                misses.append((job.task.name, job.deadline))
+                continue  # abandon, as the plain simulator does
+            still_ready.append(job)
+        ready = still_ready
+        if now % server_period < blackout:
+            continue  # server holds no budget: the partition starves
+        supply_slots += 1
+        running = _pick(ready, policy, static_rank, now)
+        if running is None:
+            continue
+        running.remaining -= 1
+        if running.remaining == 0:
+            ready.remove(running)
+    for job in ready:
+        if job.remaining > 0 and job.deadline <= horizon:
+            misses.append((job.task.name, job.deadline))
+    return FlattenedRun(horizon, misses, not misses, supply_slots)
+
+
+def _lcm(a: int, b: int) -> int:
+    return a * b // math.gcd(a, b)

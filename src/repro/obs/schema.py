@@ -68,6 +68,18 @@ PORTFOLIO_STAGES = (
 #: also what the SSE progress stream replays to the client.
 SERVE_STAGES = ("serve.job",)
 
+#: The span names a hierarchical (``analyze --hier``) run adds: one
+#: ``hier.derive`` while the per-partition BDR interfaces are derived
+#: from the virtual-processor server parameters, one ``hier.check`` per
+#: partition checked analytically against its interface, and one
+#: ``hier.flatten`` per partition that escalates to the supply-aware
+#: flattened simulation.
+HIER_STAGES = (
+    "hier.derive",
+    "hier.check",
+    "hier.flatten",
+)
+
 #: The span names a reduced (``analyze --reduce``) run adds when the
 #: corresponding pass actually fired: ``reduce.canonicalize`` under
 #: symmetry (counters ``states_canonicalized`` / ``orbits_merged``) and

@@ -44,6 +44,12 @@ from repro.oracle.compose import (
     run_compose_campaign,
 )
 from repro.oracle.faults import FAULTS, Fault, fault_names, get_fault
+from repro.oracle.hier import (
+    HierCampaignReport,
+    HierCaseOutcome,
+    evaluate_hier_case,
+    run_hier_campaign,
+)
 from repro.oracle.reduce import (
     ReduceCampaignReport,
     ReduceCaseOutcome,
@@ -78,6 +84,8 @@ __all__ = [
     "DEFAULT_ARTIFACTS_DIR",
     "FAULTS",
     "Fault",
+    "HierCampaignReport",
+    "HierCaseOutcome",
     "OracleCase",
     "OracleVerdict",
     "PROFILES",
@@ -93,6 +101,7 @@ __all__ = [
     "draw_case",
     "evaluate_case",
     "evaluate_compose_case",
+    "evaluate_hier_case",
     "evaluate_portfolio_case",
     "evaluate_reduce_case",
     "fault_names",
@@ -100,6 +109,7 @@ __all__ = [
     "replay_bundle",
     "run_campaign",
     "run_compose_campaign",
+    "run_hier_campaign",
     "run_pipeline",
     "run_reduce_campaign",
     "run_portfolio_campaign",

@@ -101,7 +101,15 @@ class PortfolioAnalyzer:
 
         pending = list(context.units)
         for tier in self.tiers:
-            units = [unit for unit in pending if tier.applicable(unit)]
+            # Partition units (those carrying a BDR supply interface)
+            # may only meet interface-aware tiers: a full-supply tier
+            # would over-promise a partition's processor share.
+            units = [
+                unit
+                for unit in pending
+                if tier.interface_aware == (unit.interface is not None)
+                and tier.applicable(unit)
+            ]
             if not units:
                 continue
             with tracer.span(f"portfolio.tier.{tier.name}") as span:
@@ -259,6 +267,34 @@ def analyze_portfolio(
         return result
 
     tracer = current_tracer()
+    partitioned = any(
+        thread.bound_processor is not None
+        and thread.bound_processor is not thread.host_processor
+        for thread in instance.threads()
+    )
+    if partitioned:
+        # The ACSR translation has no server semantics: flattening a
+        # virtual processor into a full one would silently over-supply
+        # the partition, so escalation routes to the hierarchical
+        # analysis (interface check plus supply-aware flattened
+        # simulation) instead of exploration.
+        from repro.hier.analysis import analyze_hier
+
+        with tracer.span("portfolio.escalate") as span:
+            span.set(reason=trail[-1] if trail else "", hier=True)
+            result = analyze_hier(instance, quantizer=quantizer)
+        result.tier_trail = trail + [
+            "escalated to hierarchical (BDR) analysis"
+        ] + list(result.tier_trail or [])
+        stats = result.exploration.stats
+        if stats is not None:
+            for name, count in attempts.items():
+                stats.tier_attempts[name] = (
+                    stats.tier_attempts.get(name, 0) + count
+                )
+            stats.tier_escalations += 1
+        return result
+
     with tracer.span("portfolio.escalate") as span:
         span.set(reason=trail[-1] if trail else "")
         result = analyze_model(

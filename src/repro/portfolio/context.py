@@ -25,12 +25,16 @@ from typing import List, Optional
 from repro.aadl.instance import SystemInstance
 from repro.aadl.properties import (
     DISPATCH_PROTOCOL,
+    EXECUTION_TIME,
+    PERIOD,
+    PRIORITY,
     SCHEDULING_PROTOCOL,
     DispatchProtocol,
     SchedulingProtocol,
 )
-from repro.errors import QuantizationError, SchedError
-from repro.sched.taskmodel import TaskSet, extract_task_set
+from repro.errors import HierError, QuantizationError, SchedError
+from repro.hier.interface import BdrInterface
+from repro.sched.taskmodel import PeriodicTask, TaskSet, extract_task_set
 from repro.translate.quantum import TimingQuantizer
 
 #: Fixed-priority protocols and the task ordering each induces.
@@ -42,20 +46,36 @@ FIXED_PRIORITY_ORDERING = {
 
 
 class AnalyticUnit:
-    """One processor's independent task set, ready for classical tests.
+    """One scheduling context's independent task set, ready for tests.
 
     On the classical fragment processors do not interact, so each unit
     is analyzed on its own and the model-level verdict is the
     conjunction (mirroring the compositional island decomposition).
+    Two flavours exist:
+
+    * a *host* unit (``interface is None``): a physical processor's
+      directly-bound threads, plus one synthetic server task per
+      virtual processor it hosts (period = replenishment, WCET =
+      budget, deadline = period) -- the classical tiers then decide
+      whether the host can honour every server's contract;
+    * a *partition* unit (``interface`` set): a virtual processor's
+      bound threads, to be checked against the partition's BDR supply
+      interface rather than a full processor.  Only interface-aware
+      tiers may decide these -- a full-supply tier passing a partition
+      unit would be unsound.
     """
 
-    __slots__ = ("processor", "tasks", "protocol", "ordering", "synchronous")
+    __slots__ = (
+        "processor", "tasks", "protocol", "ordering", "synchronous",
+        "interface",
+    )
 
     def __init__(
         self,
         processor: str,
         tasks: TaskSet,
         protocol: SchedulingProtocol,
+        interface: Optional[BdrInterface] = None,
     ) -> None:
         self.processor = processor
         self.tasks = tasks
@@ -63,6 +83,8 @@ class AnalyticUnit:
         #: fixed-priority task ordering, or None for dynamic priorities
         self.ordering = FIXED_PRIORITY_ORDERING.get(protocol)
         self.synchronous = all(task.offset == 0 for task in tasks)
+        #: BDR supply abstraction for partition units; None for hosts
+        self.interface = interface
 
     @property
     def sim_policy(self) -> Optional[str]:
@@ -128,12 +150,76 @@ def build_context(
     except QuantizationError as exc:
         return PortfolioContext([], None, str(exc))
 
+    threads = instance.threads()
     units: List[AnalyticUnit] = []
-    for processor in instance.processors():
-        bound = [
-            t for t in instance.threads() if t.bound_processor is processor
-        ]
+
+    # -- partition units: one per thread-bearing virtual processor,
+    #    carrying the BDR interface its server parameters induce.
+    partitions = []
+    for vproc in instance.virtual_processors():
+        bound = [t for t in threads if t.bound_processor is vproc]
         if not bound:
+            continue
+        name = vproc.qualified_name
+        if vproc.bound_processor is None:
+            return PortfolioContext(
+                [],
+                None,
+                f"virtual processor {name} is not bound to a processor",
+            )
+        protocol = vproc.property(SCHEDULING_PROTOCOL)
+        if not isinstance(protocol, SchedulingProtocol):
+            return PortfolioContext(
+                [],
+                None,
+                f"virtual processor {name}: missing or invalid "
+                f"Scheduling_Protocol",
+            )
+        period_tv = vproc.property_time(PERIOD)
+        budget_tv = vproc.property_time(EXECUTION_TIME)
+        if period_tv is None or budget_tv is None:
+            return PortfolioContext(
+                [],
+                None,
+                f"virtual processor {name}: missing server Period or "
+                f"Execution_Time",
+            )
+        try:
+            tasks = extract_task_set(instance, vproc, quantizer)
+        except (SchedError, QuantizationError) as exc:
+            return PortfolioContext([], None, str(exc))
+        if len(tasks) != len(bound):
+            return PortfolioContext(
+                [],
+                None,
+                f"virtual processor {name}: some bound threads fall "
+                f"outside the periodic task model",
+            )
+        # Supply-side rounding is conservative: replenishment up (rarer
+        # refills), budget down (less supply).  Exact under the natural
+        # quantizer, whose GCD includes both durations.
+        try:
+            interface = BdrInterface.from_server(
+                name,
+                quantizer.quanta_ceil(period_tv),
+                quantizer.quanta_floor(budget_tv),
+            )
+        except HierError as exc:
+            return PortfolioContext([], None, str(exc))
+        units.append(AnalyticUnit(name, tasks, protocol, interface))
+        partitions.append((vproc, period_tv, budget_tv))
+
+    # -- host units: each physical processor's direct threads plus one
+    #    server task per hosted partition (demand-side rounding: budget
+    #    up, replenishment down -- more load, never less).
+    for processor in instance.processors():
+        direct = [t for t in threads if t.bound_processor is processor]
+        hosted = [
+            entry
+            for entry in partitions
+            if entry[0].bound_processor is processor
+        ]
+        if not direct and not hosted:
             continue
         protocol = processor.property(SCHEDULING_PROTOCOL)
         if not isinstance(protocol, SchedulingProtocol):
@@ -149,15 +235,49 @@ def build_context(
             # e.g. a missing period or an infeasible deadline: the
             # exhaustive translation is the tool that judges those.
             return PortfolioContext([], None, str(exc))
-        if len(tasks) != len(bound):
+        if len(tasks) != len(direct):
             return PortfolioContext(
                 [],
                 None,
                 f"processor {processor.qualified_name}: some bound threads "
                 f"fall outside the periodic task model",
             )
+        task_list = list(tasks)
+        for vproc, period_tv, budget_tv in hosted:
+            server_period = quantizer.quanta_floor(period_tv)
+            server_wcet = quantizer.quanta_ceil(budget_tv)
+            if server_period < 1 or server_wcet > server_period:
+                return PortfolioContext(
+                    [],
+                    None,
+                    f"virtual processor {vproc.qualified_name}: server "
+                    f"parameters degenerate at quantum "
+                    f"{quantizer.quantum}",
+                )
+            priority = vproc.property_int(PRIORITY)
+            if (
+                protocol is SchedulingProtocol.HIGHEST_PRIORITY_FIRST
+                and priority is None
+            ):
+                return PortfolioContext(
+                    [],
+                    None,
+                    f"virtual processor {vproc.qualified_name}: bound to "
+                    f"an HPF processor but lacks Priority",
+                )
+            task_list.append(
+                PeriodicTask(
+                    f"{vproc.qualified_name}.server",
+                    wcet=server_wcet,
+                    period=server_period,
+                    deadline=server_period,
+                    priority=priority,
+                )
+            )
         units.append(
-            AnalyticUnit(processor.qualified_name, tasks, protocol)
+            AnalyticUnit(
+                processor.qualified_name, TaskSet(task_list), protocol
+            )
         )
     if not units:
         return PortfolioContext(

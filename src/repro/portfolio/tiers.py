@@ -36,7 +36,7 @@ from repro.portfolio.witness import (
 )
 from repro.sched.demand import edf_schedulable
 from repro.sched.rta import response_times
-from repro.sched.simulation import simulate
+from repro.sched.simulation import exact_simulation_horizon, simulate
 from repro.sched.utilization import hyperbolic_bound_test
 
 #: Utilization comparisons tolerate float rounding, like the oracle's.
@@ -81,6 +81,11 @@ class Tier:
 
     name: str = "?"
     soundness: Soundness = Soundness.EXACT
+    #: Whether this tier understands partition units (those carrying a
+    #: BDR supply interface).  Full-supply tiers must never see them:
+    #: their verdicts assume the whole processor, which over-promises
+    #: supply for a partition.  The analyzer enforces the split.
+    interface_aware: bool = False
 
     def applicable(self, unit: AnalyticUnit) -> bool:
         raise NotImplementedError
@@ -299,22 +304,62 @@ class SimulationTier(Tier):
 
     @staticmethod
     def _exact_horizon(unit: AnalyticUnit) -> Optional[int]:
-        tasks = unit.tasks
-        max_offset = max(task.offset for task in tasks)
-        if max_offset == 0:
-            return tasks.hyperperiod
-        if tasks.utilization > 1.0 + _EPSILON:
-            # Backlog may defer the first miss past any fixed window
-            # (the utilization-cap tier has already decided these).
+        # Shared with ``simulate()``'s default window: one hyperperiod
+        # synchronous, Leung-Merrill ``O_max + 2H`` with offsets, None
+        # when U > 1 (the utilization-cap tier already decided these).
+        return exact_simulation_horizon(unit.tasks)
+
+
+class HierTier(Tier):
+    """Demand-vs-supply check of a partition against its BDR interface.
+
+    The only tier allowed to decide partition units.  Sufficient by
+    construction: the interface under-promises the server's supply, so
+    a pass proves schedulability under the real server while a fail
+    only reflects interface conservatism and escalates (to the
+    supply-aware flattened simulation, via the hier escalation path).
+    """
+
+    name = "hier"
+    soundness = Soundness.SUFFICIENT
+    interface_aware = True
+
+    def applicable(self, unit: AnalyticUnit) -> bool:
+        if unit.interface is None:
+            return False
+        if unit.ordering == "explicit" and any(
+            task.priority is None for task in unit.tasks
+        ):
+            return False
+        return True
+
+    def decide(self, unit: AnalyticUnit) -> Optional[UnitDecision]:
+        from repro.hier.check import check_partition
+
+        check = check_partition(
+            unit.tasks,
+            unit.interface,
+            ordering=unit.ordering,
+            edf=(
+                unit.protocol
+                is SchedulingProtocol.EARLIEST_DEADLINE_FIRST
+            ),
+        )
+        if check is None:  # LLF: no analytic partition test
             return None
-        return max_offset + 2 * tasks.hyperperiod
+        return UnitDecision(
+            check.ok, f"{unit.interface.token}: {check.detail}"
+        )
 
 
 def default_tiers(
     *, max_horizon: int = DEFAULT_MAX_HORIZON
 ) -> List[Tier]:
-    """The standard chain, cheapest first."""
+    """The standard chain, cheapest first.  The hier tier leads: it is
+    the only one applicable to partition units, and the unit sets are
+    disjoint so order against the full-supply tiers is immaterial."""
     return [
+        HierTier(),
         UtilizationCapTier(max_horizon),
         UtilizationBoundTier(),
         RtaTier(),
@@ -332,6 +377,7 @@ def tiers_from_token(
     if not token:
         return default_tiers(max_horizon=max_horizon)
     factories = {
+        HierTier.name: HierTier,
         UtilizationCapTier.name: lambda: UtilizationCapTier(max_horizon),
         UtilizationBoundTier.name: UtilizationBoundTier,
         RtaTier.name: RtaTier,

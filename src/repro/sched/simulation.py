@@ -20,6 +20,28 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import SchedError
 from repro.sched.taskmodel import PeriodicTask, TaskSet
 
+#: Utilization comparisons tolerate float rounding, matching the
+#: portfolio tiers and the oracle relations.
+_EPSILON = 1e-12
+
+
+def exact_simulation_horizon(tasks: TaskSet) -> Optional[int]:
+    """The window over which one worst-case run decides exactly.
+
+    One hyperperiod for synchronous sets; ``O_max + 2H`` for
+    offset-bearing ones (Leung & Merrill: the schedule repeats from
+    ``O_max + H`` on, so any miss shows up inside ``O_max + 2H``).
+    Returns None when ``U > 1`` -- backlog then grows without bound and
+    may defer the first miss past any fixed window, so no finite
+    horizon is exact (the utilization cap already decides those sets).
+    """
+    max_offset = max(task.offset for task in tasks)
+    if max_offset == 0:
+        return tasks.hyperperiod
+    if tasks.utilization > 1.0 + _EPSILON:
+        return None
+    return max_offset + 2 * tasks.hyperperiod
+
 
 class _Job:
     __slots__ = ("task", "release", "deadline", "remaining")
@@ -39,14 +61,17 @@ class SimulationResult:
         horizon: int,
         schedule: List[Optional[str]],
         misses: List[Tuple[str, int]],
-        response_times: Dict[str, int],
+        response_times: Dict[str, Optional[int]],
     ) -> None:
         self.horizon = horizon
         #: task name executing in each quantum (None = idle)
         self.schedule = schedule
         #: (task name, absolute time) of each deadline miss
         self.misses = misses
-        #: observed worst-case response time per task
+        #: observed worst-case response time per task; None for tasks
+        #: with no completed job in the window (every job missed and
+        #: was abandoned, or none finished before the horizon) -- a 0
+        #: here used to masquerade as a perfect response
         self.response_times = response_times
 
     @property
@@ -86,7 +111,14 @@ def simulate(
     if len(tasks) == 0:
         raise SchedError("empty task set")
     if horizon is None:
-        horizon = tasks.hyperperiod + max(task.offset for task in tasks)
+        horizon = exact_simulation_horizon(tasks)
+        if horizon is None:
+            # Over-utilized: no finite window is exact anyway, so keep
+            # the cheap one-hyperperiod sweep (plus the offset lead-in)
+            # as a best-effort miss hunt.
+            horizon = tasks.hyperperiod + max(
+                task.offset for task in tasks
+            )
 
     static_rank: Dict[str, int] = {}
     if policy in ("rate", "deadline", "explicit"):
@@ -103,7 +135,7 @@ def simulate(
     ready: List[_Job] = []
     schedule: List[Optional[str]] = []
     misses: List[Tuple[str, int]] = []
-    response: Dict[str, int] = {task.name: 0 for task in tasks}
+    response: Dict[str, Optional[int]] = {task.name: None for task in tasks}
 
     for now in range(horizon):
         for task in tasks:
@@ -133,8 +165,9 @@ def simulate(
         running.remaining -= 1
         if running.remaining == 0:
             finish = now + 1 - running.release
-            response[running.task.name] = max(
-                response[running.task.name], finish
+            seen = response[running.task.name]
+            response[running.task.name] = (
+                finish if seen is None else max(seen, finish)
             )
             ready.remove(running)
 

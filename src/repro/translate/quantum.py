@@ -34,6 +34,7 @@ from repro.aadl.properties import (
     COMPUTE_EXECUTION_TIME,
     DEADLINE,
     DISPATCH_OFFSET,
+    EXECUTION_TIME,
     PERIOD,
     TimeValue,
 )
@@ -172,6 +173,13 @@ def _all_durations(system: SystemInstance) -> List[int]:
             durations.append(exec_range.high.picoseconds)
         for prop in (COMPUTE_DEADLINE, DEADLINE, PERIOD, DISPATCH_OFFSET):
             value = thread.property_time(prop)
+            if value is not None:
+                durations.append(value.picoseconds)
+    # Virtual-processor server parameters (budget/replenishment) take
+    # part in the GCD so partition interfaces quantize exactly too.
+    for vproc in system.virtual_processors():
+        for prop in (PERIOD, EXECUTION_TIME):
+            value = vproc.property_time(prop)
             if value is not None:
                 durations.append(value.picoseconds)
     return [d for d in durations if d > 0]

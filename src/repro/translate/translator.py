@@ -253,9 +253,13 @@ def group_threads_by_processor(
     """
     by_processor: Dict[ComponentInstance, List[ComponentInstance]] = {}
     unbound: List[str] = []
+    partitioned: List[str] = []
     for thread in instance.threads():
         if thread.bound_processor is None:
             unbound.append(thread.qualified_name)
+            continue
+        if thread.bound_processor is not thread.host_processor:
+            partitioned.append(thread.qualified_name)
             continue
         by_processor.setdefault(thread.bound_processor, []).append(thread)
     if unbound:
@@ -264,7 +268,44 @@ def group_threads_by_processor(
             f"{len(unbound)} {noun} not bound to a processor: "
             + ", ".join(sorted(unbound))
         )
+    if partitioned:
+        # Flattening a virtual processor into a full one would grant the
+        # partition supply its server never delivers -- an unsound
+        # SCHEDULABLE is one bad binding away.  Refuse loudly instead.
+        noun = "thread is" if len(partitioned) == 1 else "threads are"
+        raise TranslationError(
+            f"{len(partitioned)} {noun} bound to a virtual processor: "
+            + ", ".join(sorted(partitioned))
+            + "; the ACSR translation has no server semantics -- use the "
+            "hierarchical analysis (analyze --hier)"
+        )
     return by_processor
+
+
+def group_threads_by_host(
+    instance: SystemInstance,
+) -> Dict[ComponentInstance, List[ComponentInstance]]:
+    """Map every *physical* processor to the threads that ultimately
+    execute on it, resolving virtual-processor bindings through
+    ``host_processor``.  Unlike :func:`group_threads_by_processor` this
+    accepts partitioned models -- it is the grouping the compositional
+    coupling graph wants, where a partition shares its host's island.
+    Raises on threads with no resolvable host."""
+    by_host: Dict[ComponentInstance, List[ComponentInstance]] = {}
+    unbound: List[str] = []
+    for thread in instance.threads():
+        host = thread.host_processor
+        if host is None:
+            unbound.append(thread.qualified_name)
+            continue
+        by_host.setdefault(host, []).append(thread)
+    if unbound:
+        noun = "thread is" if len(unbound) == 1 else "threads are"
+        raise TranslationError(
+            f"{len(unbound)} {noun} not bound to a processor: "
+            + ", ".join(sorted(unbound))
+        )
+    return by_host
 
 
 def translate(

@@ -11,6 +11,7 @@ from repro.workloads.taskgen import (
 from repro.workloads.generators import (
     chain_system,
     multiprocessor_system,
+    partitioned_system,
     random_periodic_system,
     replicated_system,
     sweep_task_sets,
@@ -27,6 +28,7 @@ __all__ = [
     "integer_task_set",
     "multiprocessor_system",
     "offset_task_set",
+    "partitioned_system",
     "random_periodic_system",
     "replicated_system",
     "sweep_task_sets",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -193,6 +193,75 @@ def replicated_system(
                 offset=(
                     ms(p) if offset_jitter and index == 0 and p > 0 else None
                 ),
+            )
+    return builder.instantiate()
+
+
+def partitioned_system(
+    n_partitions: int,
+    threads_per_partition: int,
+    *,
+    utilization_per_partition: float = 0.4,
+    supply_factor: Union[float, Tuple[float, float]] = 1.5,
+    server_periods: Sequence[int] = (10, 20),
+    periods: Sequence[int] = (40, 80, 160),
+    edf_fraction: float = 0.0,
+    scheduling: SchedulingProtocol = SchedulingProtocol.RATE_MONOTONIC,
+    rng: Optional[np.random.Generator] = None,
+) -> SystemInstance:
+    """An ARINC-653 shape: one host processor carved into
+    ``n_partitions`` virtual-processor partitions, each a periodic
+    server with its own thread set -- the regime the hierarchical
+    (BDR-interface) analysis targets.
+
+    Each partition's server bandwidth is its drawn task-set demand
+    times ``supply_factor`` (a ``(lo, hi)`` tuple draws the factor per
+    partition): factors below 1 under-provision the partition, so a
+    campaign over this generator exercises both verdicts.
+    ``edf_fraction`` makes that fraction of partitions EDF-scheduled
+    (the rest use ``scheduling``), covering both analytic checks.
+    """
+    if n_partitions < 1:
+        raise ValueError("need at least one partition")
+    rng = rng or np.random.default_rng()
+    builder = SystemBuilder("Partitioned")
+    cpu = builder.processor("cpu", scheduling=scheduling)
+    for p in range(n_partitions):
+        tasks = integer_task_set(
+            threads_per_partition,
+            utilization_per_partition,
+            periods=periods,
+            rng=rng,
+            name_prefix=f"p{p}t",
+        )
+        demand = sum(t.wcet / t.period for t in tasks)
+        if isinstance(supply_factor, tuple):
+            factor = float(rng.uniform(*supply_factor))
+        else:
+            factor = float(supply_factor)
+        server_period = int(rng.choice(list(server_periods)))
+        budget = int(round(server_period * demand * factor))
+        budget = max(1, min(server_period, budget))
+        protocol = (
+            SchedulingProtocol.EARLIEST_DEADLINE_FIRST
+            if rng.random() < edf_fraction
+            else scheduling
+        )
+        partition = builder.virtual_processor(
+            f"part{p}",
+            period=ms(server_period),
+            budget=ms(budget),
+            scheduling=protocol,
+            processor=cpu,
+        )
+        for task in tasks:
+            builder.thread(
+                task.name,
+                dispatch=DispatchProtocol.PERIODIC,
+                period=ms(task.period),
+                compute_time=(ms(task.wcet), ms(task.wcet)),
+                deadline=ms(task.deadline),
+                processor=partition,
             )
     return builder.instantiate()
 

@@ -1,0 +1,96 @@
+"""The hier oracle campaign: interface ⇒ flattened-simulation.
+
+The soundness gate for the BDR abstraction: across seeded partitioned
+workloads the sufficient interface check must never pass a partition
+the exact supply-aware simulation fails, and the ``inflate-alpha``
+fault self-test proves the campaign can catch an over-promising
+derivation.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.oracle import evaluate_hier_case, run_hier_campaign
+from repro.oracle.hier import classify_partition
+from repro.oracle.verdicts import AgreementStatus
+from repro.workloads import partitioned_system
+
+
+class TestClassification:
+    def test_interface_pass_sim_fail_is_the_bug_signal(self):
+        assert (
+            classify_partition(True, False) is AgreementStatus.DISAGREED
+        )
+
+    def test_conservatism_is_agreement(self):
+        assert classify_partition(False, True) is AgreementStatus.AGREED
+        assert classify_partition(True, True) is AgreementStatus.AGREED
+        assert classify_partition(False, False) is AgreementStatus.AGREED
+
+    def test_capped_window_is_unknown(self):
+        assert classify_partition(True, None) is AgreementStatus.UNKNOWN
+
+
+class TestGenerator:
+    def test_partitioned_system_shape(self):
+        import numpy as np
+
+        instance = partitioned_system(
+            3, 2, rng=np.random.default_rng(7)
+        )
+        vprocs = instance.virtual_processors()
+        assert len(vprocs) == 3
+        threads = instance.threads()
+        assert len(threads) == 6
+        assert all(
+            t.bound_processor is not t.host_processor for t in threads
+        )
+
+    def test_seeded_draw_reproduces(self):
+        a = evaluate_hier_case(3)
+        b = evaluate_hier_case(3)
+        assert (a.partitions, a.interface_passes, a.sim_passes) == (
+            b.partitions,
+            b.interface_passes,
+            b.sim_passes,
+        )
+
+
+class TestCampaign:
+    def test_fifty_seeds_agree(self):
+        report = run_hier_campaign(seeds=50)
+        assert not report.disagreements, report.format()
+        # The draw must exercise both sides of the relation.
+        assert sum(o.interface_passes for o in report.outcomes) > 0
+        assert any(
+            o.sim_passes < o.partitions for o in report.outcomes
+        )
+
+    def test_inflate_alpha_fault_is_caught(self):
+        report = run_hier_campaign(seeds=50, fault="inflate-alpha")
+        assert report.disagreements, (
+            "the inflate-alpha fault must produce at least one "
+            "interface-pass / simulation-fail split"
+        )
+
+    def test_cli_exit_codes(self):
+        assert main(["oracle", "hier", "--seeds", "5"]) == 0
+        assert (
+            main(
+                [
+                    "oracle",
+                    "hier",
+                    "--seeds",
+                    "10",
+                    "--fault",
+                    "inflate-alpha",
+                ]
+            )
+            == 1
+        )
+
+    def test_report_format_mentions_conservatism(self):
+        report = run_hier_campaign(seeds=15)
+        text = report.format()
+        assert "conservative" in text
+        assert "disagreed: 0" in text

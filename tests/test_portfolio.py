@@ -175,6 +175,7 @@ class TestTierConfig:
     def test_default_chain_order(self):
         names = [tier.name for tier in default_tiers()]
         assert names == [
+            "hier",
             "utilization-cap",
             "utilization-bound",
             "rta",

@@ -1,0 +1,160 @@
+"""Regression tests for the simulation default horizon and the
+honest ``response_times`` semantics.
+
+Two pinned bugs:
+
+* ``simulate()`` used ``hyperperiod + max_offset`` as its default
+  window, one hyperperiod short of the Leung-Merrill exact window
+  ``max_offset + 2 * hyperperiod`` -- so an offset-bearing set whose
+  first miss falls in the second hyperperiod printed a clean run from
+  ``repro simulate`` and the report's cheddar-style-sim row.
+* ``SimulationResult.response_times`` seeded every task at 0 and only
+  updated on completion, so a task whose every job missed and was
+  abandoned reported an observed worst-case response of 0.
+"""
+
+import pytest
+
+from repro.aadl.builder import SystemBuilder
+from repro.analysis import compare_with_baselines
+from repro.cli import main
+from repro.sched.simulation import exact_simulation_horizon, simulate
+from repro.sched.taskmodel import PeriodicTask, TaskSet
+
+# First miss under RM at t=14, inside [H + O_max, O_max + 2H) = [11, 19):
+# the pre-fix default horizon (11) showed a clean run.
+LATE_MISS_TASKS = [
+    PeriodicTask("a", 2, 4, deadline=2, offset=3),
+    PeriodicTask("b", 4, 8, deadline=6, offset=0),
+]
+
+LATE_MISS_AADL = """
+processor CPU
+  properties
+    Scheduling_Protocol => RMS;
+end CPU;
+thread T0
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 4 ms;
+    Compute_Execution_Time => 2 ms .. 2 ms;
+    Compute_Deadline => 2 ms;
+    Dispatch_Offset => 3 ms;
+end T0;
+thread T1
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 8 ms;
+    Compute_Execution_Time => 4 ms .. 4 ms;
+    Compute_Deadline => 6 ms;
+end T1;
+system S end S;
+system implementation S.impl
+  subcomponents
+    cpu: processor CPU;
+    a: thread T0;
+    b: thread T1;
+  properties
+    Actual_Processor_Binding => reference(cpu) applies to a;
+    Actual_Processor_Binding => reference(cpu) applies to b;
+end S.impl;
+"""
+
+
+def late_miss_set() -> TaskSet:
+    return TaskSet(list(LATE_MISS_TASKS))
+
+
+class TestExactHorizonHelper:
+    def test_synchronous_is_one_hyperperiod(self):
+        tasks = TaskSet(
+            [PeriodicTask("a", 1, 4), PeriodicTask("b", 2, 8)]
+        )
+        assert exact_simulation_horizon(tasks) == 8
+
+    def test_offsets_use_leung_merrill_window(self):
+        tasks = late_miss_set()
+        assert tasks.hyperperiod == 8
+        assert exact_simulation_horizon(tasks) == 3 + 2 * 8
+
+    def test_overutilized_has_no_exact_window(self):
+        tasks = TaskSet(
+            [
+                PeriodicTask("a", 3, 4, offset=1),
+                PeriodicTask("b", 2, 4),
+            ]
+        )
+        assert tasks.utilization > 1.0
+        assert exact_simulation_horizon(tasks) is None
+
+
+class TestSecondHyperperiodMiss:
+    def test_default_horizon_catches_second_hyperperiod_miss(self):
+        tasks = late_miss_set()
+        result = simulate(tasks, policy="rate")
+        assert not result.schedulable
+        first = min(t for _, t in result.misses)
+        hyper, max_offset = tasks.hyperperiod, 3
+        assert hyper + max_offset <= first < max_offset + 2 * hyper
+
+    def test_prefix_window_misleadingly_clean(self):
+        # Documents why the old default was wrong: the short window
+        # really does contain no miss.
+        tasks = late_miss_set()
+        short = simulate(tasks, policy="rate", horizon=8 + 3)
+        assert short.schedulable
+
+    def test_cli_simulate_exits_one(self, tmp_path):
+        path = tmp_path / "late_miss.aadl"
+        path.write_text(LATE_MISS_AADL)
+        assert main(["simulate", str(path)]) == 1
+
+    def test_report_sim_row_unschedulable(self):
+        builder = SystemBuilder("LateMiss")
+        cpu = builder.processor("cpu", scheduling="RMS")
+        builder.thread(
+            "a",
+            dispatch="Periodic",
+            compute_time=2,
+            deadline=2,
+            period=4,
+            offset=3,
+            processor=cpu,
+        )
+        builder.thread(
+            "b",
+            dispatch="Periodic",
+            compute_time=4,
+            deadline=6,
+            period=8,
+            processor=cpu,
+        )
+        instance = builder.instantiate()
+        rows = compare_with_baselines(instance)
+        methods = {row.method: row.verdict for row in rows}
+        assert methods["cheddar-style-sim"] is False
+
+
+class TestResponseTimesHonesty:
+    def test_never_completing_task_reports_none(self):
+        # "hog" saturates the processor; "starved" is abandoned at
+        # every deadline and never completes a single job.
+        tasks = TaskSet(
+            [
+                PeriodicTask("hog", 1, 1),
+                PeriodicTask("starved", 1, 4),
+            ]
+        )
+        result = simulate(tasks, policy="rate")
+        assert not result.schedulable
+        assert result.response_times["starved"] is None
+        assert result.response_times["hog"] == 1
+
+    def test_completed_tasks_keep_worst_observed(self):
+        tasks = TaskSet(
+            [PeriodicTask("a", 1, 4), PeriodicTask("b", 2, 8)]
+        )
+        result = simulate(tasks, policy="rate")
+        assert result.schedulable
+        assert result.response_times["a"] == 1
+        assert result.response_times["b"] == 3
