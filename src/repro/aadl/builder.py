@@ -33,6 +33,7 @@ from repro.aadl.components import (
 from repro.aadl.connections import Connection, ConnectionRef
 from repro.aadl.features import Port, PortDirection, PortKind
 from repro.aadl.instance import SystemInstance, instantiate
+from repro.aadl.modes import Mode, ModeTransition
 from repro.aadl.properties import (
     ACTUAL_CONNECTION_BINDING,
     ACTUAL_PROCESSOR_BINDING,
@@ -289,9 +290,12 @@ class SystemBuilder:
         ] = None,
         priority: Optional[int] = None,
         offset: Optional[TimeLike] = None,
+        in_modes: Tuple[str, ...] = (),
     ) -> ThreadHandle:
         """Add a thread with its timing properties and binding (to a
-        processor or a virtual processor)."""
+        processor or a virtual processor).  ``in_modes`` restricts the
+        thread to the named system operation modes (active in every
+        mode when empty)."""
         if isinstance(dispatch, str):
             dispatch = DispatchProtocol.parse(dispatch)
         ctype = ComponentType(f"{name}_thr", ComponentCategory.THREAD)
@@ -317,7 +321,9 @@ class SystemBuilder:
             ctype.add_property(PRIORITY, priority)
         self.model.add_type(ctype)
         self._impl.add_subcomponent(
-            Subcomponent(name, ComponentCategory.THREAD, ctype.name)
+            Subcomponent(
+                name, ComponentCategory.THREAD, ctype.name, in_modes
+            )
         )
         if processor is not None:
             self._impl.add_property(
@@ -328,6 +334,31 @@ class SystemBuilder:
         handle = ThreadHandle(self, name, ctype)
         self._threads[name] = handle
         return handle
+
+    # -- modes --------------------------------------------------------------
+
+    def mode(self, name: str, *, initial: bool = False) -> str:
+        """Declare a system operation mode on the root implementation.
+
+        Exactly one mode must be declared ``initial``.  Returns the
+        mode name for use in ``in_modes`` and transitions.
+        """
+        self._impl.add_mode(Mode(name, initial=initial))
+        return name
+
+    def mode_transition(
+        self, source: str, trigger: str, target: str
+    ) -> None:
+        """Declare a mode transition ``source -[trigger]-> target``.
+
+        ``trigger`` is either ``"sub.port"`` (an event arriving on a
+        subcomponent's out port) or a bare feature of the root system
+        type; legality is checked by
+        :func:`repro.aadl.validation.collect_mode_violations`.
+        """
+        self._impl.mode_transitions.append(
+            ModeTransition(source, trigger, target)
+        )
 
     # -- connections --------------------------------------------------------
 
@@ -341,13 +372,16 @@ class SystemBuilder:
         bus: Optional[BusHandle] = None,
         urgency: Optional[int] = None,
         name: Optional[str] = None,
+        in_modes: Tuple[str, ...] = (),
     ) -> Connection:
-        """Connect two sibling thread ports, optionally bound to a bus."""
+        """Connect two sibling thread ports, optionally bound to a bus
+        and optionally restricted to the named modes."""
         self._conn_count += 1
         conn = Connection(
             name or f"conn{self._conn_count}",
             ConnectionRef(source_port, source.name),
             ConnectionRef(destination_port, destination.name),
+            in_modes=in_modes,
         )
         if bus is not None:
             conn.add_property(

@@ -594,3 +594,114 @@ def arinc_partitions() -> SystemInstance:
     check alone."""
     model = parse_model(arinc_partitions_text())
     return instantiate(model, "Avionics.impl")
+
+
+# A fault/recovery modal system: the transition-aware analysis gallery
+# model.  One RMS processor; `monitor` and `control` run in every mode,
+# the mode cycle nominal -> error -> recovery -> nominal swaps `filter`
+# (nominal), `alarm` (error) and `recover` (recovery) in and out on the
+# monitor's event ports.  Per-mode utilization: nominal 0.5625, error
+# 0.8125, recovery 0.5625 -- every reachable mode harmonically
+# RM-schedulable.  The declared `maintenance` mode is deliberately
+# unreachable (no transition targets it) and overloaded: a sound
+# transition-aware verdict must skip it, not fail on it.
+_FAULT_RECOVERY_TEXT = """
+processor MainCpu
+  properties
+    Scheduling_Protocol => RMS;
+end MainCpu;
+
+thread Monitor
+  features
+    fault: out event port;
+    cleared: out event port;
+    done: out event port;
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 16 ms;
+    Compute_Execution_Time => 1 ms .. 1 ms;
+    Compute_Deadline => 16 ms;
+end Monitor;
+
+thread Control
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 8 ms;
+    Compute_Execution_Time => 2 ms .. 2 ms;
+    Compute_Deadline => 8 ms;
+end Control;
+
+thread Filter
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 8 ms;
+    Compute_Execution_Time => 2 ms .. 2 ms;
+    Compute_Deadline => 8 ms;
+end Filter;
+
+thread Alarm
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 4 ms;
+    Compute_Execution_Time => 2 ms .. 2 ms;
+    Compute_Deadline => 4 ms;
+end Alarm;
+
+thread Recover
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 16 ms;
+    Compute_Execution_Time => 4 ms .. 4 ms;
+    Compute_Deadline => 16 ms;
+end Recover;
+
+thread Sweeper
+  properties
+    Dispatch_Protocol => Periodic;
+    Period => 4 ms;
+    Compute_Execution_Time => 4 ms .. 4 ms;
+    Compute_Deadline => 4 ms;
+end Sweeper;
+
+system Plant
+end Plant;
+
+system implementation Plant.impl
+  subcomponents
+    cpu: processor MainCpu;
+    monitor: thread Monitor;
+    control: thread Control;
+    filter: thread Filter in modes (nominal);
+    alarm: thread Alarm in modes (error);
+    recover: thread Recover in modes (recovery);
+    sweeper: thread Sweeper in modes (maintenance);
+  modes
+    nominal: initial mode;
+    error: mode;
+    recovery: mode;
+    maintenance: mode;
+    t0: nominal -[monitor.fault]-> error;
+    t1: error -[monitor.cleared]-> recovery;
+    t2: recovery -[monitor.done]-> nominal;
+  properties
+    Actual_Processor_Binding => reference(cpu) applies to monitor;
+    Actual_Processor_Binding => reference(cpu) applies to control;
+    Actual_Processor_Binding => reference(cpu) applies to filter;
+    Actual_Processor_Binding => reference(cpu) applies to alarm;
+    Actual_Processor_Binding => reference(cpu) applies to recover;
+    Actual_Processor_Binding => reference(cpu) applies to sweeper;
+end Plant.impl;
+"""
+
+
+def fault_recovery_text() -> str:
+    """Textual AADL for the fault/recovery modal system."""
+    return _FAULT_RECOVERY_TEXT
+
+
+def fault_recovery() -> SystemInstance:
+    """The fault/recovery system instantiated in its initial (nominal)
+    mode; pass the parsed :func:`fault_recovery_text` model to
+    :func:`repro.modal.analyze_modal` for the transition-aware verdict."""
+    model = parse_model(fault_recovery_text())
+    return instantiate(model, "Plant.impl")

@@ -16,11 +16,20 @@ The translation applies to *completely instantiated and bound* systems:
 
 ``check_translation_assumptions`` raises :class:`AadlLegalityError` with
 all violations collected, so a modeler sees every problem at once.
+
+Mode declarations get their own declarative-level pass
+(:func:`collect_mode_violations`): a transition whose trigger names a
+non-existent subcomponent or port, a transition between undeclared
+modes, or an implementation with zero or several ``initial`` modes.
+These are checked *before* instantiation -- a duplicate ``initial``
+makes :meth:`~repro.aadl.components.ComponentImplementation.initial_mode`
+raise, so instance-level validation would never get to see it --
+and folded into :func:`collect_violations` for instances as well.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.errors import AadlLegalityError
 from repro.aadl.components import ComponentCategory
@@ -51,9 +60,105 @@ def check_translation_assumptions(instance: SystemInstance) -> None:
         )
 
 
+def collect_mode_violations(model, impl=None) -> List[str]:
+    """Mode-declaration violations of ``model`` (or of one ``impl``).
+
+    Declarative-level, so it works on models that cannot instantiate:
+
+    * an implementation with modes must declare exactly one ``initial``
+      mode (duplicates are the classic copy-paste defect);
+    * every transition's source and target must be declared modes;
+    * every transition trigger must reference an existing port -- either
+      ``sub.port`` with ``sub`` a declared subcomponent whose type has
+      the port, or a bare feature of the implementation's own type.
+    """
+    impls = [impl] if impl is not None else model.implementations()
+    problems: List[str] = []
+    for one in impls:
+        if not one.modes and not one.mode_transitions:
+            continue
+        initials = [m.name for m in one.modes.values() if m.initial]
+        if len(initials) == 0 and one.modes:
+            problems.append(
+                f"{one.name}: declares modes but no initial mode"
+            )
+        elif len(initials) > 1:
+            problems.append(
+                f"{one.name}: duplicate initial modes "
+                f"({', '.join(initials)}); exactly one is required"
+            )
+        mode_names = set(one.modes)
+        for transition in one.mode_transitions:
+            label = (
+                f"{transition.source} -[{transition.trigger}]-> "
+                f"{transition.target}"
+            )
+            if transition.source.lower() not in mode_names:
+                problems.append(
+                    f"{one.name}: transition {label}: source mode "
+                    f"{transition.source!r} is not declared"
+                )
+            if transition.target.lower() not in mode_names:
+                problems.append(
+                    f"{one.name}: transition {label}: target mode "
+                    f"{transition.target!r} is not declared"
+                )
+            problem = _trigger_violation(model, one, transition.trigger)
+            if problem is not None:
+                problems.append(f"{one.name}: transition {label}: {problem}")
+    return problems
+
+
+def _trigger_violation(model, impl, trigger: str) -> Optional[str]:
+    """Why ``trigger`` does not name a port visible to ``impl``, or None."""
+    from repro.errors import AadlError
+
+    if "." in trigger:
+        sub_name, port_name = trigger.split(".", 1)
+        sub = impl.subcomponents.get(sub_name.lower())
+        if sub is None:
+            return (
+                f"trigger references non-existent subcomponent "
+                f"{sub_name!r}"
+            )
+        try:
+            ctype, _ = model.resolve(sub.classifier)
+        except AadlError:
+            # Unresolvable classifiers are reported by instantiation;
+            # the trigger itself is not at fault.
+            return None
+        if port_name.lower() not in ctype.features:
+            return (
+                f"trigger references non-existent port {port_name!r} "
+                f"on subcomponent {sub_name!r} ({ctype.name})"
+            )
+        return None
+    try:
+        own_type = model.type_of_impl(impl)
+    except AadlError:
+        return None
+    if trigger.lower() not in own_type.features:
+        return (
+            f"trigger references non-existent feature {trigger!r} "
+            f"of type {own_type.name}"
+        )
+    return None
+
+
 def collect_violations(instance: SystemInstance) -> List[str]:
     """All violations of the paper S4.1 assumptions, as messages."""
     problems: List[str] = []
+
+    # Mode-declaration legality of every implementation in the tree
+    # (declarative-level; deduplicated since many subcomponents can
+    # share one implementation).
+    seen_impls = set()
+    for node in [instance, *instance.descendants()]:
+        impl = getattr(node, "impl", None)
+        if impl is None or impl.name in seen_impls:
+            continue
+        seen_impls.add(impl.name)
+        problems.extend(collect_mode_violations(instance.declarative, impl))
     threads = instance.threads()
     processors = instance.processors()
 

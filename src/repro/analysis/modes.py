@@ -6,11 +6,24 @@ the natural compositional approximation: instantiate and analyze each
 *system operation mode* of the root implementation separately, treating
 each steady mode as its own completely-bound system.
 
-This verifies schedulability *within* every mode; transition transients
-(the activation/deactivation protocol of the AADL standard) are not
-modeled -- the documented gap, matching the paper.  A system whose every
-mode is schedulable and whose mode changes occur at hyperperiod
-boundaries is schedulable overall.
+Two precision rules sharpen the approximation:
+
+* only modes **reachable** from the initial mode through the declared
+  transition automaton count -- an unreachable mode never occurs at
+  runtime, so its workload must not turn the verdict (models that
+  declare no transitions keep the historical reading: every mode is a
+  possible externally-chosen configuration).  Skipped modes are
+  reported as ``unreachable_modes``.
+* each steady mode may reuse the whole analysis stack: the tiered
+  portfolio (``portfolio=True``, with the multi-modal applicability
+  bar waived per mode -- see
+  :func:`repro.portfolio.context.build_context`), state-space
+  reduction, and the batch pool with persistent verdict caching
+  (``workers`` / ``cache``), where every mode becomes one job whose
+  cache key carries the mode name.
+
+Transition *transients* are the business of :mod:`repro.modal`, which
+builds on this module for its steady half.
 """
 
 from __future__ import annotations
@@ -24,13 +37,96 @@ from repro.aadl.properties import TimeValue
 from repro.analysis.schedulability import AnalysisResult, Verdict, analyze_model
 
 
-class ModalAnalysisResult:
-    """Verdicts for every mode of the root implementation."""
+class ModeOutcome:
+    """One steady mode's verdict, from either an inline analysis or a
+    pool :class:`~repro.batch.jobs.JobResult` (which carries no live
+    scenario object -- ``scenario`` is then None and ``rendered`` holds
+    the worker's formatted report instead)."""
 
-    def __init__(self, per_mode: Dict[str, AnalysisResult]) -> None:
+    __slots__ = (
+        "mode",
+        "verdict",
+        "num_states",
+        "scenario",
+        "decided_by",
+        "stats",
+        "cached",
+        "rendered",
+    )
+
+    def __init__(
+        self,
+        *,
+        mode: str,
+        verdict: Verdict,
+        num_states: int = 0,
+        scenario=None,
+        decided_by: Optional[str] = None,
+        stats=None,
+        cached: bool = False,
+        rendered: Optional[str] = None,
+    ) -> None:
+        self.mode = mode
+        self.verdict = verdict
+        self.num_states = num_states
+        self.scenario = scenario
+        self.decided_by = decided_by
+        self.stats = stats
+        self.cached = cached
+        self.rendered = rendered
+
+    @classmethod
+    def from_analysis(cls, mode: str, result: AnalysisResult) -> "ModeOutcome":
+        exploration = getattr(result, "exploration", None)
+        return cls(
+            mode=mode,
+            verdict=result.verdict,
+            num_states=result.num_states,
+            scenario=result.scenario,
+            decided_by=getattr(result, "decided_by", None),
+            stats=getattr(exploration, "stats", None),
+        )
+
+    @classmethod
+    def from_job(cls, mode: str, result) -> "ModeOutcome":
+        from repro.engine.stats import EngineStats
+
+        if result.verdict == "error":
+            raise AnalysisError(
+                f"mode {mode}: batch analysis failed: {result.error}"
+            )
+        return cls(
+            mode=mode,
+            verdict=Verdict(result.verdict),
+            num_states=result.states,
+            decided_by=None,
+            stats=(
+                EngineStats.from_dict(result.stats)
+                if result.stats is not None
+                else None
+            ),
+            cached=result.cached,
+            rendered=result.rendered,
+        )
+
+    def __repr__(self) -> str:
+        return f"ModeOutcome({self.mode!r}, {self.verdict.value})"
+
+
+class ModalAnalysisResult:
+    """Verdicts for every reachable mode of the root implementation."""
+
+    def __init__(
+        self,
+        per_mode: Dict[str, ModeOutcome],
+        unreachable_modes: tuple = (),
+    ) -> None:
         if not per_mode:
             raise AnalysisError("no modes analyzed")
         self.per_mode = per_mode
+        #: declared modes skipped because no transition path reaches
+        #: them from the initial mode
+        self.unreachable_modes = tuple(unreachable_modes)
 
     @property
     def verdict(self) -> Verdict:
@@ -54,9 +150,15 @@ class ModalAnalysisResult:
     def format(self) -> str:
         lines = [f"overall: {self.verdict.value}"]
         for mode, result in self.per_mode.items():
+            cached = " [cached]" if result.cached else ""
             lines.append(
                 f"  mode {mode}: {result.verdict.value} "
-                f"({result.num_states} states)"
+                f"({result.num_states} states){cached}"
+            )
+        if self.unreachable_modes:
+            lines.append(
+                "  unreachable from the initial mode (skipped): "
+                + ", ".join(self.unreachable_modes)
             )
         for mode in self.failing_modes:
             scenario = self.per_mode[mode].scenario
@@ -78,24 +180,137 @@ def analyze_all_modes(
     *,
     quantum: Optional[TimeValue] = None,
     max_states: int = 1_000_000,
+    portfolio: bool = False,
+    tiers: Optional[str] = None,
+    reduction: Optional[str] = None,
+    workers: Optional[int] = None,
+    cache=None,
+    progress=None,
 ) -> ModalAnalysisResult:
-    """Analyze every mode of ``root_impl`` as a separate bound system.
+    """Analyze every reachable mode of ``root_impl`` as a separate
+    bound system.
 
-    Raises :class:`AnalysisError` when the root implementation declares
-    no modes (use :func:`~repro.analysis.schedulability.analyze_model`
+    ``portfolio`` routes each mode through the tiered verdict portfolio
+    (``tiers`` optionally naming the chain), ``reduction`` applies a
+    reduction-spec token on exploration, and setting ``workers`` and/or
+    ``cache`` fans the modes out through the batch pool as one job per
+    mode with persistent, mode-keyed verdict caching.  Raises
+    :class:`AnalysisError` when the root implementation declares no
+    modes (use :func:`~repro.analysis.schedulability.analyze_model`
     directly in that case).
     """
+    from repro.modal.automaton import ModeAutomaton
+    from repro.obs.tracer import current_tracer
+
     impl = model.implementation(root_impl)
     if not impl.modes:
         raise AnalysisError(
             f"{root_impl} declares no modes; use analyze_model instead"
         )
-    results: Dict[str, AnalysisResult] = {}
-    for mode in impl.modes.values():
-        instance = instantiate(
-            model, root_impl, mode_overrides={impl.name: mode.name}
+    automaton = ModeAutomaton.from_implementation(model, impl)
+    reachable = {m.lower() for m in automaton.reachable_modes()}
+    modes = [m for m in automaton.modes if m.lower() in reachable]
+
+    if workers is not None or cache is not None:
+        per_mode = _pooled_modes(
+            model,
+            impl,
+            modes,
+            quantum=quantum,
+            max_states=max_states,
+            portfolio=portfolio,
+            tiers=tiers,
+            reduction=reduction,
+            workers=workers,
+            cache=cache,
+            progress=progress,
         )
-        results[mode.name] = analyze_model(
-            instance, quantum=quantum, max_states=max_states
-        )
-    return ModalAnalysisResult(results)
+        return ModalAnalysisResult(per_mode, automaton.unreachable_modes())
+
+    tracer = current_tracer()
+    results: Dict[str, ModeOutcome] = {}
+    for mode in modes:
+        with tracer.span("modal.steady", mode=mode) as span:
+            instance = instantiate(
+                model, root_impl, mode_overrides={impl.name: mode}
+            )
+            if portfolio:
+                from repro.portfolio import (
+                    PortfolioAnalyzer,
+                    analyze_portfolio,
+                )
+                from repro.portfolio.tiers import tiers_from_token
+
+                result = analyze_portfolio(
+                    instance,
+                    quantum=quantum,
+                    max_states=max_states,
+                    analyzer=PortfolioAnalyzer(tiers_from_token(tiers)),
+                    reduction=reduction,
+                    steady_mode=True,
+                )
+            else:
+                result = analyze_model(
+                    instance,
+                    quantum=quantum,
+                    max_states=max_states,
+                    reduction=reduction,
+                )
+            span.set(verdict=result.verdict.value)
+        results[mode] = ModeOutcome.from_analysis(mode, result)
+    return ModalAnalysisResult(results, automaton.unreachable_modes())
+
+
+def _pooled_modes(
+    model,
+    impl,
+    modes,
+    *,
+    quantum,
+    max_states,
+    portfolio,
+    tiers,
+    reduction,
+    workers,
+    cache,
+    progress,
+) -> Dict[str, ModeOutcome]:
+    """One batch job per mode; deterministic mode-order results."""
+    from repro.aadl import format_model
+    from repro.batch.jobs import AnalysisJob
+    from repro.batch.pool import run_batch
+
+    source = format_model(model)
+    quantum_us = None
+    if quantum is not None:
+        quantum_us = quantum.picoseconds // 1_000_000
+    jobs = []
+    for mode in modes:
+        if portfolio:
+            job = AnalysisJob.from_portfolio(
+                source,
+                root=impl.name,
+                job_id=f"mode:{mode}",
+                max_states=max_states,
+                quantum_us=quantum_us,
+                tiers=tiers,
+                reduce=reduction,
+                mode=mode,
+            )
+        else:
+            job = AnalysisJob.from_aadl(
+                source,
+                root=impl.name,
+                job_id=f"mode:{mode}",
+                max_states=max_states,
+                quantum_us=quantum_us,
+                reduce=reduction,
+                mode=mode,
+            )
+        jobs.append(job)
+    report = run_batch(jobs, workers=workers, cache=cache, progress=progress)
+    by_id = {result.job_id: result for result in report.results}
+    return {
+        mode: ModeOutcome.from_job(mode, by_id[f"mode:{mode}"])
+        for mode in modes
+    }

@@ -32,8 +32,19 @@ drawn from ambient state.  Two kinds exist:
   The derived interface parameters are folded into the cache key (a
   ``-- hier:`` header in the canonical text), so editing a server's
   budget or replenishment invalidates exactly the affected entries.
+* ``modal`` -- a multi-modal AADL source analyzed transition-aware
+  (:func:`repro.modal.analyze_modal`): steady per-mode verdicts plus a
+  transient check of every reachable mode transition under a named
+  mode-change protocol.  The protocol (and any transient caps or
+  injected fault) rides in the options dict, so verdicts under
+  different protocols never share a cache entry.
 
-Both kinds expose :meth:`AnalysisJob.canonical_model_text`, the
+``aadl`` and ``portfolio`` jobs additionally accept a ``mode`` option:
+the worker then pins the instance to that system operation mode
+(``mode_overrides``), which is how per-mode analysis fans out through
+the pool with independently cached verdicts per mode.
+
+All kinds expose :meth:`AnalysisJob.canonical_model_text`, the
 model-side half of the persistent verdict-cache key (see
 :mod:`repro.batch.cache`).
 """
@@ -44,7 +55,7 @@ from typing import Any, Dict, Optional
 
 from repro.errors import BatchError, ReproError
 
-JOB_KINDS = ("aadl", "case", "island", "portfolio", "hier")
+JOB_KINDS = ("aadl", "case", "island", "portfolio", "hier", "modal")
 
 #: Crash-injection faults for harness self-tests -- the batch analogue
 #: of :mod:`repro.oracle.faults` and ``REDUCTION_FAULTS``.  A job whose
@@ -130,6 +141,7 @@ class AnalysisJob:
         max_states: int = 1_000_000,
         quantum_us: Optional[int] = None,
         reduce: Optional[str] = None,
+        mode: Optional[str] = None,
     ) -> "AnalysisJob":
         """A schedulability check over an AADL source text.
 
@@ -137,11 +149,16 @@ class AnalysisJob:
         :func:`repro.engine.reduce.reduction_token`); it rides in the
         options dict only when set, so reduced runs never share a
         verdict-cache entry with unreduced ones (whose keys stay
-        unchanged).
+        unchanged).  ``mode`` pins the instance to one system operation
+        mode of the root implementation (per-mode fan-out); also
+        present only when set, and cache-key material like every
+        option.
         """
         options = {"max_states": max_states, "quantum_us": quantum_us}
         if reduce:
             options["reduce"] = reduce
+        if mode:
+            options["mode"] = mode
         return cls(
             job_id=job_id or (root or "aadl-model"),
             kind="aadl",
@@ -181,6 +198,7 @@ class AnalysisJob:
         max_states: int = 1_000_000,
         quantum_ps: Optional[int] = None,
         reduce: Optional[str] = None,
+        mode: Optional[str] = None,
     ) -> "AnalysisJob":
         """A schedulability check of one processor island.
 
@@ -189,12 +207,15 @@ class AnalysisJob:
         ``quantum_ps`` pins the quantum to the *full* model's natural
         quantum so island semantics match the monolithic analysis
         (an island alone could have a coarser GCD).  ``reduce`` is the
-        canonical reduction-spec token, cache-key material like the
-        other options (present only when set).
+        canonical reduction-spec token, and ``mode`` pins the root to
+        one steady mode at re-instantiation -- both cache-key material
+        like the other options (present only when set).
         """
         options = {"max_states": max_states, "quantum_ps": quantum_ps}
         if reduce:
             options["reduce"] = reduce
+        if mode is not None:
+            options["mode"] = mode
         return cls(
             job_id=job_id or label,
             kind="island",
@@ -219,6 +240,7 @@ class AnalysisJob:
         quantum_us: Optional[int] = None,
         tiers: Optional[str] = None,
         reduce: Optional[str] = None,
+        mode: Optional[str] = None,
     ) -> "AnalysisJob":
         """A tiered-portfolio schedulability check over an AADL source.
 
@@ -227,7 +249,9 @@ class AnalysisJob:
         selects the default chain.  It lives in the options dict so the
         verdict-cache key distinguishes tier configurations.  ``reduce``
         (the reduction-spec token, present only when set) applies to the
-        exploration tier on escalation.
+        exploration tier on escalation.  ``mode`` pins the instance to
+        one steady operation mode, letting the analytic tiers speak for
+        a multi-modal model one mode at a time.
         """
         options = {
             "max_states": max_states,
@@ -236,6 +260,8 @@ class AnalysisJob:
         }
         if reduce:
             options["reduce"] = reduce
+        if mode:
+            options["mode"] = mode
         return cls(
             job_id=job_id or (root or "aadl-model"),
             kind="portfolio",
@@ -276,6 +302,65 @@ class AnalysisJob:
         )
 
     @classmethod
+    def from_modal(
+        cls,
+        source: str,
+        *,
+        root: Optional[str] = None,
+        job_id: Optional[str] = None,
+        protocol: str = "synchronous",
+        max_states: int = 1_000_000,
+        quantum_us: Optional[int] = None,
+        portfolio: bool = False,
+        tiers: Optional[str] = None,
+        reduce: Optional[str] = None,
+        max_phasings: Optional[int] = None,
+        max_window: Optional[int] = None,
+        fault: Optional[str] = None,
+    ) -> "AnalysisJob":
+        """A transition-aware modal analysis of a multi-modal source.
+
+        ``protocol`` names the mode-change protocol
+        (:data:`repro.modal.PROTOCOLS`) and is always present in the
+        options -- a synchronous verdict must never be served from an
+        asynchronous run's cache entry or vice versa.  ``portfolio``
+        routes each steady mode through the tiered portfolio;
+        ``max_phasings`` / ``max_window`` cap the escalated transient
+        simulation and ``fault`` injects a :data:`repro.modal.MODAL_FAULTS`
+        defect (self-tests only) -- all cache-key material, present
+        only when set.
+        """
+        from repro.modal.transient import PROTOCOLS
+
+        if protocol not in PROTOCOLS:
+            raise BatchError(
+                f"unknown mode-change protocol {protocol!r}; choose from "
+                f"{list(PROTOCOLS)}"
+            )
+        options: Dict[str, Any] = {
+            "protocol": protocol,
+            "max_states": max_states,
+            "quantum_us": quantum_us,
+        }
+        if portfolio:
+            options["portfolio"] = True
+            options["tiers"] = tiers
+        if reduce:
+            options["reduce"] = reduce
+        if max_phasings:
+            options["max_phasings"] = max_phasings
+        if max_window:
+            options["max_window"] = max_window
+        if fault:
+            options["modal_fault"] = fault
+        return cls(
+            job_id=job_id or (root or "aadl-model"),
+            kind="modal",
+            payload={"source": source, "root": root},
+            options=options,
+        )
+
+    @classmethod
     def from_file(cls, path: str, **options: Any) -> "AnalysisJob":
         """Build a job from a file path.
 
@@ -299,7 +384,26 @@ class AnalysisJob:
                 data = data["case"]  # accept a whole repro bundle
             options.pop("portfolio", None)
             options.pop("tiers", None)
+            options.pop("modal", None)
+            options.pop("protocol", None)
             return cls.from_case(data, job_id=name, **options)
+        if options.pop("modal", False):
+            if not options.pop("portfolio", False):
+                options.pop("tiers", None)
+                return cls.from_modal(
+                    text,
+                    root=options.pop("root", None),
+                    job_id=name,
+                    **options,
+                )
+            return cls.from_modal(
+                text,
+                root=options.pop("root", None),
+                job_id=name,
+                portfolio=True,
+                **options,
+            )
+        options.pop("protocol", None)
         if options.pop("portfolio", False):
             return cls.from_portfolio(
                 text,
@@ -373,6 +477,11 @@ class AnalysisJob:
                 interfaces[name].token for name in sorted(interfaces)
             )
             header += f"-- hier: {tokens}\n"
+        if self.kind == "modal":
+            # The protocol also lives in the options (and thus the
+            # key); the header makes the canonical text self-describing
+            # for humans inspecting cache entries.
+            header += f"-- modal: protocol={self.options.get('protocol')}\n"
         return header + format_model(model)
 
     def __repr__(self) -> str:
@@ -502,6 +611,8 @@ def execute_job(job: AnalysisJob) -> JobResult:
                 result = _execute_portfolio(job)
             elif job.kind == "hier":
                 result = _execute_hier(job)
+            elif job.kind == "modal":
+                result = _execute_modal(job)
             else:
                 result = _execute_aadl(job)
         except ReproError as exc:
@@ -537,8 +648,13 @@ def _execute_aadl(job: AnalysisJob) -> JobResult:
     model = parse_model(job.payload["source"])
     root = job.payload.get("root") or infer_root(model)
     quantum_us = job.options.get("quantum_us")
+    mode = job.options.get("mode")
     result = analyze_model(
-        instantiate(model, root),
+        instantiate(
+            model,
+            root,
+            mode_overrides={root: mode} if mode else None,
+        ),
         quantum=TimeValue(quantum_us, "us") if quantum_us else None,
         max_states=job.options.get("max_states", 1_000_000),
         reduction=job.options.get("reduce"),
@@ -565,13 +681,19 @@ def _execute_portfolio(job: AnalysisJob) -> JobResult:
     model = parse_model(job.payload["source"])
     root = job.payload.get("root") or infer_root(model)
     quantum_us = job.options.get("quantum_us")
+    mode = job.options.get("mode")
     analyzer = PortfolioAnalyzer(tiers_from_token(job.options.get("tiers")))
     result = analyze_portfolio(
-        instantiate(model, root),
+        instantiate(
+            model,
+            root,
+            mode_overrides={root: mode} if mode else None,
+        ),
         quantum=TimeValue(quantum_us, "us") if quantum_us else None,
         max_states=job.options.get("max_states", 1_000_000),
         analyzer=analyzer,
         reduction=job.options.get("reduce"),
+        steady_mode=bool(mode),
     )
     stats = result.exploration.stats
     return JobResult(
@@ -595,7 +717,10 @@ def _execute_island(job: AnalysisJob) -> JobResult:
 
     model = parse_model(job.payload["source"])
     root = job.payload.get("root") or infer_root(model)
-    instance = instantiate(model, root)
+    mode = job.options.get("mode")
+    instance = instantiate(
+        model, root, mode_overrides={root: mode} if mode else None
+    )
     wanted = set(job.payload["threads"]) | set(job.payload["processors"])
     keep = [
         inst for inst in instance.descendants()
@@ -630,6 +755,7 @@ def _execute_island(job: AnalysisJob) -> JobResult:
                 quantizer=(
                     TimingQuantizer(quantum) if quantum is not None else None
                 ),
+                steady_mode=bool(mode),
             )
         else:
             result = analyze_model(
@@ -681,6 +807,43 @@ def _execute_hier(job: AnalysisJob) -> JobResult:
         states=result.num_states,
         elapsed=result.elapsed,
         limit_hit=result.exploration.limit_hit,
+        stats=stats.as_dict() if stats is not None else None,
+        rendered=result.format(),
+    )
+
+
+def _execute_modal(job: AnalysisJob) -> JobResult:
+    from repro.aadl import infer_root, parse_model
+    from repro.aadl.properties import TimeValue
+    from repro.modal import analyze_modal
+    from repro.modal.transient import (
+        DEFAULT_MAX_PHASINGS,
+        DEFAULT_TRANSIENT_WINDOW,
+    )
+
+    model = parse_model(job.payload["source"])
+    root = job.payload.get("root") or infer_root(model)
+    quantum_us = job.options.get("quantum_us")
+    result = analyze_modal(
+        model,
+        root,
+        protocol=job.options.get("protocol", "synchronous"),
+        quantum=TimeValue(quantum_us, "us") if quantum_us else None,
+        max_states=job.options.get("max_states", 1_000_000),
+        portfolio=bool(job.options.get("portfolio")),
+        tiers=job.options.get("tiers"),
+        reduction=job.options.get("reduce"),
+        max_phasings=job.options.get("max_phasings", DEFAULT_MAX_PHASINGS),
+        max_window=job.options.get("max_window", DEFAULT_TRANSIENT_WINDOW),
+        fault=job.options.get("modal_fault"),
+    )
+    stats = result.stats
+    return JobResult(
+        job_id=job.job_id,
+        kind=job.kind,
+        verdict=result.verdict.value,
+        states=result.num_states,
+        elapsed=result.elapsed,
         stats=stats.as_dict() if stats is not None else None,
         rendered=result.format(),
     )

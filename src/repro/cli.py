@@ -7,6 +7,8 @@ scenario.  The CLI exposes each step plus the baselines::
     repro analyze model.aadl --root Sys.impl        # full pipeline
     repro analyze a.aadl b.aadl --jobs 4 --cache    # parallel batch
     repro analyze model.aadl --root Sys.impl --all-modes
+    repro analyze model.aadl --modal --protocol asynchronous
+    repro oracle modal --seeds 50                   # transient soundness
     repro validate model.aadl --root Sys.impl       # S4.1 checks only
     repro translate model.aadl --root Sys.impl      # emit ACSR source
     repro acsr system.acsr                          # explore raw ACSR
@@ -151,6 +153,11 @@ def _run_file_batch(args, paths: List[str]) -> int:
                 AnalysisJob.from_file(path, max_states=args.max_states)
             )
         else:
+            modal = (
+                {"modal": True, "protocol": args.protocol}
+                if getattr(args, "modal", False)
+                else {}
+            )
             job_list.append(
                 AnalysisJob.from_file(
                     path,
@@ -159,6 +166,7 @@ def _run_file_batch(args, paths: List[str]) -> int:
                     quantum_us=args.quantum,
                     portfolio=getattr(args, "portfolio", False),
                     reduce=reduce_token,
+                    **modal,
                 )
             )
     report = run_batch(
@@ -170,7 +178,6 @@ def _run_file_batch(args, paths: List[str]) -> int:
 
 def cmd_analyze(args) -> int:
     from repro.analysis import Verdict, analyze_model, compare_with_baselines
-    from repro.analysis.modes import analyze_all_modes
 
     if getattr(args, "compose", False):
         # Compositional analysis subsumes the batch path: islands fan
@@ -178,28 +185,16 @@ def cmd_analyze(args) -> int:
         return _run_compose(args)
     if getattr(args, "hier", False):
         return _run_hier(args)
+    if getattr(args, "modal", False):
+        return _run_modal(args)
+    if args.all_modes:
+        # Before the batch path: per-mode analysis runs its own pool
+        # fan-out (one job per mode), so --jobs/--cache belong to it.
+        return _run_all_modes(args)
     if len(args.files) > 1 or _cache_spec(args) is not None:
         return _run_file_batch(args, args.files)
     args.file = args.files[0]
     model, instance = _load_instance(args)
-    if args.all_modes:
-        if getattr(args, "portfolio", False):
-            raise ReproError(
-                "--portfolio and --all-modes are mutually exclusive "
-                "(multi-modal models are outside the analytic tiers' "
-                "applicability domain)"
-            )
-        if getattr(args, "reduce", None):
-            raise ReproError(
-                "--reduce and --all-modes are mutually exclusive "
-                "(per-mode task sets differ, so replica detection "
-                "would have to re-run per mode)"
-            )
-        result = analyze_all_modes(
-            model, args.root, quantum=_quantum(args), max_states=args.max_states
-        )
-        print(result.format())
-        return result.verdict.exit_code
     result = analyze_model(
         instance,
         quantum=_quantum(args),
@@ -225,28 +220,129 @@ def cmd_analyze(args) -> int:
     return result.verdict.exit_code
 
 
+def _run_all_modes(args) -> int:
+    from repro.analysis.modes import analyze_all_modes
+    from repro.engine.reduce import reduction_token
+
+    if len(args.files) != 1:
+        raise ReproError("--all-modes analyzes exactly one model at a time")
+    args.file = args.files[0]
+    model, _ = _load_instance(args)
+    result = analyze_all_modes(
+        model,
+        args.root,
+        quantum=_quantum(args),
+        max_states=args.max_states,
+        portfolio=getattr(args, "portfolio", False),
+        reduction=reduction_token(getattr(args, "reduce", None)),
+        workers=args.jobs,
+        cache=_cache_spec(args),
+    )
+    print(result.format())
+    return result.verdict.exit_code
+
+
+def _run_modal(args) -> int:
+    from repro.engine.reduce import reduction_token
+    from repro.modal import (
+        DEFAULT_MAX_PHASINGS,
+        DEFAULT_TRANSIENT_WINDOW,
+        analyze_modal,
+    )
+
+    if len(args.files) != 1:
+        raise ReproError("--modal analyzes exactly one model at a time")
+    args.file = args.files[0]
+    model, _ = _load_instance(args)
+    result = analyze_modal(
+        model,
+        args.root,
+        protocol=args.protocol,
+        quantum=_quantum(args),
+        max_states=args.max_states,
+        portfolio=getattr(args, "portfolio", False),
+        reduction=reduction_token(getattr(args, "reduce", None)),
+        workers=args.jobs,
+        cache=_cache_spec(args),
+        max_phasings=(
+            args.max_phasings
+            if args.max_phasings is not None
+            else DEFAULT_MAX_PHASINGS
+        ),
+        max_window=(
+            args.max_window
+            if args.max_window is not None
+            else DEFAULT_TRANSIENT_WINDOW
+        ),
+    )
+    print(result.format())
+    if args.stats:
+        print()
+        print(result.stats.format())
+    return result.verdict.exit_code
+
+
+def _reachable_mode_list(model, root: str):
+    """The reachable modes of ``root`` in declaration order, for the
+    per-mode --hier/--compose loops."""
+    from repro.modal.automaton import ModeAutomaton
+
+    impl = model.implementation(root)
+    if not impl.modes:
+        raise ReproError(
+            f"{root} declares no modes; drop --all-modes"
+        )
+    automaton = ModeAutomaton.from_implementation(model, impl)
+    reachable = {m.lower() for m in automaton.reachable_modes()}
+    modes = [m for m in automaton.modes if m.lower() in reachable]
+    return impl, modes, automaton.unreachable_modes()
+
+
 def _run_hier(args) -> int:
     from repro.hier import DEFAULT_MAX_WINDOW, analyze_hier
     from repro.translate.quantum import TimingQuantizer
 
     if len(args.files) != 1:
         raise ReproError("--hier analyzes exactly one model at a time")
-    if getattr(args, "all_modes", False):
-        raise ReproError(
-            "--hier and --all-modes are mutually exclusive (partition "
-            "servers and modal reconfiguration do not compose yet)"
-        )
     args.file = args.files[0]
-    _, instance = _load_instance(args)
+    model, instance = _load_instance(args)
     quantum = _quantum(args)
+    quantizer = TimingQuantizer(quantum) if quantum is not None else None
+    max_window = (
+        args.max_window
+        if args.max_window is not None
+        else DEFAULT_MAX_WINDOW
+    )
+    if getattr(args, "all_modes", False):
+        from repro.aadl import instantiate
+        from repro.analysis import Verdict
+
+        impl, modes, unreachable = _reachable_mode_list(model, args.root)
+        verdicts = []
+        for mode in modes:
+            pinned = instantiate(
+                model, args.root, mode_overrides={impl.name: mode}
+            )
+            result = analyze_hier(
+                pinned,
+                quantizer=quantizer,
+                max_window=max_window,
+                steady_mode=True,
+            )
+            print(f"mode {mode}: {result.verdict.value}")
+            for line in result.format(show_stats=args.stats).splitlines():
+                print(f"  {line}")
+            verdicts.append(result.verdict)
+        if unreachable:
+            print(
+                "unreachable from the initial mode (skipped): "
+                + ", ".join(unreachable)
+            )
+        overall = Verdict.combine(verdicts)
+        print(f"overall: {overall.value}")
+        return overall.exit_code
     result = analyze_hier(
-        instance,
-        quantizer=TimingQuantizer(quantum) if quantum is not None else None,
-        max_window=(
-            args.max_window
-            if args.max_window is not None
-            else DEFAULT_MAX_WINDOW
-        ),
+        instance, quantizer=quantizer, max_window=max_window
     )
     print(result.format(show_stats=args.stats))
     for line in result.tier_trail:
@@ -259,13 +355,42 @@ def _run_compose(args) -> int:
 
     if len(args.files) != 1:
         raise ReproError("--compose analyzes exactly one model at a time")
-    if getattr(args, "all_modes", False):
-        raise ReproError(
-            "--compose and --all-modes are mutually exclusive "
-            "(multi-modal models fall back to monolithic analysis)"
-        )
     args.file = args.files[0]
-    _, instance = _load_instance(args)
+    model, instance = _load_instance(args)
+    if getattr(args, "all_modes", False):
+        from repro.analysis import Verdict
+
+        impl, modes, unreachable = _reachable_mode_list(model, args.root)
+        verdicts = []
+        for mode in modes:
+            result = analyze_compositionally(
+                model,
+                root_impl=args.root,
+                mode=mode,
+                quantum=_quantum(args),
+                max_states=args.max_states,
+                workers=args.jobs,
+                cache=_cache_spec(args),
+                portfolio=getattr(args, "portfolio", False),
+                reduction=getattr(args, "reduce", None),
+            )
+            print(f"mode {mode}: {result.verdict.value}")
+            if not result.compositional:
+                print(
+                    f"  monolithic fallback: {result.fallback_reason}",
+                    file=sys.stderr,
+                )
+            for line in result.format(show_stats=args.stats).splitlines():
+                print(f"  {line}")
+            verdicts.append(result.verdict)
+        if unreachable:
+            print(
+                "unreachable from the initial mode (skipped): "
+                + ", ".join(unreachable)
+            )
+        overall = Verdict.combine(verdicts)
+        print(f"overall: {overall.value}")
+        return overall.exit_code
     result = analyze_compositionally(
         instance,
         quantum=_quantum(args),
@@ -454,6 +579,21 @@ def cmd_oracle_hier(args) -> int:
     report = run_hier_campaign(
         seeds=args.seeds,
         base_seed=args.base_seed,
+        max_window=args.max_window,
+        fault=args.fault,
+        progress=args.progress,
+    )
+    print(report.format())
+    return EXIT_VIOLATION if report.disagreements else EXIT_SCHEDULABLE
+
+
+def cmd_oracle_modal(args) -> int:
+    from repro.oracle import run_modal_campaign
+
+    report = run_modal_campaign(
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        max_phasings=args.max_phasings,
         max_window=args.max_window,
         fault=args.fault,
         progress=args.progress,
@@ -735,8 +875,35 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="QUANTA",
-        help="flattened-simulation window cap for --hier (verdict "
-        "demotes to unknown past it)",
+        help="simulation window cap for --hier (flattened simulation) "
+        "and --modal (transient window); verdict demotes to unknown "
+        "past it",
+    )
+    p_analyze.add_argument(
+        "--modal",
+        action="store_true",
+        help="transition-aware modal analysis: every reachable steady "
+        "mode plus every mode transition's transient under the "
+        "--protocol mode-change protocol (unreachable modes are "
+        "skipped, with a note)",
+    )
+    p_analyze.add_argument(
+        "--protocol",
+        choices=("synchronous", "asynchronous"),
+        default="synchronous",
+        help="mode-change protocol for --modal: synchronous defers the "
+        "switch to the old mode's hyperperiod boundary (steady "
+        "verdicts govern); asynchronous switches at any instant "
+        "(union analytic test, then exhaustive switch-phasing "
+        "transient simulation)",
+    )
+    p_analyze.add_argument(
+        "--max-phasings",
+        type=int,
+        default=None,
+        metavar="N",
+        help="switch-phasing cap for --modal transient simulation "
+        "(verdict demotes to unknown past it)",
     )
     p_analyze.add_argument(
         "--baselines",
@@ -847,6 +1014,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print aggregated engine statistics for the whole batch",
+    )
+    p_batch_run.add_argument(
+        "--modal",
+        action="store_true",
+        help="run every .aadl input as a transition-aware modal job",
+    )
+    p_batch_run.add_argument(
+        "--protocol",
+        choices=("synchronous", "asynchronous"),
+        default="synchronous",
+        help="mode-change protocol for --modal jobs",
     )
     portfolio_options(p_batch_run)
     reduce_options(p_batch_run)
@@ -1068,6 +1246,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="report per-case progress to stderr",
     )
     p_oracle_hier.set_defaults(func=cmd_oracle_hier)
+
+    p_oracle_modal = oracle_sub.add_parser(
+        "modal",
+        help="seeded campaign asserting the modal steady half matches "
+        "independent per-mode analysis and the transient checker "
+        "never passes a transition the exhaustive switch-phasing "
+        "simulation fails",
+        epilog=EXIT_STATUS_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_oracle_modal.add_argument(
+        "--seeds",
+        type=int,
+        default=50,
+        help="number of seeded cases to draw (default 50)",
+    )
+    p_oracle_modal.add_argument(
+        "--base-seed",
+        type=int,
+        default=0,
+        help="first seed of the campaign (case i uses base-seed + i)",
+    )
+    p_oracle_modal.add_argument(
+        "--max-phasings",
+        type=int,
+        default=512,
+        help="switch-phasing cap per transition",
+    )
+    p_oracle_modal.add_argument(
+        "--max-window",
+        type=int,
+        default=1 << 15,
+        help="transient-simulation window cap per phasing",
+    )
+    p_oracle_modal.add_argument(
+        "--fault",
+        default=None,
+        help="inject a known transient-checker bug into the modal side "
+        "(harness self-test; see repro.modal.transient.MODAL_FAULTS)",
+    )
+    p_oracle_modal.add_argument(
+        "--progress",
+        action="store_true",
+        help="report per-case progress to stderr",
+    )
+    p_oracle_modal.set_defaults(func=cmd_oracle_modal)
 
     p_oracle_portfolio = oracle_sub.add_parser(
         "portfolio",

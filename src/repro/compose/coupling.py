@@ -391,16 +391,20 @@ def build_coupling_graph(instance: SystemInstance) -> CouplingGraph:
     return CouplingGraph(processors, edges, by_processor)
 
 
-def partition_instance(instance: SystemInstance) -> Partition:
+def partition_instance(
+    instance: SystemInstance, *, steady_mode: bool = False
+) -> Partition:
     """Decide how (whether) to decompose ``instance``.
 
     Returns a :class:`Partition`: islands when decomposition is sound
     and actually splits the model, otherwise a fallback reason --
     multi-modal models (mode switches couple every processor), fewer
     than two processors, or a coupling graph that is one connected
-    component.
+    component.  ``steady_mode`` waives the multi-modal bar: the caller
+    pinned the instance to one mode and claims the verdict for that
+    steady mode only, so no switch can reshape the islands.
     """
-    if instance.active_modes:
+    if instance.active_modes and not steady_mode:
         modal = ", ".join(sorted(instance.active_modes))
         return Partition(
             instance,

@@ -57,13 +57,14 @@ def plan(
     model: Union[SystemInstance, DeclarativeModel],
     *,
     root_impl: Optional[str] = None,
+    steady_mode: bool = False,
 ) -> Partition:
     """Partition without analyzing (the ``repro compose plan`` command)."""
     from repro.obs.tracer import current_tracer
 
     instance = _resolve(model, root_impl)
     with current_tracer().span("compose.partition") as span:
-        partition = partition_instance(instance)
+        partition = partition_instance(instance, steady_mode=steady_mode)
         span.set(
             decomposable=partition.decomposable,
             islands=len(partition.islands),
@@ -77,6 +78,7 @@ def analyze_compositionally(
     model: Union[SystemInstance, DeclarativeModel],
     *,
     root_impl: Optional[str] = None,
+    mode: Optional[str] = None,
     quantum: Optional[TimeValue] = None,
     max_states: int = 1_000_000,
     workers: Optional[int] = None,
@@ -104,6 +106,12 @@ def analyze_compositionally(
     island job and to the monolithic fallback; the spec rides in each
     job's options, so reduced and unreduced runs never share verdict
     cache entries.
+
+    ``mode`` pins a multi-modal root to one steady mode (requires a
+    declarative ``model``): the multi-modal decomposition bar is
+    waived -- the verdict claimed is for that mode only -- and every
+    island job re-instantiates the same mode in its worker, with the
+    mode name riding in each job's cache key.
     """
     from repro.obs.tracer import current_tracer
 
@@ -111,8 +119,24 @@ def analyze_compositionally(
 
     tracer = current_tracer()
     reduce_token = reduction_token(reduction)
-    instance = _resolve(model, root_impl)
-    partition = plan(instance)
+    steady = mode is not None
+    if steady:
+        if not isinstance(model, DeclarativeModel):
+            raise ValueError(
+                "mode= requires a declarative model (the pinned mode "
+                "must be re-instantiable in the pool workers)"
+            )
+        if root_impl is None:
+            raise ValueError(
+                "root_impl is required when passing a declarative model"
+            )
+        impl = model.implementation(root_impl)
+        instance = instantiate(
+            model, root_impl, mode_overrides={impl.name: mode}
+        )
+    else:
+        instance = _resolve(model, root_impl)
+    partition = plan(instance, steady_mode=steady)
 
     if not partition.decomposable:
         if _is_partitioned(instance):
@@ -126,6 +150,7 @@ def analyze_compositionally(
                 quantum=quantum,
                 max_states=max_states,
                 reduction=reduce_token,
+                steady_mode=steady,
             )
         else:
             monolithic = analyze_model(
@@ -155,7 +180,7 @@ def analyze_compositionally(
     pending_islands = list(partition.islands)
     if portfolio:
         analytic = _screen_islands(
-            instance, partition, pinned_quantizer
+            instance, partition, pinned_quantizer, steady_mode=steady
         )
         pending_islands = [
             island
@@ -175,6 +200,7 @@ def analyze_compositionally(
             max_states=max_states,
             quantum_ps=quantum_ps,
             reduce=reduce_token,
+            mode=mode,
         )
         for island in pending_islands
     ]
@@ -237,6 +263,8 @@ def _screen_islands(
     instance: SystemInstance,
     partition: Partition,
     quantizer: TimingQuantizer,
+    *,
+    steady_mode: bool = False,
 ) -> dict:
     """Try the analytic tiers on each island slice, in-process.
 
@@ -252,7 +280,9 @@ def _screen_islands(
     for island in partition.islands:
         keep = list(island.threads) + list(island.processors)
         sliced = slice_instance(instance, keep, label=island.label)
-        result = analyzer.try_analytic(sliced, quantizer=quantizer)
+        result = analyzer.try_analytic(
+            sliced, quantizer=quantizer, steady_mode=steady_mode
+        )
         if result is None:
             continue
         stats = result.exploration.stats

@@ -66,6 +66,11 @@ class EngineStats:
             check settled (no flattened simulation needed).
         hier_sim_escalations: partitions that fell through to the
             supply-aware flattened simulation.
+        modal_transitions_checked: mode transitions whose transient was
+            analyzed (:mod:`repro.modal`).  Zero outside modal runs.
+        modal_transient_escalations: transitions the analytic union
+            test could not settle, escalated to switch-phasing
+            transient simulation.
         limit_hit: which budget stopped the run (``"states"``,
             ``"transitions"``, ``"seconds"``) or ``None``.
     """
@@ -93,6 +98,8 @@ class EngineStats:
         "hier_partitions_checked",
         "hier_interface_hits",
         "hier_sim_escalations",
+        "modal_transitions_checked",
+        "modal_transient_escalations",
         "limit_hit",
     )
 
@@ -122,6 +129,8 @@ class EngineStats:
         hier_partitions_checked: int = 0,
         hier_interface_hits: int = 0,
         hier_sim_escalations: int = 0,
+        modal_transitions_checked: int = 0,
+        modal_transient_escalations: int = 0,
     ) -> None:
         self.strategy = strategy
         self.states = states
@@ -147,6 +156,8 @@ class EngineStats:
         self.hier_partitions_checked = hier_partitions_checked
         self.hier_interface_hits = hier_interface_hits
         self.hier_sim_escalations = hier_sim_escalations
+        self.modal_transitions_checked = modal_transitions_checked
+        self.modal_transient_escalations = modal_transient_escalations
         self.limit_hit = limit_hit
 
     @property
@@ -193,6 +204,8 @@ class EngineStats:
             "hier_partitions_checked": self.hier_partitions_checked,
             "hier_interface_hits": self.hier_interface_hits,
             "hier_sim_escalations": self.hier_sim_escalations,
+            "modal_transitions_checked": self.modal_transitions_checked,
+            "modal_transient_escalations": self.modal_transient_escalations,
             "limit_hit": self.limit_hit,
         }
 
@@ -223,6 +236,12 @@ class EngineStats:
             hier_partitions_checked=data.get("hier_partitions_checked", 0),
             hier_interface_hits=data.get("hier_interface_hits", 0),
             hier_sim_escalations=data.get("hier_sim_escalations", 0),
+            modal_transitions_checked=data.get(
+                "modal_transitions_checked", 0
+            ),
+            modal_transient_escalations=data.get(
+                "modal_transient_escalations", 0
+            ),
             limit_hit=data.get("limit_hit"),
         )
 
@@ -292,6 +311,10 @@ class EngineStats:
             total.hier_partitions_checked += snap.hier_partitions_checked
             total.hier_interface_hits += snap.hier_interface_hits
             total.hier_sim_escalations += snap.hier_sim_escalations
+            total.modal_transitions_checked += snap.modal_transitions_checked
+            total.modal_transient_escalations += (
+                snap.modal_transient_escalations
+            )
         total.wall_elapsed = (
             wall_elapsed if wall_elapsed is not None else total.elapsed
         )
@@ -344,6 +367,12 @@ class EngineStats:
                 f"checked, {self.hier_interface_hits} settled by the "
                 f"interface, {self.hier_sim_escalations} escalated to "
                 f"flattened simulation"
+            )
+        if self.modal_transitions_checked:
+            lines.append(
+                f"modal: {self.modal_transitions_checked} transition(s) "
+                f"checked, {self.modal_transient_escalations} escalated "
+                f"to transient simulation"
             )
         if self.states_canonicalized or self.orbits_merged or self.por_pruned:
             lines.append(

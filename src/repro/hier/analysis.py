@@ -84,8 +84,13 @@ def analyze_hier(
     quantizer: Optional[TimingQuantizer] = None,
     max_window: int = DEFAULT_MAX_WINDOW,
     fault: Optional[str] = None,
+    steady_mode: bool = False,
 ) -> AnalysisResult:
-    """Decide a partitioned system through its BDR interfaces."""
+    """Decide a partitioned system through its BDR interfaces.
+
+    ``steady_mode`` waives the multi-modal applicability bar for an
+    instance the caller pinned to one mode (the verdict then covers
+    that steady mode only)."""
     from repro.obs.tracer import current_tracer
 
     tracer = current_tracer()
@@ -94,7 +99,9 @@ def analyze_hier(
     from repro.portfolio.context import build_context
 
     with tracer.span("hier.derive", root=instance.qualified_name) as span:
-        context = build_context(instance, quantizer=quantizer)
+        context = build_context(
+            instance, quantizer=quantizer, steady_mode=steady_mode
+        )
         if not context.applicable:
             raise HierError(
                 f"hierarchical analysis inapplicable: "

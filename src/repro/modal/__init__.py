@@ -1,0 +1,53 @@
+"""Mode-transition schedulability: modes as a first-class scenario family.
+
+The steady per-mode analysis (:mod:`repro.analysis.modes`) answers
+"is every mode schedulable on its own?".  This package answers the
+harder question the paper's multi-modal models (S2) raise: **is the
+system schedulable while it moves between modes?**  Three layers:
+
+* :mod:`.automaton` -- the mode automaton of a component
+  implementation: reachability from the initial mode, trigger
+  legality, and the per-edge activated/deactivated thread deltas.
+* :mod:`.transient` -- the transition-transient decision procedure
+  under an explicit mode-change protocol (synchronous hyperperiod
+  boundary vs. asynchronous overlap), analytic union test first,
+  exhaustive switch-phasing simulation as escalation.
+* :mod:`.analysis` -- :func:`analyze_modal`, the front door that
+  combines both with the steady half and renders the per-transition
+  trail.
+
+The oracle relation for this family lives in
+:mod:`repro.oracle.modal`; the fault registry is
+:data:`MODAL_FAULTS`.
+"""
+
+from repro.modal.analysis import ModalResult, TransitionOutcome, analyze_modal
+from repro.modal.automaton import ModeAutomaton, TransitionEdge
+from repro.modal.transient import (
+    DEFAULT_MAX_PHASINGS,
+    DEFAULT_TRANSIENT_WINDOW,
+    MODAL_FAULTS,
+    PROTOCOLS,
+    TransientCheck,
+    check_transition,
+    simulate_transition,
+    transient_union_check,
+    union_task_set,
+)
+
+__all__ = [
+    "DEFAULT_MAX_PHASINGS",
+    "DEFAULT_TRANSIENT_WINDOW",
+    "MODAL_FAULTS",
+    "ModalResult",
+    "ModeAutomaton",
+    "PROTOCOLS",
+    "TransientCheck",
+    "TransitionEdge",
+    "TransitionOutcome",
+    "analyze_modal",
+    "check_transition",
+    "simulate_transition",
+    "transient_union_check",
+    "union_task_set",
+]

@@ -1,0 +1,175 @@
+"""The mode automaton of a root implementation.
+
+AADL's system operation modes form a finite automaton: states are the
+declared modes, edges the declared ``source -[trigger]-> target``
+transitions, the start state the unique ``initial`` mode.  The paper
+(S2) introduces the modal model but leaves transitions out of the
+translation; this layer makes the automaton itself first-class so the
+analyses above it can reason about *which* modes matter and *what*
+changes on each switch:
+
+* **reachability** -- a mode no transition path reaches from the
+  initial mode never occurs at runtime, so its (possibly unschedulable)
+  workload must not count against the system verdict;
+* **trigger legality** -- every transition trigger must name a real
+  port (delegated to :func:`repro.aadl.validation.collect_mode_violations`
+  so the CLI ``validate`` report and this layer agree by construction);
+* **per-edge deltas** -- the thread subcomponents a switch activates
+  and deactivates, the raw material of the transient analysis
+  (:mod:`repro.modal.transient`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.aadl.components import (
+    ComponentCategory,
+    ComponentImplementation,
+    DeclarativeModel,
+)
+
+
+class TransitionEdge:
+    """One declared mode transition plus its workload delta."""
+
+    __slots__ = ("source", "trigger", "target", "activated", "deactivated")
+
+    def __init__(
+        self,
+        source: str,
+        trigger: str,
+        target: str,
+        activated: Tuple[str, ...],
+        deactivated: Tuple[str, ...],
+    ) -> None:
+        self.source = source
+        self.trigger = trigger
+        self.target = target
+        #: thread subcomponents active in ``target`` but not ``source``
+        self.activated = activated
+        #: thread subcomponents active in ``source`` but not ``target``
+        self.deactivated = deactivated
+
+    @property
+    def label(self) -> str:
+        return f"{self.source} -[{self.trigger}]-> {self.target}"
+
+    def __repr__(self) -> str:
+        return f"TransitionEdge({self.label})"
+
+
+class ModeAutomaton:
+    """The automaton over one implementation's declared modes."""
+
+    __slots__ = ("impl_name", "modes", "initial", "edges", "violations")
+
+    def __init__(
+        self,
+        impl_name: str,
+        modes: List[str],
+        initial: Optional[str],
+        edges: List[TransitionEdge],
+        violations: List[str],
+    ) -> None:
+        self.impl_name = impl_name
+        #: declared mode names, declaration order, original spelling
+        self.modes = modes
+        self.initial = initial
+        self.edges = edges
+        #: mode-declaration legality problems (same messages as the
+        #: ``validate`` report); analyses refuse to run while non-empty
+        self.violations = violations
+
+    @classmethod
+    def from_implementation(
+        cls,
+        model: DeclarativeModel,
+        impl: ComponentImplementation,
+    ) -> "ModeAutomaton":
+        from repro.aadl.validation import collect_mode_violations
+
+        violations = collect_mode_violations(model, impl)
+        modes = [mode.name for mode in impl.modes.values()]
+        initials = [m.name for m in impl.modes.values() if m.initial]
+        initial = initials[0] if len(initials) == 1 else None
+        active: Dict[str, FrozenSet[str]] = {
+            name: _active_threads(impl, name) for name in modes
+        }
+        edges: List[TransitionEdge] = []
+        for transition in impl.mode_transitions:
+            source = impl.modes.get(transition.source.lower())
+            target = impl.modes.get(transition.target.lower())
+            if source is None or target is None:
+                # Already a violation; no edge to build.
+                continue
+            old = active[source.name]
+            new = active[target.name]
+            edges.append(
+                TransitionEdge(
+                    source.name,
+                    transition.trigger,
+                    target.name,
+                    tuple(sorted(new - old)),
+                    tuple(sorted(old - new)),
+                )
+            )
+        return cls(impl.name, modes, initial, edges, violations)
+
+    def reachable_modes(self) -> FrozenSet[str]:
+        """Modes reachable from the initial mode via declared
+        transitions.  A model with modes but *no* transitions keeps the
+        historical steady-mode reading -- every mode is a possible
+        (externally chosen) configuration -- so all modes count."""
+        if not self.edges or self.initial is None:
+            return frozenset(self.modes)
+        successors: Dict[str, List[str]] = {}
+        for edge in self.edges:
+            successors.setdefault(edge.source.lower(), []).append(
+                edge.target
+            )
+        seen = {self.initial.lower()}
+        frontier = [self.initial]
+        while frontier:
+            mode = frontier.pop()
+            for target in successors.get(mode.lower(), ()):
+                if target.lower() not in seen:
+                    seen.add(target.lower())
+                    frontier.append(target)
+        return frozenset(m for m in self.modes if m.lower() in seen)
+
+    def unreachable_modes(self) -> Tuple[str, ...]:
+        reachable = {m.lower() for m in self.reachable_modes()}
+        return tuple(m for m in self.modes if m.lower() not in reachable)
+
+    def reachable_edges(self) -> List[TransitionEdge]:
+        """Edges whose source mode can actually occur."""
+        reachable = {m.lower() for m in self.reachable_modes()}
+        return [e for e in self.edges if e.source.lower() in reachable]
+
+    def __repr__(self) -> str:
+        return (
+            f"ModeAutomaton({self.impl_name!r}, {len(self.modes)} mode(s), "
+            f"{len(self.edges)} transition(s))"
+        )
+
+
+def _active_threads(
+    impl: ComponentImplementation, mode: str
+) -> FrozenSet[str]:
+    """Thread(-bearing) subcomponents active in ``mode``: those with no
+    ``in modes`` clause plus those listing the mode."""
+    active = set()
+    for sub in impl.subcomponents.values():
+        if sub.category not in (
+            ComponentCategory.THREAD,
+            ComponentCategory.THREAD_GROUP,
+            ComponentCategory.PROCESS,
+            ComponentCategory.SYSTEM,
+        ):
+            continue
+        if not sub.in_modes or mode.lower() in {
+            m.lower() for m in sub.in_modes
+        }:
+            active.add(sub.name)
+    return frozenset(active)

@@ -80,6 +80,21 @@ HIER_STAGES = (
     "hier.flatten",
 )
 
+#: The span names a transition-aware modal (``analyze --modal``) run
+#: adds: one ``modal.automaton`` while the mode automaton is built and
+#: checked (reachability, trigger legality, per-edge deltas), one
+#: ``modal.steady`` per reachable mode analyzed as a steady system, one
+#: ``modal.transition`` per reachable transition checked under the
+#: mode-change protocol, and one ``modal.transient`` per transition
+#: whose analytic union test was undecided and escalated to the
+#: switch-phasing transient simulation.
+MODAL_STAGES = (
+    "modal.automaton",
+    "modal.steady",
+    "modal.transition",
+    "modal.transient",
+)
+
 #: The span names a reduced (``analyze --reduce``) run adds when the
 #: corresponding pass actually fired: ``reduce.canonicalize`` under
 #: symmetry (counters ``states_canonicalized`` / ``orbits_merged``) and

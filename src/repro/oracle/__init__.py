@@ -50,6 +50,12 @@ from repro.oracle.hier import (
     evaluate_hier_case,
     run_hier_campaign,
 )
+from repro.oracle.modal import (
+    ModalCampaignReport,
+    ModalCaseOutcome,
+    evaluate_modal_case,
+    run_modal_campaign,
+)
 from repro.oracle.reduce import (
     ReduceCampaignReport,
     ReduceCaseOutcome,
@@ -86,6 +92,8 @@ __all__ = [
     "Fault",
     "HierCampaignReport",
     "HierCaseOutcome",
+    "ModalCampaignReport",
+    "ModalCaseOutcome",
     "OracleCase",
     "OracleVerdict",
     "PROFILES",
@@ -102,6 +110,7 @@ __all__ = [
     "evaluate_case",
     "evaluate_compose_case",
     "evaluate_hier_case",
+    "evaluate_modal_case",
     "evaluate_portfolio_case",
     "evaluate_reduce_case",
     "fault_names",
@@ -110,8 +119,9 @@ __all__ = [
     "run_campaign",
     "run_compose_campaign",
     "run_hier_campaign",
+    "run_modal_campaign",
     "run_pipeline",
-    "run_reduce_campaign",
     "run_portfolio_campaign",
+    "run_reduce_campaign",
     "shrink_case",
 ]

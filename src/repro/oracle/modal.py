@@ -1,0 +1,384 @@
+"""Differential oracle for the transition-aware modal analysis.
+
+Two relations per seeded fault/recovery system
+(:func:`repro.workloads.generators.faulty_modal_system`), both over the
+asynchronous protocol (the one with actual transient machinery):
+
+* **steady equivalence** -- every reachable mode's verdict inside
+  :func:`repro.modal.analyze_modal` must equal an independent
+  :func:`~repro.analysis.schedulability.analyze_model` run of the same
+  mode instantiated on its own.  The modal steady half is plumbing over
+  the same engine, so any drift is a routing bug.
+* **transient soundness (one-sided)** -- a transition the modal checker
+  calls SCHEDULABLE must be miss-free in the reference: the honest
+  exhaustive simulation of the switch at *every* boundary phasing of
+  the old mode's hyperperiod, full window, carry-over included
+  (:func:`repro.modal.transient.simulate_transition` driven directly by
+  the oracle).  The converse need not hold -- the modal side may return
+  UNSCHEDULABLE or UNKNOWN conservatively -- so a modal-fail /
+  reference-pass split is conservatism, not a bug.
+
+* ``AGREED`` -- steady halves match and no transition is passed
+  unsoundly;
+* ``UNKNOWN`` -- the reference exceeded its caps on some transition the
+  modal side passed, so soundness could not be confirmed;
+* ``DISAGREED`` -- a steady verdict mismatch, or a transition passed by
+  the modal checker that the reference simulation misses.  CI gates on
+  it.
+
+``fault=`` injects a registered transient-checker defect
+(:data:`repro.modal.transient.MODAL_FAULTS`) into the modal side only
+-- the reference always simulates honestly -- and the campaign must
+then disagree on some seed: the self-test that this oracle would catch
+an unsound transient shortcut.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.oracle.verdicts import AgreementStatus
+from repro.workloads.generators import faulty_modal_system
+
+#: Caps for campaign cases; generator periods are small powers of two,
+#: so real phasing counts and windows stay far below these.
+DEFAULT_CAMPAIGN_PHASINGS = 512
+DEFAULT_CAMPAIGN_WINDOW = 1 << 15
+
+_ROOT = "FaultyModal.impl"
+
+
+class ModalCaseOutcome:
+    """One seed's modal-vs-reference comparison."""
+
+    __slots__ = (
+        "seed",
+        "status",
+        "modes",
+        "transitions",
+        "modal_passes",
+        "reference_passes",
+        "conservative",
+        "steady_mismatches",
+        "details",
+    )
+
+    def __init__(
+        self,
+        *,
+        seed: int,
+        status: AgreementStatus,
+        modes: int,
+        transitions: int,
+        modal_passes: int,
+        reference_passes: int,
+        conservative: int,
+        steady_mismatches: int,
+        details: List[str],
+    ) -> None:
+        self.seed = seed
+        self.status = status
+        self.modes = modes
+        self.transitions = transitions
+        #: transitions the modal checker called SCHEDULABLE
+        self.modal_passes = modal_passes
+        #: transitions the reference simulation found miss-free
+        self.reference_passes = reference_passes
+        #: modal-fail(/unknown) / reference-pass splits (conservatism)
+        self.conservative = conservative
+        self.steady_mismatches = steady_mismatches
+        self.details = details
+
+    def __repr__(self) -> str:
+        return (
+            f"ModalCaseOutcome(seed={self.seed}, {self.status.value}, "
+            f"{self.transitions} transition(s))"
+        )
+
+
+class ModalCampaignReport:
+    """Aggregate of one modal-agreement campaign."""
+
+    def __init__(
+        self,
+        *,
+        outcomes: List[ModalCaseOutcome],
+        elapsed: float,
+        base_seed: int,
+        fault: Optional[str],
+    ) -> None:
+        self.outcomes = outcomes
+        self.elapsed = elapsed
+        self.base_seed = base_seed
+        self.fault = fault
+
+    @property
+    def disagreements(self) -> List[ModalCaseOutcome]:
+        return [
+            o for o in self.outcomes
+            if o.status is AgreementStatus.DISAGREED
+        ]
+
+    @property
+    def agreed(self) -> List[ModalCaseOutcome]:
+        return [
+            o for o in self.outcomes if o.status is AgreementStatus.AGREED
+        ]
+
+    @property
+    def unknown(self) -> List[ModalCaseOutcome]:
+        return [
+            o for o in self.outcomes
+            if o.status is AgreementStatus.UNKNOWN
+        ]
+
+    @property
+    def conservative(self) -> int:
+        return sum(o.conservative for o in self.outcomes)
+
+    def format(self) -> str:
+        transitions = sum(o.transitions for o in self.outcomes)
+        lines = [
+            "modal campaign"
+            + (f" fault={self.fault}" if self.fault else "")
+            + f": {len(self.outcomes)} case(s), {transitions} "
+            f"transition(s) (base seed {self.base_seed}), "
+            f"{self.elapsed:.1f}s",
+            f"  agreed: {len(self.agreed)}  "
+            f"disagreed: {len(self.disagreements)}  "
+            f"unknown: {len(self.unknown)}",
+            f"  modal passes: "
+            f"{sum(o.modal_passes for o in self.outcomes)}  "
+            f"reference passes: "
+            f"{sum(o.reference_passes for o in self.outcomes)}  "
+            f"conservative (modal-only fails): {self.conservative}",
+        ]
+        for outcome in self.disagreements:
+            for detail in outcome.details:
+                lines.append(f"  DISAGREED seed {outcome.seed}: {detail}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ModalCampaignReport(cases={len(self.outcomes)}, "
+            f"disagreed={len(self.disagreements)})"
+        )
+
+
+def classify_transition(
+    modal_pass: bool, reference_ok: Optional[bool]
+) -> AgreementStatus:
+    """The one-sided modal-pass ⇒ reference-pass relation for one
+    transition."""
+    if modal_pass and reference_ok is None:
+        return AgreementStatus.UNKNOWN
+    if modal_pass and not reference_ok:
+        return AgreementStatus.DISAGREED
+    return AgreementStatus.AGREED
+
+
+def _reference_transition(
+    edge,
+    mode_units,
+    *,
+    max_phasings: int,
+    max_window: int,
+) -> Optional[bool]:
+    """The honest reference: simulate the switch at every boundary
+    phasing of the old mode's hyperperiod, carry-over included, full
+    window -- no analytic shortcut, no fault.  None when a cap is hit
+    or the task model is unavailable."""
+    from repro.sched.taskmodel import TaskSet
+    from repro.modal.transient import simulate_transition
+
+    old_units = mode_units.get(edge.source.lower())
+    new_units = mode_units.get(edge.target.lower())
+    if not isinstance(old_units, dict) or not isinstance(new_units, dict):
+        return None
+    for processor in sorted(set(old_units) | set(new_units)):
+        old_unit = old_units.get(processor)
+        new_unit = new_units.get(processor)
+        unit = new_unit or old_unit
+        policy = unit.sim_policy
+        if policy is None:
+            return None
+        old_tasks = list(old_unit.tasks) if old_unit else []
+        new_tasks = list(new_unit.tasks) if new_unit else []
+        old_hyper = TaskSet(old_tasks).hyperperiod if old_tasks else 1
+        new_hyper = TaskSet(new_tasks).hyperperiod if new_tasks else 1
+        if old_hyper > max_phasings:
+            return None
+        max_old_deadline = max(
+            (t.offset + t.deadline for t in old_tasks), default=0
+        )
+        max_new_offset = max((t.offset for t in new_tasks), default=0)
+        for switch in range(old_hyper):
+            window = (
+                switch + max_old_deadline + max_new_offset + 2 * new_hyper
+            )
+            if window > max_window:
+                return None
+            ok, _ = simulate_transition(
+                old_tasks,
+                new_tasks,
+                switch=switch,
+                policy=policy,
+                window=window,
+            )
+            if not ok:
+                return False
+    return True
+
+
+def evaluate_modal_case(
+    seed: int,
+    *,
+    max_phasings: int = DEFAULT_CAMPAIGN_PHASINGS,
+    max_window: int = DEFAULT_CAMPAIGN_WINDOW,
+    fault: Optional[str] = None,
+) -> ModalCaseOutcome:
+    """Draw one fault/recovery modal system from ``seed`` and compare
+    the transition-aware analysis against the steady and transient
+    references.  Every parameter (mode count, threads, utilizations,
+    orphan mode) derives from the seed, so a failing seed reproduces
+    byte-for-byte."""
+    from repro.aadl.instance import instantiate
+    from repro.analysis.schedulability import Verdict, analyze_model
+    from repro.modal import analyze_modal
+    from repro.modal.analysis import _steady_unit_map
+
+    rng = np.random.default_rng(seed)
+    n_modes = int(rng.integers(2, 4))
+    threads_per_mode = int(rng.integers(1, 4))
+    model = faulty_modal_system(
+        n_modes,
+        threads_per_mode,
+        include_orphan=bool(rng.random() < 0.25),
+        rng=rng,
+    )
+    impl = model.implementation(_ROOT)
+    modal = analyze_modal(
+        model,
+        _ROOT,
+        protocol="asynchronous",
+        max_phasings=max_phasings,
+        max_window=max_window,
+        fault=fault,
+    )
+
+    statuses: List[AgreementStatus] = []
+    details: List[str] = []
+    steady_mismatches = 0
+    for mode, outcome in modal.steady.per_mode.items():
+        independent = analyze_model(
+            instantiate(model, _ROOT, mode_overrides={impl.name: mode})
+        )
+        if independent.verdict is not outcome.verdict:
+            steady_mismatches += 1
+            statuses.append(AgreementStatus.DISAGREED)
+            details.append(
+                f"mode {mode}: modal steady says {outcome.verdict.value}, "
+                f"independent analysis says {independent.verdict.value}"
+            )
+
+    # The reference extracts task sets honestly, under the same
+    # common-quantizer rule the modal side uses.
+    mode_units = _steady_unit_map(
+        model, impl, list(modal.steady.per_mode), None
+    )
+    modal_passes = reference_passes = conservative = 0
+    for outcome in modal.transitions:
+        modal_pass = outcome.verdict is Verdict.SCHEDULABLE
+        reference_ok = _reference_transition(
+            outcome.edge,
+            mode_units,
+            max_phasings=max_phasings,
+            max_window=max_window,
+        )
+        status = classify_transition(modal_pass, reference_ok)
+        statuses.append(status)
+        if modal_pass:
+            modal_passes += 1
+        if reference_ok:
+            reference_passes += 1
+        if not modal_pass and reference_ok:
+            conservative += 1
+        if status is AgreementStatus.DISAGREED:
+            details.append(
+                f"transition {outcome.edge.label}: modal checker passed "
+                f"({outcome.decided_by}) but the exhaustive phasing "
+                f"simulation misses"
+            )
+
+    if AgreementStatus.DISAGREED in statuses:
+        status = AgreementStatus.DISAGREED
+    elif AgreementStatus.UNKNOWN in statuses:
+        status = AgreementStatus.UNKNOWN
+    else:
+        status = AgreementStatus.AGREED
+    return ModalCaseOutcome(
+        seed=seed,
+        status=status,
+        modes=len(modal.steady.per_mode),
+        transitions=len(modal.transitions),
+        modal_passes=modal_passes,
+        reference_passes=reference_passes,
+        conservative=conservative,
+        steady_mismatches=steady_mismatches,
+        details=details,
+    )
+
+
+def run_modal_campaign(
+    *,
+    seeds: int = 50,
+    base_seed: int = 0,
+    max_phasings: int = DEFAULT_CAMPAIGN_PHASINGS,
+    max_window: int = DEFAULT_CAMPAIGN_WINDOW,
+    fault: Optional[str] = None,
+    progress: bool = False,
+) -> ModalCampaignReport:
+    """Seeded campaign over the modal steady-equivalence and
+    transient-soundness relations.  Runs inline: every case is a small
+    exploration plus short simulations, so a pool buys nothing at
+    smoke scale."""
+    from repro.obs.tracer import current_tracer
+
+    started = time.perf_counter()
+    outcomes: List[ModalCaseOutcome] = []
+    with current_tracer().span(
+        "oracle.modal", seeds=seeds, base_seed=base_seed
+    ) as span:
+        for index in range(seeds):
+            outcome = evaluate_modal_case(
+                base_seed + index,
+                max_phasings=max_phasings,
+                max_window=max_window,
+                fault=fault,
+            )
+            outcomes.append(outcome)
+            if progress:
+                print(
+                    f"[{index + 1}/{seeds}] seed {outcome.seed}: "
+                    f"{outcome.status.value} "
+                    f"({outcome.modal_passes}/{outcome.transitions} "
+                    f"transition(s) passed)",
+                    file=sys.stderr,
+                )
+        span.set(
+            disagreed=sum(
+                1
+                for o in outcomes
+                if o.status is AgreementStatus.DISAGREED
+            )
+        )
+    return ModalCampaignReport(
+        outcomes=outcomes,
+        elapsed=time.perf_counter() - started,
+        base_seed=base_seed,
+        fault=fault,
+    )

@@ -69,10 +69,13 @@ class PortfolioAnalyzer:
         instance: SystemInstance,
         *,
         quantizer: Optional[TimingQuantizer] = None,
+        steady_mode: bool = False,
     ) -> Optional[AnalysisResult]:
         """An analytic verdict for ``instance``, or None when the tiers
         cannot decide and the caller must explore."""
-        result, _, _ = self.screen(instance, quantizer=quantizer)
+        result, _, _ = self.screen(
+            instance, quantizer=quantizer, steady_mode=steady_mode
+        )
         return result
 
     def screen(
@@ -80,12 +83,15 @@ class PortfolioAnalyzer:
         instance: SystemInstance,
         *,
         quantizer: Optional[TimingQuantizer] = None,
+        steady_mode: bool = False,
     ) -> Tuple[Optional[AnalysisResult], Dict[str, int], List[str]]:
         """Run the tier chain; returns ``(result, attempts, trail)``.
 
         ``result`` is None when undecided; ``attempts`` counts tiers
         consulted (for the escalation path to fold into its stats) and
-        ``trail`` narrates each tier's contribution.
+        ``trail`` narrates each tier's contribution.  ``steady_mode``
+        waives the multi-modal applicability bar for instances pinned
+        to one mode (see :func:`repro.portfolio.context.build_context`).
         """
         from repro.obs.tracer import current_tracer
 
@@ -94,7 +100,9 @@ class PortfolioAnalyzer:
         attempts: Dict[str, int] = {}
         trail: List[str] = []
 
-        context = build_context(instance, quantizer=quantizer)
+        context = build_context(
+            instance, quantizer=quantizer, steady_mode=steady_mode
+        )
         if not context.applicable:
             trail.append(f"inapplicable: {context.inapplicable}")
             return None, attempts, trail
@@ -231,6 +239,7 @@ def analyze_portfolio(
     analyzer: Optional[PortfolioAnalyzer] = None,
     reduction=None,
     reduction_fault=None,
+    steady_mode: bool = False,
 ) -> AnalysisResult:
     """Tiered analysis: analytic tiers first, exploration on escalation.
 
@@ -240,6 +249,8 @@ def analyze_portfolio(
     the per-tier counters land on the engine stats either way.
     ``reduction`` / ``reduction_fault`` only matter on escalation --
     the analytic tiers never build the state space at all.
+    ``steady_mode`` asserts the instance is pinned to one operation
+    mode so the analytic tiers may speak for it (per-mode drivers only).
     """
     from repro.obs.tracer import current_tracer
 
@@ -262,7 +273,9 @@ def analyze_portfolio(
         else None
     )
 
-    result, attempts, trail = analyzer.screen(instance, quantizer=quantizer)
+    result, attempts, trail = analyzer.screen(
+        instance, quantizer=quantizer, steady_mode=steady_mode
+    )
     if result is not None:
         return result
 

@@ -10,6 +10,7 @@ from repro.workloads.taskgen import (
 )
 from repro.workloads.generators import (
     chain_system,
+    faulty_modal_system,
     multiprocessor_system,
     partitioned_system,
     random_periodic_system,
@@ -23,6 +24,7 @@ __all__ = [
     "GENERATORS",
     "chain_system",
     "constrained_deadline_task_set",
+    "faulty_modal_system",
     "generate_task_set",
     "harmonic_task_set",
     "integer_task_set",

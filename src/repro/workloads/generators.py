@@ -314,3 +314,111 @@ def multiprocessor_system(
                 sink.in_data_port(f"in_p{p}")
                 builder.connect(thread, "out", sink, f"in_p{p}", bus=bus)
     return builder.instantiate()
+
+
+def faulty_modal_system(
+    n_modes: int = 3,
+    threads_per_mode: int = 2,
+    *,
+    utilization: Union[float, Tuple[float, float]] = (0.35, 0.85),
+    shared_utilization: Union[float, Tuple[float, float]] = (0.05, 0.25),
+    shared_threads: int = 1,
+    periods: Sequence[int] = (4, 8, 16),
+    scheduling: SchedulingProtocol = SchedulingProtocol.RATE_MONOTONIC,
+    include_orphan: bool = False,
+    rng: Optional[np.random.Generator] = None,
+):
+    """A fault/recovery modal system: the scenario family of
+    :mod:`repro.modal`.
+
+    One processor, a mode cycle ``nominal -> error -> recovery -> ...
+    -> nominal`` driven by event ports of an always-active ``monitor``
+    thread, ``shared_threads`` threads active in every mode (they carry
+    jobs across a switch) and ``threads_per_mode`` mode-local threads
+    each.  Per-mode utilization is drawn from ``utilization`` (a
+    ``(lo, hi)`` tuple draws per mode), so a seed campaign covers modes
+    that are schedulable alone while their transition transient
+    overloads -- exactly the regime where the asynchronous protocol's
+    escalated simulation earns its keep.  ``include_orphan`` adds an
+    overloaded ``maintenance`` mode no transition reaches, exercising
+    reachability skipping.
+
+    Returns the **declarative model** (root ``FaultyModal.impl``), not
+    an instance: transition-aware analysis re-instantiates per mode.
+    """
+    if n_modes < 2:
+        raise ValueError("need at least two modes to have a transition")
+    rng = rng or np.random.default_rng()
+    builder = SystemBuilder("FaultyModal")
+    cpu = builder.processor("cpu", scheduling=scheduling)
+
+    base_names = ["nominal", "error", "recovery"]
+    names = [
+        base_names[i] if i < len(base_names) else f"degraded{i}"
+        for i in range(n_modes)
+    ]
+    for index, name in enumerate(names):
+        builder.mode(name, initial=index == 0)
+    trigger_names = ["fault", "recover", "cleared"]
+    monitor = builder.thread(
+        "monitor",
+        dispatch=DispatchProtocol.PERIODIC,
+        period=ms(2 * max(periods)),
+        compute_time=(ms(1), ms(1)),
+        deadline=ms(2 * max(periods)),
+        processor=cpu,
+    )
+    for index, name in enumerate(names):
+        trigger = (
+            trigger_names[index]
+            if index < len(trigger_names)
+            else f"ev{index}"
+        )
+        monitor.out_event_port(trigger)
+        builder.mode_transition(
+            name, f"monitor.{trigger}", names[(index + 1) % n_modes]
+        )
+
+    def _draw(spec) -> float:
+        if isinstance(spec, tuple):
+            return float(rng.uniform(*spec))
+        return float(spec)
+
+    for task in integer_task_set(
+        shared_threads, _draw(shared_utilization),
+        periods=periods, rng=rng, name_prefix="shared",
+    ):
+        builder.thread(
+            task.name,
+            dispatch=DispatchProtocol.PERIODIC,
+            period=ms(task.period),
+            compute_time=(ms(task.wcet), ms(task.wcet)),
+            deadline=ms(task.deadline),
+            processor=cpu,
+        )
+    for index, name in enumerate(names):
+        for task in integer_task_set(
+            threads_per_mode, _draw(utilization),
+            periods=periods, rng=rng, name_prefix=f"m{index}t",
+        ):
+            builder.thread(
+                task.name,
+                dispatch=DispatchProtocol.PERIODIC,
+                period=ms(task.period),
+                compute_time=(ms(task.wcet), ms(task.wcet)),
+                deadline=ms(task.deadline),
+                processor=cpu,
+                in_modes=(name,),
+            )
+    if include_orphan:
+        builder.mode("maintenance")
+        builder.thread(
+            "sweeper",
+            dispatch=DispatchProtocol.PERIODIC,
+            period=ms(min(periods)),
+            compute_time=(ms(min(periods)), ms(min(periods))),
+            deadline=ms(min(periods)),
+            processor=cpu,
+            in_modes=("maintenance",),
+        )
+    return builder.declarative()

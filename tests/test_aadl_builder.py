@@ -196,3 +196,56 @@ class TestGallery:
             for c in bus_conns
         }
         assert len(cpus) == 2
+
+
+class TestBuilderModes:
+    def _modal(self):
+        b = SystemBuilder("Modal")
+        cpu = b.processor("cpu")
+        b.mode("day", initial=True)
+        b.mode("night")
+        watcher = b.thread(
+            "watcher",
+            dispatch="periodic",
+            period=ms(16),
+            compute_time=ms(1),
+            deadline=ms(16),
+            processor=cpu,
+        )
+        watcher.out_event_port("dusk")
+        b.thread(
+            "lamp",
+            dispatch="periodic",
+            period=ms(8),
+            compute_time=ms(2),
+            deadline=ms(8),
+            processor=cpu,
+            in_modes=("night",),
+        )
+        b.mode_transition("day", "watcher.dusk", "night")
+        return b
+
+    def test_mode_declarations_land_on_the_impl(self):
+        model = self._modal().declarative()
+        impl = model.implementation("Modal.impl")
+        assert impl.initial_mode().name == "day"
+        assert len(impl.modes) == 2
+        assert len(impl.mode_transitions) == 1
+        assert impl.subcomponent("lamp").in_modes == ("night",)
+
+    def test_in_modes_steers_instantiation(self):
+        b = self._modal()
+        day = b.instantiate()
+        assert "lamp" not in day.children
+        from repro.aadl import instantiate
+
+        night = instantiate(
+            b.declarative(), "Modal.impl",
+            mode_overrides={"Modal.impl": "night"},
+        )
+        assert "lamp" in night.children
+
+    def test_builder_modes_are_legal(self):
+        from repro.aadl.validation import collect_mode_violations
+
+        assert collect_mode_violations(self._modal().declarative()) == []

@@ -191,3 +191,70 @@ class TestHpfPriorities:
             priority=3,
         )
         assert collect_violations(b.instantiate(validate=False)) == []
+
+
+class TestModeViolations:
+    """Declarative-level legality of mode declarations, shared between
+    the ``validate`` report and :class:`repro.modal.ModeAutomaton`."""
+
+    SRC = """
+    thread A
+      features
+        fail: out event port;
+    end A;
+    system S end S;
+    system implementation S.impl
+      subcomponents
+        a: thread A;
+        b: thread A in modes (nominal);
+      modes
+        nominal: initial mode;
+        recovery: mode;
+        m1: nominal -[a.fail]-> recovery;
+    end S.impl;
+    """
+
+    def _violations(self, src):
+        from repro.aadl.validation import collect_mode_violations
+
+        return collect_mode_violations(parse_model(src))
+
+    def test_legal_declarations_pass(self):
+        assert self._violations(self.SRC) == []
+
+    def test_duplicate_initial_modes(self):
+        src = self.SRC.replace(
+            "recovery: mode;", "recovery: initial mode;"
+        )
+        violations = self._violations(src)
+        assert any("duplicate initial modes" in v for v in violations)
+
+    def test_missing_initial_mode(self):
+        src = self.SRC.replace(
+            "nominal: initial mode;", "nominal: mode;"
+        )
+        violations = self._violations(src)
+        assert any("no initial mode" in v for v in violations)
+
+    def test_trigger_on_unknown_subcomponent(self):
+        src = self.SRC.replace("a.fail", "ghost.fail")
+        violations = self._violations(src)
+        assert any(
+            "non-existent subcomponent 'ghost'" in v for v in violations
+        )
+
+    def test_trigger_on_unknown_port(self):
+        src = self.SRC.replace("a.fail", "a.ghost")
+        violations = self._violations(src)
+        assert any(
+            "non-existent port 'ghost'" in v for v in violations
+        )
+
+    def test_undeclared_transition_endpoints(self):
+        src = self.SRC.replace(
+            "m1: nominal -[a.fail]-> recovery;",
+            "m1: limbo -[a.fail]-> nowhere;",
+        )
+        violations = self._violations(src)
+        assert any("source mode 'limbo'" in v for v in violations)
+        assert any("target mode 'nowhere'" in v for v in violations)

@@ -114,3 +114,64 @@ class TestAnalyzeAllModes:
         model = parse_model(cruise_control_text())
         with pytest.raises(AnalysisError):
             analyze_all_modes(model, "CruiseControl.impl")
+
+    def test_unreachable_mode_is_skipped(self):
+        """A mode no transition path reaches from the initial mode
+        never occurs at runtime; its (unschedulable) workload must not
+        turn the verdict."""
+        from repro.aadl.gallery import fault_recovery_text
+
+        model = parse_model(fault_recovery_text())
+        result = analyze_all_modes(model, "Plant.impl")
+        assert "maintenance" not in result.per_mode
+        assert result.unreachable_modes == ("maintenance",)
+        assert result.verdict is Verdict.SCHEDULABLE
+        assert "unreachable from the initial mode" in result.format()
+
+    def test_pooled_modes_cache_on_resubmission(self, tmp_path):
+        model = parse_model(MODAL)
+        cache = str(tmp_path / "cache")
+        first = analyze_all_modes(
+            model, "S.impl", workers=1, cache=cache
+        )
+        assert not any(o.cached for o in first.per_mode.values())
+        second = analyze_all_modes(
+            model, "S.impl", workers=1, cache=cache
+        )
+        assert all(o.cached for o in second.per_mode.values())
+        assert second.verdict is first.verdict
+        assert "[cached]" in second.format()
+
+
+class TestVerdictDominance:
+    """UNSCHEDULABLE > UNKNOWN > SCHEDULABLE across the per-mode map."""
+
+    @staticmethod
+    def _result(*verdicts):
+        from repro.analysis.modes import ModeOutcome
+
+        return ModalAnalysisResult(
+            {
+                f"m{i}": ModeOutcome(mode=f"m{i}", verdict=v)
+                for i, v in enumerate(verdicts)
+            }
+        )
+
+    def test_all_schedulable(self):
+        result = self._result(Verdict.SCHEDULABLE, Verdict.SCHEDULABLE)
+        assert result.verdict is Verdict.SCHEDULABLE
+
+    def test_unknown_dominates_schedulable(self):
+        result = self._result(Verdict.SCHEDULABLE, Verdict.UNKNOWN)
+        assert result.verdict is Verdict.UNKNOWN
+
+    def test_unschedulable_dominates_unknown(self):
+        result = self._result(
+            Verdict.UNKNOWN, Verdict.UNSCHEDULABLE, Verdict.SCHEDULABLE
+        )
+        assert result.verdict is Verdict.UNSCHEDULABLE
+        assert result.failing_modes == ["m1"]
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(AnalysisError):
+            ModalAnalysisResult({})

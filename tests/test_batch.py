@@ -460,3 +460,53 @@ class TestAggregateWallClock:
         assert report.stats.elapsed == pytest.approx(
             sum(per_job), rel=0.2
         )
+
+
+class TestModalJobs:
+    def _source(self):
+        from repro.aadl.gallery import fault_recovery_text
+
+        return fault_recovery_text()
+
+    def test_from_modal_rejects_unknown_protocol(self):
+        with pytest.raises(BatchError):
+            AnalysisJob.from_modal(self._source(), protocol="eventual")
+
+    def test_protocol_is_cache_key_material(self):
+        source = self._source()
+        sync = AnalysisJob.from_modal(source, protocol="synchronous")
+        asyn = AnalysisJob.from_modal(source, protocol="asynchronous")
+        assert cache_key(sync) != cache_key(asyn)
+
+    def test_mode_pin_is_cache_key_material(self):
+        source = self._source()
+        plain = AnalysisJob.from_aadl(source, root="Plant.impl")
+        pinned = AnalysisJob.from_aadl(
+            source, root="Plant.impl", mode="error"
+        )
+        other = AnalysisJob.from_aadl(
+            source, root="Plant.impl", mode="recovery"
+        )
+        keys = {cache_key(plain), cache_key(pinned), cache_key(other)}
+        assert len(keys) == 3
+
+    def test_modal_job_runs_and_caches(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        job = AnalysisJob.from_modal(
+            self._source(), root="Plant.impl",
+            protocol="asynchronous",
+        )
+        cold = run_batch([job], workers=1, cache=cache_dir)
+        assert cold.results[0].verdict == "schedulable"
+        assert "transition" in cold.results[0].rendered
+        warm = run_batch([job], workers=1, cache=cache_dir)
+        assert warm.results[0].cached
+
+    def test_from_file_routes_modal_options(self, tmp_path):
+        path = tmp_path / "plant.aadl"
+        path.write_text(self._source())
+        job = AnalysisJob.from_file(
+            str(path), modal=True, protocol="asynchronous"
+        )
+        assert job.kind == "modal"
+        assert job.options["protocol"] == "asynchronous"

@@ -249,3 +249,104 @@ class TestAcsrWalkAndDot:
         text = dot.read_text()
         assert text.startswith("digraph lts {")
         assert "doublecircle" in text
+
+
+@pytest.fixture
+def plant_file(tmp_path):
+    from repro.aadl.gallery import fault_recovery_text
+
+    path = tmp_path / "plant.aadl"
+    path.write_text(fault_recovery_text())
+    return str(path)
+
+
+class TestModalCli:
+    def test_modal_synchronous(self, plant_file, capsys):
+        assert main(["analyze", plant_file, "--modal"]) == 0
+        out = capsys.readouterr().out
+        assert "modal analysis of Plant.impl" in out
+        assert "protocol: synchronous" in out
+        assert "nominal -[monitor.fault]-> error" in out
+        assert "unreachable from the initial mode" in out
+
+    def test_modal_asynchronous_stats(self, plant_file, capsys):
+        assert (
+            main(
+                [
+                    "analyze", plant_file, "--modal",
+                    "--protocol", "asynchronous", "--stats",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "transition(s) checked" in out
+
+    def test_modal_unschedulable_transient_exit_one(
+        self, tmp_path, capsys
+    ):
+        from repro.aadl.gallery import fault_recovery_text
+
+        # Make the recovery workload heavy enough that the switch
+        # overlap misses even though each steady mode holds up on its
+        # own -- the verdict only the transition-aware analysis sees.
+        source = fault_recovery_text().replace(
+            "Compute_Execution_Time => 4 ms .. 4 ms;\n    Compute_Deadline => 16 ms;",
+            "Compute_Execution_Time => 8 ms .. 8 ms;\n    Compute_Deadline => 16 ms;",
+        )
+        path = tmp_path / "heavy.aadl"
+        path.write_text(source)
+        assert (
+            main(
+                [
+                    "analyze", str(path), "--modal",
+                    "--protocol", "asynchronous",
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "verdict: unschedulable" in out
+        assert "mode recovery: schedulable" in out
+        assert (
+            "recovery -[monitor.done]-> nominal: unschedulable" in out
+        )
+
+    def test_modal_on_modeless_model_is_usage_error(
+        self, cc_file, capsys
+    ):
+        assert main(["analyze", cc_file, "--modal"]) == 2
+        assert "declares no modes" in capsys.readouterr().err
+
+    def test_modal_rejects_multiple_files(
+        self, plant_file, cc_file, capsys
+    ):
+        assert main(["analyze", plant_file, cc_file, "--modal"]) == 2
+        assert "exactly one model" in capsys.readouterr().err
+
+    def test_all_modes_portfolio_pool_caches(
+        self, plant_file, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        args = [
+            "analyze", plant_file, "--all-modes", "--portfolio",
+            "--jobs", "2", "--cache-dir", cache_dir,
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "[cached]" in out
+        assert "mode nominal" in out
+
+    def test_batch_run_modal(self, plant_file, capsys):
+        assert (
+            main(
+                [
+                    "batch", "run", plant_file, "--modal",
+                    "--protocol", "asynchronous", "--jobs", "1",
+                ]
+            )
+            == 0
+        )
+        assert "schedulable" in capsys.readouterr().out

@@ -123,11 +123,13 @@ class TestComposeCli:
         )
         assert "exactly one model" in capsys.readouterr().err
 
-    def test_compose_rejects_all_modes(self, dual_file, capsys):
+    def test_compose_all_modes_needs_a_modal_root(self, dual_file, capsys):
+        """--compose composes with --all-modes now (one decomposition
+        per steady mode); a modeless root is still an error."""
         assert (
             main(["analyze", dual_file, "--compose", "--all-modes"]) == 2
         )
-        assert "mutually exclusive" in capsys.readouterr().err
+        assert "declares no modes" in capsys.readouterr().err
 
     def test_compose_plan_decomposable(self, dual_file, capsys):
         assert main(["compose", "plan", dual_file]) == 0

@@ -1,0 +1,97 @@
+"""The modal oracle campaign: modal transition pass ⇒ honest
+reference simulation pass (plus steady-half equivalence), and the
+``shrink-transient-window`` fault self-test that proves the campaign
+would catch an unsound transient shortcut."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.oracle import evaluate_modal_case, run_modal_campaign
+from repro.oracle.modal import classify_transition
+from repro.oracle.verdicts import AgreementStatus
+from repro.workloads import faulty_modal_system
+
+
+class TestClassification:
+    def test_modal_pass_reference_fail_is_the_bug_signal(self):
+        assert (
+            classify_transition(True, False) is AgreementStatus.DISAGREED
+        )
+
+    def test_conservatism_is_agreement(self):
+        """The relation is one-sided: the modal side may refuse or fail
+        a transition the reference passes without being wrong."""
+        assert classify_transition(False, True) is AgreementStatus.AGREED
+        assert classify_transition(True, True) is AgreementStatus.AGREED
+        assert (
+            classify_transition(False, False) is AgreementStatus.AGREED
+        )
+        assert classify_transition(False, None) is AgreementStatus.AGREED
+
+    def test_capped_reference_is_unknown(self):
+        assert classify_transition(True, None) is AgreementStatus.UNKNOWN
+
+
+class TestGenerator:
+    def test_faulty_modal_system_shape(self):
+        model = faulty_modal_system(
+            n_modes=3, threads_per_mode=2,
+            rng=np.random.default_rng(11),
+        )
+        impl = model.implementation("FaultyModal.impl")
+        assert len(impl.modes) == 3
+        # The mode cycle: one transition out of each mode.
+        assert len(impl.mode_transitions) == 3
+        sources = {t.source for t in impl.mode_transitions}
+        assert sources == {"nominal", "error", "recovery"}
+
+    def test_orphan_mode_is_off_the_cycle(self):
+        from repro.modal import ModeAutomaton
+
+        model = faulty_modal_system(
+            n_modes=2, include_orphan=True,
+            rng=np.random.default_rng(5),
+        )
+        impl = model.implementation("FaultyModal.impl")
+        automaton = ModeAutomaton.from_implementation(model, impl)
+        assert automaton.unreachable_modes() == ("maintenance",)
+
+    def test_seeded_case_reproduces(self):
+        a = evaluate_modal_case(7)
+        b = evaluate_modal_case(7)
+        assert a.status is b.status
+        assert (a.modes, a.transitions, a.modal_passes) == (
+            b.modes, b.transitions, b.modal_passes,
+        )
+
+
+class TestCampaign:
+    def test_small_campaign_agrees(self):
+        report = run_modal_campaign(seeds=12)
+        assert not report.disagreements, report.format()
+        # The draw must exercise the non-vacuous side of the relation:
+        # some transition actually passed by the modal checker.
+        assert sum(o.modal_passes for o in report.outcomes) > 0
+
+    def test_shrink_window_fault_is_caught(self):
+        report = run_modal_campaign(
+            seeds=12, fault="shrink-transient-window"
+        )
+        assert report.disagreements, (
+            "the shrink-transient-window fault must produce at least "
+            "one modal-pass / reference-miss split"
+        )
+        assert "DISAGREED" in report.format()
+
+    def test_cli_exit_codes(self):
+        assert main(["oracle", "modal", "--seeds", "5"]) == 0
+        assert (
+            main(
+                [
+                    "oracle", "modal", "--seeds", "5",
+                    "--fault", "shrink-transient-window",
+                ]
+            )
+            == 1
+        )

@@ -332,14 +332,18 @@ class TestPortfolioCli:
         assert "utilization-bound: 1 attempt(s), 1 hit(s)" in out
         assert "escalated to exploration: 0" in out
 
-    def test_portfolio_rejects_all_modes(self, schedulable_file, capsys):
+    def test_portfolio_all_modes_needs_a_modal_root(
+        self, schedulable_file, capsys
+    ):
+        """--portfolio composes with --all-modes now (each steady mode
+        reuses the tier chain); a modeless root is still an error."""
         assert (
             main(
                 ["analyze", schedulable_file, "--portfolio", "--all-modes"]
             )
             == 2
         )
-        assert "mutually exclusive" in capsys.readouterr().err
+        assert "declares no modes" in capsys.readouterr().err
 
     def test_batch_run_portfolio_job(
         self, schedulable_file, unschedulable_file, capsys

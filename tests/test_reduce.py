@@ -338,14 +338,18 @@ class TestCli:
         assert main(["analyze", replicated_file, "--reduce", "magic"]) == 2
         assert "unknown reduction pass" in capsys.readouterr().err
 
-    def test_reduce_rejects_all_modes(self, replicated_file, capsys):
+    def test_reduce_all_modes_needs_a_modal_root(
+        self, replicated_file, capsys
+    ):
+        """--reduce composes with --all-modes now (the spec is forwarded
+        to every per-mode run); a modeless root is still an error."""
         assert (
             main(
                 ["analyze", replicated_file, "--reduce", "--all-modes"]
             )
             == 2
         )
-        assert "mutually exclusive" in capsys.readouterr().err
+        assert "declares no modes" in capsys.readouterr().err
 
     def test_acsr_has_no_reduce_flag(self, tmp_path):
         """Raw-ACSR exploration (and its walk/DOT traces) bypasses
